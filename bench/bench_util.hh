@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Shared helpers for the figure/table regeneration benches.
+ */
+
+#ifndef MECH_BENCH_BENCH_UTIL_HH
+#define MECH_BENCH_BENCH_UTIL_HH
+
+#include <cstdlib>
+#include <string>
+
+#include "mech/mech.hh"
+
+namespace mech::bench {
+
+/**
+ * Trace length for a bench: `--instructions N` argument, else the
+ * MECH_TRACE_LEN environment variable, else @p fallback.  Benches
+ * default to container-friendly lengths; raise for tighter statistics.
+ */
+inline InstCount
+traceLength(int argc, char **argv, InstCount fallback)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::string(argv[i]) == "--instructions")
+            return std::strtoull(argv[i + 1], nullptr, 10);
+    }
+    if (const char *env = std::getenv("MECH_TRACE_LEN"))
+        return std::strtoull(env, nullptr, 10);
+    return fallback;
+}
+
+/** Paper-style coarse stack groups used by Figs. 4 and 8. */
+struct CoarseStack
+{
+    double base = 0, muldiv = 0, l2access = 0, l2miss = 0, tlb = 0,
+           bpredMiss = 0, bpredTaken = 0, deps = 0, ifetch = 0;
+
+    double
+    total() const
+    {
+        return base + muldiv + l2access + l2miss + tlb + bpredMiss +
+               bpredTaken + deps + ifetch;
+    }
+};
+
+/** Regroup a fine-grained model stack into the paper's categories. */
+inline CoarseStack
+coarsen(const CpiStack &stack)
+{
+    CoarseStack c;
+    c.base = stack[CpiComponent::Base];
+    c.muldiv =
+        stack[CpiComponent::LongLat] + stack[CpiComponent::L1DAccess];
+    c.l2access = stack[CpiComponent::L2Access];
+    c.l2miss = stack[CpiComponent::L2Miss];
+    c.tlb = stack.tlb();
+    c.bpredMiss = stack[CpiComponent::BpredMiss];
+    c.bpredTaken = stack[CpiComponent::BpredTakenHit];
+    c.deps = stack.dependencies();
+    c.ifetch = stack.ifetch();
+    return c;
+}
+
+} // namespace mech::bench
+
+#endif // MECH_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Figure 3: model-predicted CPI vs detailed-simulation CPI for the 19
+ * MiBench-like benchmarks on the default configuration (Table 2).
+ *
+ * Paper result: average absolute error 3.1%, maximum 8.4%.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mech;
+    InstCount n = bench::traceLength(argc, argv, 300000);
+    DesignPoint point = defaultDesignPoint();
+
+    std::cout << "=== Figure 3: CPI, model vs detailed simulation ===\n"
+              << "config: " << point.label() << ", " << n
+              << " instructions per benchmark\n\n";
+
+    TextTable table({"benchmark", "model CPI", "detailed CPI", "error%"});
+    SummaryStats err;
+    for (const auto &bench : mibenchSuite()) {
+        DseStudy study(bench, n);
+        PointEvaluation ev = study.evaluate(point, true);
+        double e = ev.cpiError();
+        err.add(e * 100.0);
+        table.addRow({bench.name, TextTable::num(ev.model.cpi(), 3),
+                      TextTable::num(ev.sim->cpi(), 3),
+                      TextTable::num(e * 100.0, 1)});
+    }
+    table.print(std::cout);
+    std::cout << "\naverage error: " << TextTable::num(err.mean(), 1)
+              << "%   max error: " << TextTable::num(err.max(), 1)
+              << "%   (paper: avg 3.1%, max 8.4%)\n";
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Section 5 speedup claim, as a google-benchmark microbenchmark:
+ * evaluating the analytical model for a design point vs detailed
+ * simulation of the same point, plus the one-off profiling cost.
+ *
+ * Paper: simulating the 192-point space takes 290 days; the model
+ * takes 4.5 hours, dominated by profiling — model evaluation itself
+ * is "a few seconds" for the whole space.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hh"
+
+namespace {
+
+using namespace mech;
+
+constexpr InstCount kLen = 50000;
+
+/** Shared fixture state: one profiled study per benchmark run. */
+DseStudy &
+sharedStudy()
+{
+    static DseStudy study(profileByName("tiffdither"), kLen);
+    return study;
+}
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    const BenchmarkProfile &bench = profileByName("tiffdither");
+    for (auto _ : state) {
+        Trace tr = generateTrace(bench, kLen);
+        benchmark::DoNotOptimize(tr.size());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(kLen));
+}
+
+void
+BM_Profiling(benchmark::State &state)
+{
+    Trace tr = generateTrace(profileByName("tiffdither"), kLen);
+    ProfilerConfig cfg;
+    cfg.hierarchy = hierarchyFor(defaultDesignPoint());
+    cfg.predictors = {PredictorKind::Gshare1K, PredictorKind::Hybrid3K5};
+    cfg.captureL2Stream = true;
+    for (auto _ : state) {
+        WorkloadProfile p = profileTrace(tr, cfg);
+        benchmark::DoNotOptimize(p.program.n);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(kLen));
+}
+
+void
+BM_ModelEvaluation(benchmark::State &state)
+{
+    DseStudy &study = sharedStudy();
+    DesignPoint point = defaultDesignPoint();
+    point.l2KB = 256; // off-default so the L2 resweep cost shows once
+    for (auto _ : state) {
+        PointEvaluation ev = study.evaluate(point, false);
+        benchmark::DoNotOptimize(ev.model.cycles);
+    }
+}
+
+void
+BM_DetailedSimulation(benchmark::State &state)
+{
+    DseStudy &study = sharedStudy();
+    DesignPoint point = defaultDesignPoint();
+    for (auto _ : state) {
+        SimResult res =
+            simulateInOrder(study.trace(), simConfigFor(point));
+        benchmark::DoNotOptimize(res.cycles);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(kLen));
+}
+
+BENCHMARK(BM_TraceGeneration)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Profiling)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ModelEvaluation)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_DetailedSimulation)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

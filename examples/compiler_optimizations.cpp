@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Example: how compiler optimizations move in-order cycle stacks
+ * (paper §6.2).
+ *
+ * Applies the scheduling and unrolling passes to one benchmark's IR
+ * and reports the model's cycle breakdown per variant, normalized to
+ * the scheduled (-O3-like) build.
+ *
+ * Usage: compiler_optimizations [benchmark] [instructions] [unroll]
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "mech/mech.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mech;
+
+    std::string bench_name = argc > 1 ? argv[1] : "tiffdither";
+    InstCount n = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 150000;
+    auto unroll = static_cast<std::uint32_t>(
+        argc > 3 ? std::atoi(argv[3]) : 4);
+
+    const BenchmarkProfile &bench = profileByName(bench_name);
+    DesignPoint point = defaultDesignPoint();
+
+    struct Variant
+    {
+        std::string name;
+        double cycles = 0;
+        double deps = 0;
+        double taken = 0;
+        std::uint64_t instructions = 0;
+        std::uint64_t spills = 0;
+    };
+    std::vector<Variant> rows;
+
+    auto evaluate = [&](const std::string &name, Program prog,
+                        std::uint64_t spills) {
+        DseStudy study(bench, n, prog);
+        PointEvaluation ev = study.evaluate(point, false);
+        rows.push_back({name, ev.model.cycles,
+                        ev.model.stack.dependencies(),
+                        ev.model.stack[CpiComponent::BpredTakenHit],
+                        ev.model.instructions, spills});
+    };
+
+    // -O3 -fno-schedule-insns: consumers packed behind producers.
+    {
+        Program prog = buildProgram(bench);
+        SchedOptions opt;
+        opt.goal = SchedGoal::Tighten;
+        scheduleProgram(prog, opt);
+        evaluate("nosched", std::move(prog), 0);
+    }
+    // -O3: list scheduling with a finite register budget.
+    SchedOptions o3;
+    o3.goal = SchedGoal::Spread;
+    o3.availRegs = 14;
+    {
+        Program prog = buildProgram(bench);
+        std::uint64_t spills = scheduleProgram(prog, o3);
+        evaluate("O3", std::move(prog), spills);
+    }
+    // -O3 -funroll-loops: unroll, then schedule the wider window.
+    {
+        Program prog = buildProgram(bench);
+        unrollLoops(prog, unroll);
+        std::uint64_t spills = scheduleProgram(prog, o3);
+        evaluate("unroll x" + std::to_string(unroll), std::move(prog),
+                 spills);
+    }
+
+    double o3_cycles = rows[1].cycles;
+    std::cout << "benchmark: " << bench_name
+              << "   (cycles normalized to O3)\n\n";
+    TextTable table({"variant", "norm cycles", "norm deps",
+                     "norm taken-bubbles", "instructions",
+                     "spill pairs"});
+    for (const auto &row : rows) {
+        table.addRow({row.name, TextTable::num(row.cycles / o3_cycles, 3),
+                      TextTable::num(row.deps / o3_cycles, 3),
+                      TextTable::num(row.taken / o3_cycles, 3),
+                      std::to_string(row.instructions),
+                      std::to_string(row.spills)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nscheduling widens dependency distances (cheaper "
+                 "deps, possible spill cost); unrolling removes loop "
+                 "overhead and taken branches and schedules across "
+                 "copies.\n";
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Quickstart: predict in-order performance for one benchmark and
+ * validate the prediction against cycle-accurate simulation.
+ *
+ * Usage: quickstart [benchmark] [instructions]
+ *   benchmark    profile name (default: sha; see workload/suites.hh)
+ *   instructions trace length (default: 200000)
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "mech/mech.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mech;
+
+    std::string bench_name = argc > 1 ? argv[1] : "sha";
+    InstCount n = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 200000;
+
+    const BenchmarkProfile &bench = profileByName(bench_name);
+    DesignPoint point = defaultDesignPoint();
+
+    std::cout << "benchmark: " << bench.name << "\n"
+              << "design:    " << point.label() << "\n\n";
+
+    // 1. Generate the synthetic workload trace.
+    Trace trace = generateTrace(bench, n);
+
+    // 2. Profile it once: program statistics + miss/branch statistics.
+    ProfilerConfig pcfg;
+    pcfg.hierarchy = hierarchyFor(point);
+    pcfg.predictors = {point.predictor};
+    WorkloadProfile prof = profileTrace(trace, pcfg);
+
+    // 3. Evaluate the mechanistic model: instant CPI prediction.
+    MachineParams machine = machineFor(point);
+    ModelResult model =
+        evaluateInOrder(prof.program, prof.memory,
+                        prof.branchProfileFor(point.predictor), machine);
+
+    // 4. Validate against the cycle-accurate reference pipeline.
+    SimResult sim = simulateInOrder(trace, simConfigFor(point));
+
+    CpiStack per_instr = model.stack.perInstruction(prof.program.n);
+    TextTable stack_table({"component", "CPI contribution"});
+    for (std::size_t c = 0; c < kNumCpiComponents; ++c) {
+        auto comp = static_cast<CpiComponent>(c);
+        if (per_instr[comp] <= 0.0)
+            continue;
+        stack_table.addRow({std::string(cpiComponentName(comp)),
+                            TextTable::num(per_instr[comp], 4)});
+    }
+    stack_table.print(std::cout);
+
+    double err = absRelativeError(model.cycles,
+                                  static_cast<double>(sim.cycles));
+    std::cout << "\nmodel CPI:     " << TextTable::num(model.cpi(), 4)
+              << "\nsimulated CPI: " << TextTable::num(sim.cpi(), 4)
+              << "\nprediction error: " << TextTable::num(err * 100.0, 2)
+              << "%\n";
+    return 0;
+}

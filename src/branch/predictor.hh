@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Branch direction predictors.
+ *
+ * Table 2 evaluates two predictors: a 1 KiB global-history predictor
+ * (gshare: 4096 2-bit counters indexed by PC xor 12 bits of global
+ * history) and a 3.5 KiB hybrid of a 10-bit local-history component
+ * and a 12-bit global-history component with a 2-bit chooser
+ * (1 KiB + 1.5 KiB + 1 KiB).  Static and bimodal predictors are
+ * included as baselines for tests and ablations.
+ *
+ * Predictors are updated with the resolved outcome immediately after
+ * each prediction, in both the profiler and the pipeline simulator.
+ * The paper deliberately ignores delayed-update effects (§5, "the
+ * model does not account for delayed update effects in the branch
+ * predictor"), so keeping profiler and simulator consistent here is
+ * exactly the first-order contract.
+ */
+
+#ifndef MECH_BRANCH_PREDICTOR_HH
+#define MECH_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/types.hh"
+
+namespace mech {
+
+/** Available predictor designs. */
+enum class PredictorKind : std::uint8_t {
+    NotTaken,  ///< static: never taken
+    Taken,     ///< static: always taken
+    Bimodal,   ///< PC-indexed 2-bit counters
+    Gshare1K,  ///< 1 KiB global-history predictor (Table 2 default)
+    Local,     ///< 10-bit local-history predictor
+    Hybrid3K5, ///< 3.5 KiB hybrid local/global with chooser (Table 2)
+};
+
+/** Name of a predictor kind for reports. */
+std::string predictorName(PredictorKind kind);
+
+/** Hardware budget of a predictor kind in bytes (for power model). */
+std::uint64_t predictorBytes(PredictorKind kind);
+
+/** Direction-predictor interface. */
+class BranchPredictor
+{
+  public:
+    virtual ~BranchPredictor() = default;
+
+    /** Predict the direction of the branch at @p pc. */
+    virtual bool predict(Addr pc) = 0;
+
+    /** Train with the resolved outcome. */
+    virtual void update(Addr pc, bool taken) = 0;
+
+    /** Forget all state. */
+    virtual void reset() = 0;
+};
+
+/** Construct a predictor of the given kind. */
+std::unique_ptr<BranchPredictor> makePredictor(PredictorKind kind);
+
+} // namespace mech
+
+#endif // MECH_BRANCH_PREDICTOR_HH

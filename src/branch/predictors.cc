@@ -1,0 +1,290 @@
+#include "branch/predictor.hh"
+
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace mech {
+
+namespace {
+
+/** Saturating 2-bit counter helpers. */
+inline std::uint8_t
+bump(std::uint8_t ctr, bool up)
+{
+    if (up)
+        return ctr < 3 ? ctr + 1 : 3;
+    return ctr > 0 ? ctr - 1 : 0;
+}
+
+/** Static always-X predictor. */
+class StaticPredictor : public BranchPredictor
+{
+  public:
+    explicit StaticPredictor(bool predict_taken)
+        : takenPrediction(predict_taken)
+    {
+    }
+
+    bool predict(Addr) override { return takenPrediction; }
+    void update(Addr, bool) override {}
+    void reset() override {}
+
+  private:
+    bool takenPrediction;
+};
+
+/** PC-indexed table of 2-bit counters. */
+class BimodalPredictor : public BranchPredictor
+{
+  public:
+    explicit BimodalPredictor(std::uint32_t index_bits)
+        : indexBits(index_bits), table(std::size_t{1} << index_bits, 2)
+    {
+    }
+
+    bool
+    predict(Addr pc) override
+    {
+        return table[index(pc)] >= 2;
+    }
+
+    void
+    update(Addr pc, bool taken) override
+    {
+        auto &ctr = table[index(pc)];
+        ctr = bump(ctr, taken);
+    }
+
+    void
+    reset() override
+    {
+        std::fill(table.begin(), table.end(), 2);
+    }
+
+  private:
+    std::size_t
+    index(Addr pc) const
+    {
+        return (pc >> 2) & ((std::size_t{1} << indexBits) - 1);
+    }
+
+    std::uint32_t indexBits;
+    std::vector<std::uint8_t> table;
+};
+
+/**
+ * gshare: 2-bit counters indexed by (pc >> 2) xor global history.
+ * With 12 index bits the table is 4096 x 2 bits = 1 KiB — the paper's
+ * "1KB global history" predictor.
+ */
+class GsharePredictor : public BranchPredictor
+{
+  public:
+    explicit GsharePredictor(std::uint32_t history_bits)
+        : histBits(history_bits),
+          table(std::size_t{1} << history_bits, 2)
+    {
+    }
+
+    bool
+    predict(Addr pc) override
+    {
+        return table[index(pc)] >= 2;
+    }
+
+    void
+    update(Addr pc, bool taken) override
+    {
+        auto &ctr = table[index(pc)];
+        ctr = bump(ctr, taken);
+        history = ((history << 1) | (taken ? 1 : 0)) & mask();
+    }
+
+    void
+    reset() override
+    {
+        std::fill(table.begin(), table.end(), 2);
+        history = 0;
+    }
+
+  private:
+    std::uint32_t mask() const { return (1u << histBits) - 1; }
+
+    std::size_t
+    index(Addr pc) const
+    {
+        return (static_cast<std::size_t>(pc >> 2) ^ history) & mask();
+    }
+
+    std::uint32_t histBits;
+    std::uint32_t history = 0;
+    std::vector<std::uint8_t> table;
+};
+
+/**
+ * Local-history predictor: per-PC history registers select 2-bit
+ * counters.  10-bit histories over 1024 entries = 1.25 KiB histories
+ * + 0.25 KiB counters (the hybrid's local component).
+ */
+class LocalPredictor : public BranchPredictor
+{
+  public:
+    LocalPredictor(std::uint32_t pc_bits, std::uint32_t history_bits)
+        : pcBits(pc_bits), histBits(history_bits),
+          histories(std::size_t{1} << pc_bits, 0),
+          table(std::size_t{1} << history_bits, 2)
+    {
+    }
+
+    bool
+    predict(Addr pc) override
+    {
+        return table[counterIndex(pc)] >= 2;
+    }
+
+    void
+    update(Addr pc, bool taken) override
+    {
+        auto &ctr = table[counterIndex(pc)];
+        ctr = bump(ctr, taken);
+        auto &hist = histories[pcIndex(pc)];
+        hist = ((hist << 1) | (taken ? 1 : 0)) & ((1u << histBits) - 1);
+    }
+
+    void
+    reset() override
+    {
+        std::fill(histories.begin(), histories.end(), 0);
+        std::fill(table.begin(), table.end(), 2);
+    }
+
+  private:
+    std::size_t
+    pcIndex(Addr pc) const
+    {
+        return (pc >> 2) & ((std::size_t{1} << pcBits) - 1);
+    }
+
+    std::size_t
+    counterIndex(Addr pc) const
+    {
+        return histories[pcIndex(pc)];
+    }
+
+    std::uint32_t pcBits;
+    std::uint32_t histBits;
+    std::vector<std::uint16_t> histories;
+    std::vector<std::uint8_t> table;
+};
+
+/**
+ * Tournament hybrid: 12-bit gshare + 10-bit local with a 4096-entry
+ * 2-bit chooser indexed by global history — 1 + 1.5 + 1 = 3.5 KiB,
+ * Table 2's second predictor.
+ */
+class HybridPredictor : public BranchPredictor
+{
+  public:
+    HybridPredictor()
+        : global(12), local(10, 10),
+          chooser(std::size_t{1} << 12, 2)
+    {
+    }
+
+    bool
+    predict(Addr pc) override
+    {
+        bool g = global.predict(pc);
+        bool l = local.predict(pc);
+        bool use_global = chooser[history & 0xfff] >= 2;
+        return use_global ? g : l;
+    }
+
+    void
+    update(Addr pc, bool taken) override
+    {
+        bool g = global.predict(pc);
+        bool l = local.predict(pc);
+        // Train the chooser only when the components disagree.
+        if (g != l) {
+            auto &ctr = chooser[history & 0xfff];
+            ctr = bump(ctr, g == taken);
+        }
+        global.update(pc, taken);
+        local.update(pc, taken);
+        history = ((history << 1) | (taken ? 1 : 0)) & 0xfff;
+    }
+
+    void
+    reset() override
+    {
+        global.reset();
+        local.reset();
+        std::fill(chooser.begin(), chooser.end(), 2);
+        history = 0;
+    }
+
+  private:
+    GsharePredictor global;
+    LocalPredictor local;
+    std::vector<std::uint8_t> chooser;
+    std::uint32_t history = 0;
+};
+
+} // namespace
+
+std::string
+predictorName(PredictorKind kind)
+{
+    switch (kind) {
+      case PredictorKind::NotTaken: return "static-not-taken";
+      case PredictorKind::Taken: return "static-taken";
+      case PredictorKind::Bimodal: return "bimodal-1KB";
+      case PredictorKind::Gshare1K: return "gshare-1KB";
+      case PredictorKind::Local: return "local-1.5KB";
+      case PredictorKind::Hybrid3K5: return "hybrid-3.5KB";
+    }
+    return "?";
+}
+
+std::uint64_t
+predictorBytes(PredictorKind kind)
+{
+    switch (kind) {
+      case PredictorKind::NotTaken:
+      case PredictorKind::Taken:
+        return 0;
+      case PredictorKind::Bimodal:
+        return 1024;
+      case PredictorKind::Gshare1K:
+        return 1024;
+      case PredictorKind::Local:
+        return 1536;
+      case PredictorKind::Hybrid3K5:
+        return 3584;
+    }
+    return 0;
+}
+
+std::unique_ptr<BranchPredictor>
+makePredictor(PredictorKind kind)
+{
+    switch (kind) {
+      case PredictorKind::NotTaken:
+        return std::make_unique<StaticPredictor>(false);
+      case PredictorKind::Taken:
+        return std::make_unique<StaticPredictor>(true);
+      case PredictorKind::Bimodal:
+        return std::make_unique<BimodalPredictor>(12);
+      case PredictorKind::Gshare1K:
+        return std::make_unique<GsharePredictor>(12);
+      case PredictorKind::Local:
+        return std::make_unique<LocalPredictor>(10, 10);
+      case PredictorKind::Hybrid3K5:
+        return std::make_unique<HybridPredictor>();
+    }
+    panic("unknown predictor kind");
+}
+
+} // namespace mech

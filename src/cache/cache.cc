@@ -1,0 +1,80 @@
+#include "cache/cache.hh"
+
+#include <bit>
+
+namespace mech {
+
+SetAssocCache::SetAssocCache(const CacheConfig &config)
+    : cfg(config)
+{
+    if (!std::has_single_bit(cfg.sizeBytes) ||
+        !std::has_single_bit(static_cast<std::uint64_t>(cfg.blockBytes))) {
+        fatal("cache size and block size must be powers of two (got ",
+              cfg.sizeBytes, " / ", cfg.blockBytes, ")");
+    }
+    if (cfg.assoc == 0 || cfg.sizeBytes <
+        static_cast<std::uint64_t>(cfg.assoc) * cfg.blockBytes) {
+        fatal("cache geometry invalid: ", cfg.sizeBytes, "B / ", cfg.assoc,
+              "-way / ", cfg.blockBytes, "B blocks");
+    }
+    if (!std::has_single_bit(cfg.numSets()))
+        fatal("cache set count must be a power of two");
+    lines.resize(cfg.numSets() * cfg.assoc);
+}
+
+bool
+SetAssocCache::access(Addr addr, bool is_write)
+{
+    std::uint64_t set = setIndex(addr);
+    Addr tag = tagOf(addr);
+    Line *base = &lines[set * cfg.assoc];
+
+    ++useClock;
+
+    Line *victim = base;
+    for (std::uint32_t w = 0; w < cfg.assoc; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            line.lastUse = useClock;
+            line.dirty = line.dirty || is_write;
+            ++_stats.hits;
+            return true;
+        }
+        // Track the LRU (or first invalid) way as the victim.
+        if (!line.valid) {
+            if (victim->valid || line.lastUse < victim->lastUse)
+                victim = &line;
+        } else if (victim->valid && line.lastUse < victim->lastUse) {
+            victim = &line;
+        }
+    }
+
+    ++_stats.misses;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = useClock;
+    victim->dirty = is_write;
+    return false;
+}
+
+bool
+SetAssocCache::contains(Addr addr) const
+{
+    std::uint64_t set = setIndex(addr);
+    Addr tag = tagOf(addr);
+    const Line *base = &lines[set * cfg.assoc];
+    for (std::uint32_t w = 0; w < cfg.assoc; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+SetAssocCache::flush()
+{
+    for (auto &line : lines)
+        line = Line{};
+}
+
+} // namespace mech

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Set-associative cache with true-LRU replacement.
+ *
+ * This is the building block of the two-level hierarchy the paper's
+ * default configuration uses (private 32 KiB L1s + unified L2,
+ * Table 2).  Timing lives in the pipeline simulator and the model;
+ * the cache itself only tracks contents and hit/miss outcomes.
+ */
+
+#ifndef MECH_CACHE_CACHE_HH
+#define MECH_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace mech {
+
+/** Geometry of one cache. */
+struct CacheConfig
+{
+    /** Total capacity in bytes (power of two). */
+    std::uint64_t sizeBytes = 32 * 1024;
+
+    /** Associativity (ways per set). */
+    std::uint32_t assoc = 4;
+
+    /** Block (line) size in bytes (power of two). */
+    std::uint32_t blockBytes = 64;
+
+    /** Number of sets implied by the geometry. */
+    std::uint64_t
+    numSets() const
+    {
+        return sizeBytes / (static_cast<std::uint64_t>(assoc) * blockBytes);
+    }
+};
+
+/** Hit/miss counters for one cache. */
+struct CacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+
+    /** Total accesses. */
+    std::uint64_t accesses() const { return hits + misses; }
+
+    /** Miss ratio (0 when never accessed). */
+    double
+    missRatio() const
+    {
+        return accesses()
+                   ? static_cast<double>(misses) /
+                         static_cast<double>(accesses())
+                   : 0.0;
+    }
+};
+
+/**
+ * Set-associative cache with true-LRU replacement and write-allocate.
+ *
+ * Functional only: access() returns whether the block was present and
+ * installs it if not.  Eviction follows strict LRU within the set.
+ */
+class SetAssocCache
+{
+  public:
+    /** Build a cache; validates that the geometry is a power of two. */
+    explicit SetAssocCache(const CacheConfig &config);
+
+    /**
+     * Access the block containing @p addr.
+     *
+     * @param addr Byte address.
+     * @param is_write True for stores (sets the dirty bit).
+     * @return True on hit, false on miss (block is then installed).
+     */
+    bool access(Addr addr, bool is_write = false);
+
+    /** True if the block containing @p addr is currently resident. */
+    bool contains(Addr addr) const;
+
+    /** Invalidate all contents (statistics are kept). */
+    void flush();
+
+    /** Access statistics. */
+    const CacheStats &stats() const { return _stats; }
+
+    /** Reset statistics (contents are kept). */
+    void clearStats() { _stats = CacheStats{}; }
+
+    /** Geometry. */
+    const CacheConfig &config() const { return cfg; }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    /** Set index for an address. */
+    std::uint64_t
+    setIndex(Addr addr) const
+    {
+        return (addr / cfg.blockBytes) & (cfg.numSets() - 1);
+    }
+
+    /** Tag for an address. */
+    Addr
+    tagOf(Addr addr) const
+    {
+        return addr / cfg.blockBytes / cfg.numSets();
+    }
+
+    CacheConfig cfg;
+    std::vector<Line> lines; // numSets x assoc, row-major
+    std::uint64_t useClock = 0;
+    CacheStats _stats;
+};
+
+} // namespace mech
+
+#endif // MECH_CACHE_CACHE_HH

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Two-level cache hierarchy front (L1I + L1D + unified L2 + TLBs).
+ *
+ * Mirrors the paper's default memory system (Table 2): private L1
+ * instruction and data caches and a unified second-level cache.
+ * Accesses classify into the level that serves them, which is what
+ * both the pipeline simulator (stall cycles) and the profiler (miss
+ * counts per event type) need.
+ */
+
+#ifndef MECH_CACHE_HIERARCHY_HH
+#define MECH_CACHE_HIERARCHY_HH
+
+#include <cstdint>
+
+#include "cache/cache.hh"
+#include "cache/tlb.hh"
+#include "common/types.hh"
+
+namespace mech {
+
+/** Which level of the hierarchy served an access. */
+enum class MemLevel : std::uint8_t {
+    L1,     ///< first-level hit
+    L2,     ///< L1 miss, L2 hit
+    Memory, ///< missed both levels
+};
+
+/** Outcome of one hierarchy access. */
+struct HierAccess
+{
+    /** Level that served the data. */
+    MemLevel level = MemLevel::L1;
+
+    /** True if the TLB missed (independent of the cache outcome). */
+    bool tlbMiss = false;
+};
+
+/** Configuration of the full hierarchy. */
+struct HierarchyConfig
+{
+    CacheConfig l1i{32 * 1024, 4, 64};
+    CacheConfig l1d{32 * 1024, 4, 64};
+    CacheConfig l2{512 * 1024, 8, 64};
+    TlbConfig itlb{32, 4096};
+    TlbConfig dtlb{32, 4096};
+};
+
+/** Two-level hierarchy with split L1s, unified L2, and TLBs. */
+class CacheHierarchy
+{
+  public:
+    /** Build the hierarchy. */
+    explicit CacheHierarchy(const HierarchyConfig &config)
+        : cfg(config), l1iCache(config.l1i), l1dCache(config.l1d),
+          l2Cache(config.l2), itlbUnit(config.itlb), dtlbUnit(config.dtlb)
+    {
+    }
+
+    /** Instruction fetch of the block containing @p pc. */
+    HierAccess
+    fetch(Addr pc)
+    {
+        HierAccess res;
+        res.tlbMiss = !itlbUnit.access(pc);
+        if (l1iCache.access(pc))
+            return res;
+        res.level = l2Cache.access(pc) ? MemLevel::L2 : MemLevel::Memory;
+        return res;
+    }
+
+    /** Data access at @p addr; @p is_write true for stores. */
+    HierAccess
+    data(Addr addr, bool is_write)
+    {
+        HierAccess res;
+        res.tlbMiss = !dtlbUnit.access(addr);
+        if (l1dCache.access(addr, is_write))
+            return res;
+        res.level = l2Cache.access(addr, is_write) ? MemLevel::L2
+                                                   : MemLevel::Memory;
+        return res;
+    }
+
+    /** Component accessors (read-only stats). */
+    const SetAssocCache &l1i() const { return l1iCache; }
+    const SetAssocCache &l1d() const { return l1dCache; }
+    const SetAssocCache &l2() const { return l2Cache; }
+    const Tlb &itlb() const { return itlbUnit; }
+    const Tlb &dtlb() const { return dtlbUnit; }
+
+    /** Configuration. */
+    const HierarchyConfig &config() const { return cfg; }
+
+  private:
+    HierarchyConfig cfg;
+    SetAssocCache l1iCache;
+    SetAssocCache l1dCache;
+    SetAssocCache l2Cache;
+    Tlb itlbUnit;
+    Tlb dtlbUnit;
+};
+
+} // namespace mech
+
+#endif // MECH_CACHE_HIERARCHY_HH

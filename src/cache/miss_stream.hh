@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Captured memory-reference streams.
+ *
+ * Sweeping L2 configurations does not require re-running the whole
+ * trace: with fixed L1s the L2 only ever sees the L1 miss stream.
+ * Capturing that stream once and replaying it into each candidate L2
+ * is the profiling shortcut that keeps the paper's "profile once,
+ * predict 192 configurations" workflow cheap.
+ */
+
+#ifndef MECH_CACHE_MISS_STREAM_HH
+#define MECH_CACHE_MISS_STREAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "common/types.hh"
+
+namespace mech {
+
+/** One captured memory reference. */
+struct MemRef
+{
+    /** Byte address. */
+    Addr addr = 0;
+
+    /** True for stores. */
+    bool isWrite = false;
+};
+
+/** Sequence of memory references in program order. */
+using MemRefStream = std::vector<MemRef>;
+
+/**
+ * Replay a reference stream into a fresh cache of @p config geometry.
+ *
+ * @return Miss count over the stream.
+ */
+inline std::uint64_t
+replayMisses(const MemRefStream &stream, const CacheConfig &config)
+{
+    SetAssocCache cache(config);
+    std::uint64_t misses = 0;
+    for (const auto &ref : stream) {
+        if (!cache.access(ref.addr, ref.isWrite))
+            ++misses;
+    }
+    return misses;
+}
+
+} // namespace mech
+
+#endif // MECH_CACHE_MISS_STREAM_HH

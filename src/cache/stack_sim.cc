@@ -1,0 +1,57 @@
+#include "cache/stack_sim.hh"
+
+#include <algorithm>
+#include <bit>
+
+namespace mech {
+
+StackDistanceSimulator::StackDistanceSimulator(std::uint64_t num_sets,
+                                               std::uint32_t block_bytes,
+                                               std::uint32_t max_tracked_assoc)
+    : numSets(num_sets), blockBytes(block_bytes),
+      maxAssoc(max_tracked_assoc)
+{
+    if (!std::has_single_bit(numSets) ||
+        !std::has_single_bit(static_cast<std::uint64_t>(blockBytes))) {
+        fatal("stack simulator set count and block size must be powers "
+              "of two");
+    }
+    MECH_ASSERT(maxAssoc >= 1, "need at least one tracked way");
+    stacks.resize(numSets);
+}
+
+void
+StackDistanceSimulator::access(Addr addr)
+{
+    std::uint64_t block = addr / blockBytes;
+    std::uint64_t set = block & (numSets - 1);
+    Addr tag = block / numSets;
+    auto &stack = stacks[set];
+
+    ++total;
+
+    auto it = std::find(stack.begin(), stack.end(), tag);
+    if (it == stack.end()) {
+        // Cold or beyond the tracked depth: a miss at every tracked
+        // associativity.  Key 0 marks "deeper than tracked".
+        distances.add(0);
+    } else {
+        auto depth = static_cast<std::uint64_t>(it - stack.begin()) + 1;
+        distances.add(depth);
+        stack.erase(it);
+    }
+
+    stack.insert(stack.begin(), tag);
+    if (stack.size() > maxAssoc)
+        stack.pop_back();
+}
+
+std::uint64_t
+StackDistanceSimulator::hitsForAssoc(std::uint32_t assoc) const
+{
+    MECH_ASSERT(assoc >= 1 && assoc <= maxAssoc,
+                "assoc ", assoc, " outside tracked range");
+    return distances.sumRange(1, assoc);
+}
+
+} // namespace mech

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Dense integer-keyed histogram.
+ *
+ * Used for dependency-distance profiles (deps_unit(d), deps_LL(d),
+ * deps_ld(d) in the paper's Table 1) and for diagnostic distributions.
+ */
+
+#ifndef MECH_COMMON_HISTOGRAM_HH
+#define MECH_COMMON_HISTOGRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace mech {
+
+/**
+ * Histogram over small non-negative integer keys.
+ *
+ * Grows on demand; absent keys count zero.  Keys are dependency
+ * distances or similar small quantities, so dense storage wins.
+ */
+class Histogram
+{
+  public:
+    Histogram() = default;
+
+    /** Add @p weight observations of key @p key. */
+    void
+    add(std::uint64_t key, std::uint64_t weight = 1)
+    {
+        if (key >= counts.size())
+            counts.resize(key + 1, 0);
+        counts[key] += weight;
+        totalCount += weight;
+    }
+
+    /** Observation count at @p key (0 if never seen). */
+    std::uint64_t
+    at(std::uint64_t key) const
+    {
+        return key < counts.size() ? counts[key] : 0;
+    }
+
+    /** Total number of observations. */
+    std::uint64_t total() const { return totalCount; }
+
+    /** Largest key with a non-zero count, or 0 if empty. */
+    std::uint64_t
+    maxKey() const
+    {
+        for (std::size_t i = counts.size(); i > 0; --i) {
+            if (counts[i - 1] != 0)
+                return i - 1;
+        }
+        return 0;
+    }
+
+    /** Sum of counts over keys in [lo, hi] inclusive. */
+    std::uint64_t
+    sumRange(std::uint64_t lo, std::uint64_t hi) const
+    {
+        std::uint64_t sum = 0;
+        for (std::uint64_t k = lo; k <= hi && k < counts.size(); ++k)
+            sum += counts[k];
+        return sum;
+    }
+
+    /** Mean key weighted by counts; 0 for an empty histogram. */
+    double
+    mean() const
+    {
+        if (totalCount == 0)
+            return 0.0;
+        double acc = 0.0;
+        for (std::size_t k = 0; k < counts.size(); ++k)
+            acc += static_cast<double>(k) * static_cast<double>(counts[k]);
+        return acc / static_cast<double>(totalCount);
+    }
+
+    /** Merge another histogram into this one. */
+    void
+    merge(const Histogram &other)
+    {
+        if (other.counts.size() > counts.size())
+            counts.resize(other.counts.size(), 0);
+        for (std::size_t k = 0; k < other.counts.size(); ++k)
+            counts[k] += other.counts[k];
+        totalCount += other.totalCount;
+    }
+
+    /** Reset to empty. */
+    void
+    clear()
+    {
+        counts.clear();
+        totalCount = 0;
+    }
+
+  private:
+    std::vector<std::uint64_t> counts;
+    std::uint64_t totalCount = 0;
+};
+
+} // namespace mech
+
+#endif // MECH_COMMON_HISTOGRAM_HH

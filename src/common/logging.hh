@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Logging and error-reporting helpers in the gem5 tradition.
+ *
+ * Two terminating error paths are provided, with distinct meanings
+ * (see the gem5 coding-style "Fatal v. Panic" discussion):
+ *
+ *  - panic():  an internal invariant was violated; this is a bug in
+ *              mechsim itself.  Calls std::abort() so a debugger or
+ *              core dump can pick up the pieces.
+ *  - fatal():  the simulation cannot continue because of a user error
+ *              (bad configuration, invalid argument).  Exits with
+ *              status 1.
+ *
+ * Non-terminating status channels: warn() for suspicious-but-survivable
+ * conditions and inform() for plain status messages.
+ */
+
+#ifndef MECH_COMMON_LOGGING_HH
+#define MECH_COMMON_LOGGING_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace mech {
+
+namespace detail {
+
+/** Stream the tail of a message pack into @p os (base case). */
+inline void
+streamArgs(std::ostream &)
+{
+}
+
+/** Stream every argument of a message pack into @p os. */
+template <typename First, typename... Rest>
+void
+streamArgs(std::ostream &os, const First &first, const Rest &...rest)
+{
+    os << first;
+    streamArgs(os, rest...);
+}
+
+/** Render a message pack to a string. */
+template <typename... Args>
+std::string
+formatMessage(const Args &...args)
+{
+    std::ostringstream oss;
+    streamArgs(oss, args...);
+    return oss.str();
+}
+
+} // namespace detail
+
+/**
+ * Report an internal invariant violation and abort.
+ *
+ * @param args Message fragments, streamed in order.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    std::cerr << "panic: " << detail::formatMessage(args...) << std::endl;
+    std::abort();
+}
+
+/**
+ * Report an unrecoverable user error and exit with status 1.
+ *
+ * @param args Message fragments, streamed in order.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    std::cerr << "fatal: " << detail::formatMessage(args...) << std::endl;
+    std::exit(1);
+}
+
+/** Report a survivable but suspicious condition. */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    std::cerr << "warn: " << detail::formatMessage(args...) << std::endl;
+}
+
+/** Report plain status to the user. */
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    std::cout << "info: " << detail::formatMessage(args...) << std::endl;
+}
+
+/**
+ * Panic when @p cond is false.  Unlike assert(), this check is active
+ * in all build types; use it to protect simulator invariants that are
+ * cheap relative to the code they guard.
+ */
+#define MECH_ASSERT(cond, ...)                                              \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::mech::panic("assertion '", #cond, "' failed at ", __FILE__,   \
+                          ":", __LINE__, " ", ##__VA_ARGS__);               \
+        }                                                                   \
+    } while (0)
+
+} // namespace mech
+
+#endif // MECH_COMMON_LOGGING_HH

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Running summary statistics and error metrics.
+ *
+ * The evaluation section of the paper reports average / maximum
+ * absolute prediction error and an error CDF (Fig. 5); these helpers
+ * back those computations in the benches and integration tests.
+ */
+
+#ifndef MECH_COMMON_STATS_HH
+#define MECH_COMMON_STATS_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace mech {
+
+/** Incremental mean/min/max/stddev accumulator (Welford). */
+class SummaryStats
+{
+  public:
+    /** Fold one sample into the summary. */
+    void
+    add(double x)
+    {
+        ++n;
+        double delta = x - runningMean;
+        runningMean += delta / static_cast<double>(n);
+        m2 += delta * (x - runningMean);
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+    }
+
+    /** Number of samples folded in. */
+    std::uint64_t count() const { return n; }
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const { return n ? runningMean : 0.0; }
+
+    /** Smallest sample; +inf when empty. */
+    double min() const { return lo; }
+
+    /** Largest sample; -inf when empty. */
+    double max() const { return hi; }
+
+    /** Population standard deviation; 0 for fewer than two samples. */
+    double
+    stddev() const
+    {
+        if (n < 2)
+            return 0.0;
+        return std::sqrt(m2 / static_cast<double>(n));
+    }
+
+  private:
+    std::uint64_t n = 0;
+    double runningMean = 0.0;
+    double m2 = 0.0;
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Absolute relative error |predicted - reference| / reference.
+ *
+ * @pre reference != 0.
+ */
+inline double
+absRelativeError(double predicted, double reference)
+{
+    MECH_ASSERT(reference != 0.0, "relative error vs zero reference");
+    return std::fabs(predicted - reference) / std::fabs(reference);
+}
+
+/**
+ * Empirical CDF evaluation points for a sample vector.
+ *
+ * Returns, for each threshold in @p thresholds, the fraction of
+ * samples <= threshold.  Used to regenerate Fig. 5.
+ */
+inline std::vector<double>
+empiricalCdf(std::vector<double> samples, const std::vector<double> &thresholds)
+{
+    std::sort(samples.begin(), samples.end());
+    std::vector<double> cdf;
+    cdf.reserve(thresholds.size());
+    for (double t : thresholds) {
+        auto it = std::upper_bound(samples.begin(), samples.end(), t);
+        cdf.push_back(samples.empty()
+                          ? 0.0
+                          : static_cast<double>(it - samples.begin()) /
+                                static_cast<double>(samples.size()));
+    }
+    return cdf;
+}
+
+/** Percentile (0..100) of a sample vector by nearest-rank. */
+inline double
+percentile(std::vector<double> samples, double pct)
+{
+    MECH_ASSERT(!samples.empty(), "percentile of empty sample set");
+    MECH_ASSERT(pct >= 0.0 && pct <= 100.0, "percentile out of range");
+    std::sort(samples.begin(), samples.end());
+    if (pct == 0.0)
+        return samples.front();
+    auto rank = static_cast<std::size_t>(
+        std::ceil(pct / 100.0 * static_cast<double>(samples.size())));
+    return samples[std::min(rank, samples.size()) - 1];
+}
+
+} // namespace mech
+
+#endif // MECH_COMMON_STATS_HH

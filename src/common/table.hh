@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Minimal fixed-width text-table printer.
+ *
+ * The bench binaries regenerate the paper's tables and figure series
+ * as aligned text; this helper keeps their output uniform.
+ */
+
+#ifndef MECH_COMMON_TABLE_HH
+#define MECH_COMMON_TABLE_HH
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace mech {
+
+/** Column-aligned text table accumulated row by row. */
+class TextTable
+{
+  public:
+    /** Define the header row. */
+    explicit TextTable(std::vector<std::string> header)
+        : columns(std::move(header))
+    {
+    }
+
+    /** Append a row; must have exactly as many cells as the header. */
+    void
+    addRow(std::vector<std::string> cells)
+    {
+        MECH_ASSERT(cells.size() == columns.size(),
+                    "row width ", cells.size(), " != header width ",
+                    columns.size());
+        rows.push_back(std::move(cells));
+    }
+
+    /** Format a double with fixed precision (cell helper). */
+    static std::string
+    num(double v, int precision = 3)
+    {
+        std::ostringstream oss;
+        oss << std::fixed << std::setprecision(precision) << v;
+        return oss.str();
+    }
+
+    /** Render the table, header underlined with dashes. */
+    void
+    print(std::ostream &os) const
+    {
+        std::vector<std::size_t> width(columns.size());
+        for (std::size_t c = 0; c < columns.size(); ++c)
+            width[c] = columns[c].size();
+        for (const auto &row : rows) {
+            for (std::size_t c = 0; c < row.size(); ++c)
+                width[c] = std::max(width[c], row[c].size());
+        }
+        auto emit = [&](const std::vector<std::string> &row) {
+            for (std::size_t c = 0; c < row.size(); ++c) {
+                os << std::left << std::setw(static_cast<int>(width[c]) + 2)
+                   << row[c];
+            }
+            os << '\n';
+        };
+        emit(columns);
+        std::string rule;
+        for (std::size_t c = 0; c < columns.size(); ++c)
+            rule += std::string(width[c], '-') + "  ";
+        os << rule << '\n';
+        for (const auto &row : rows)
+            emit(row);
+    }
+
+  private:
+    std::vector<std::string> columns;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace mech
+
+#endif // MECH_COMMON_TABLE_HH

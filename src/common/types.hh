@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Fundamental scalar types shared across mechsim libraries.
+ */
+
+#ifndef MECH_COMMON_TYPES_HH
+#define MECH_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace mech {
+
+/** Byte address in the simulated machine's address space. */
+using Addr = std::uint64_t;
+
+/** Count of clock cycles (also used for latencies). */
+using Cycles = std::uint64_t;
+
+/** Count of dynamic instructions. */
+using InstCount = std::uint64_t;
+
+/** Architectural register index. */
+using RegIndex = std::uint16_t;
+
+/** Sentinel meaning "no register operand". */
+inline constexpr RegIndex kNoReg = 0xffff;
+
+/** Number of architectural integer registers modeled. */
+inline constexpr RegIndex kNumArchRegs = 32;
+
+} // namespace mech
+
+#endif // MECH_COMMON_TYPES_HH

@@ -1,0 +1,372 @@
+#include "compiler/passes.hh"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/logging.hh"
+#include "isa/op_class.hh"
+
+namespace mech {
+
+namespace {
+
+constexpr std::uint64_t kNoPos = std::numeric_limits<std::uint64_t>::max();
+
+/** Register dependence edges within one basic block. */
+struct BlockDag
+{
+    /** preds[i] = indices that must precede instruction i. */
+    std::vector<std::vector<std::size_t>> preds;
+
+    /** succs[i] = indices that must follow instruction i. */
+    std::vector<std::vector<std::size_t>> succs;
+};
+
+/** Build RAW/WAR/WAW precedence edges over @p body. */
+BlockDag
+buildDag(const std::vector<StaticInst> &body)
+{
+    BlockDag dag;
+    dag.preds.resize(body.size());
+    dag.succs.resize(body.size());
+
+    auto add_edge = [&dag](std::size_t from, std::size_t to) {
+        dag.preds[to].push_back(from);
+        dag.succs[from].push_back(to);
+    };
+
+    std::vector<std::size_t> last_def(kNumArchRegs, kNoPos);
+    std::vector<std::vector<std::size_t>> readers_since_def(kNumArchRegs);
+
+    for (std::size_t i = 0; i < body.size(); ++i) {
+        const StaticInst &si = body[i];
+        for (RegIndex src : {si.src1, si.src2}) {
+            if (src == kNoReg)
+                continue;
+            if (last_def[src] != kNoPos)
+                add_edge(last_def[src], i); // RAW
+            readers_since_def[src].push_back(i);
+        }
+        if (si.dst != kNoReg) {
+            if (last_def[si.dst] != kNoPos)
+                add_edge(last_def[si.dst], i); // WAW
+            for (std::size_t r : readers_since_def[si.dst]) {
+                if (r != i)
+                    add_edge(r, i); // WAR
+            }
+            readers_since_def[si.dst].clear();
+            last_def[si.dst] = i;
+        }
+    }
+    return dag;
+}
+
+/**
+ * List-schedule @p body under @p goal; returns the new order as
+ * indices into the original body.
+ */
+std::vector<std::size_t>
+listSchedule(const std::vector<StaticInst> &body, SchedGoal goal)
+{
+    BlockDag dag = buildDag(body);
+    std::size_t n = body.size();
+
+    std::vector<std::size_t> pending(n, 0);
+    for (std::size_t i = 0; i < n; ++i)
+        pending[i] = dag.preds[i].size();
+
+    std::vector<std::size_t> scheduled_pos(n, kNoPos);
+    std::vector<std::size_t> ready;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (pending[i] == 0)
+            ready.push_back(i);
+    }
+
+    std::vector<std::size_t> order;
+    order.reserve(n);
+
+    while (!order.empty() || !ready.empty()) {
+        if (ready.empty())
+            panic("scheduling DAG has a cycle");
+
+        // Score candidates by the distance to their latest scheduled
+        // register producer (RAW only matters for stalls; using all
+        // precedence edges is a close, simpler proxy).
+        std::size_t best = 0;
+        std::int64_t best_score = std::numeric_limits<std::int64_t>::min();
+        for (std::size_t c = 0; c < ready.size(); ++c) {
+            std::size_t cand = ready[c];
+            std::int64_t latest = -1;
+            for (std::size_t p : dag.preds[cand]) {
+                latest = std::max(
+                    latest, static_cast<std::int64_t>(scheduled_pos[p]));
+            }
+            // Distance the candidate would have to its latest producer
+            // if placed now.
+            std::int64_t dist =
+                static_cast<std::int64_t>(order.size()) - latest;
+            std::int64_t score = goal == SchedGoal::Spread ? dist : -dist;
+            // Stable tie-break on original position keeps the pass
+            // deterministic.
+            if (score > best_score ||
+                (score == best_score && cand < ready[best])) {
+                best_score = score;
+                best = c;
+            }
+        }
+
+        std::size_t chosen = ready[best];
+        ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(best));
+        scheduled_pos[chosen] = order.size();
+        order.push_back(chosen);
+        for (std::size_t s : dag.succs[chosen]) {
+            if (--pending[s] == 0)
+                ready.push_back(s);
+        }
+        if (order.size() == n)
+            break;
+    }
+    MECH_ASSERT(order.size() == n, "schedule dropped instructions");
+    return order;
+}
+
+/**
+ * Insert spill store/reload pairs where more than @p avail_regs
+ * values are live simultaneously.  Returns the number of pairs.
+ */
+std::uint64_t
+insertSpills(std::vector<StaticInst> &body, std::uint32_t avail_regs,
+             std::uint16_t spill_region, std::uint32_t &spill_stream)
+{
+    std::size_t n = body.size();
+
+    // Live range of each defining instruction: def position -> last
+    // use position (within the block).
+    struct Range
+    {
+        std::size_t def = 0;
+        std::vector<std::size_t> uses;
+    };
+    std::vector<Range> ranges;
+    {
+        std::vector<std::size_t> open(kNumArchRegs, kNoPos);
+        for (std::size_t i = 0; i < n; ++i) {
+            const StaticInst &si = body[i];
+            for (RegIndex src : {si.src1, si.src2}) {
+                if (src != kNoReg && open[src] != kNoPos)
+                    ranges[open[src]].uses.push_back(i);
+            }
+            if (si.dst != kNoReg) {
+                ranges.push_back({i, {}});
+                open[si.dst] = ranges.size() - 1;
+            }
+        }
+    }
+
+    // Sweep positions; spill the live value with the farthest next
+    // use whenever pressure exceeds the budget.
+    struct Spill
+    {
+        std::size_t storeAfter;  ///< insert store after this position
+        std::size_t loadBefore;  ///< insert reload before this position
+        RegIndex reg;
+    };
+    std::vector<Spill> spills;
+    std::vector<bool> spilled(ranges.size(), false);
+
+    for (std::size_t pos = 0; pos < n; ++pos) {
+        // Active = defined at or before pos, with a use after pos.
+        std::vector<std::size_t> active;
+        for (std::size_t r = 0; r < ranges.size(); ++r) {
+            if (spilled[r] || ranges[r].def > pos || ranges[r].uses.empty())
+                continue;
+            if (ranges[r].uses.back() > pos)
+                active.push_back(r);
+        }
+        while (active.size() > avail_regs) {
+            // Farthest next use is the cheapest to keep in memory.
+            std::size_t victim = active.front();
+            std::size_t victim_next = 0;
+            for (std::size_t r : active) {
+                auto it = std::upper_bound(ranges[r].uses.begin(),
+                                           ranges[r].uses.end(), pos);
+                std::size_t next =
+                    it == ranges[r].uses.end() ? n : *it;
+                if (next > victim_next) {
+                    victim_next = next;
+                    victim = r;
+                }
+            }
+            spilled[victim] = true;
+            spills.push_back(
+                {pos, victim_next, body[ranges[victim].def].dst});
+            active.erase(
+                std::find(active.begin(), active.end(), victim));
+        }
+    }
+
+    if (spills.empty())
+        return 0;
+
+    // Materialize: walk the body, inserting stores/reloads at their
+    // positions (stores after `storeAfter`, reloads before
+    // `loadBefore`).
+    std::vector<StaticInst> out;
+    out.reserve(n + 2 * spills.size());
+    for (std::size_t pos = 0; pos < n; ++pos) {
+        for (const Spill &sp : spills) {
+            if (sp.loadBefore == pos) {
+                StaticInst reload;
+                reload.op = OpClass::Load;
+                reload.dst = sp.reg;
+                reload.src1 = 0; // stack pointer (live-in r0)
+                reload.memStreamId = spill_stream++;
+                reload.memPattern = MemPattern::Random;
+                reload.memRegion = spill_region;
+                out.push_back(reload);
+            }
+        }
+        out.push_back(body[pos]);
+        for (const Spill &sp : spills) {
+            if (sp.storeAfter == pos) {
+                StaticInst store;
+                store.op = OpClass::Store;
+                store.src1 = sp.reg;
+                store.src2 = 0; // stack pointer (live-in r0)
+                store.memStreamId = spill_stream++;
+                store.memPattern = MemPattern::Random;
+                store.memRegion = spill_region;
+                out.push_back(store);
+            }
+        }
+    }
+    body = std::move(out);
+    return spills.size();
+}
+
+/** Index of (or newly added) small always-resident spill region. */
+std::uint16_t
+spillRegionOf(Program &prog)
+{
+    // A 4 KiB region stays L1-resident: spill traffic costs pipeline
+    // cycles (load-use) but no cache misses, matching real stacks.
+    constexpr std::uint64_t kSpillBytes = 4096;
+    for (std::size_t i = 0; i < prog.regions.size(); ++i) {
+        if (prog.regions[i].sizeBytes == kSpillBytes)
+            return static_cast<std::uint16_t>(i);
+    }
+    prog.regions.push_back({kSpillBytes, 0});
+    return static_cast<std::uint16_t>(prog.regions.size() - 1);
+}
+
+} // namespace
+
+std::uint64_t
+scheduleProgram(Program &prog, const SchedOptions &options)
+{
+    std::uint64_t spill_pairs = 0;
+    std::uint16_t spill_region = 0;
+    // Spill instructions need stream ids that collide with nothing
+    // existing; renumberMemStreams() densifies them afterwards while
+    // preserving any sharing among unrolled copies.
+    std::uint32_t spill_stream = 0x80000000u;
+    bool want_spills =
+        options.goal == SchedGoal::Spread && options.modelSpills;
+    if (want_spills)
+        spill_region = spillRegionOf(prog);
+
+    for (auto &loop : prog.loops) {
+        for (auto &block : loop.blocks) {
+            if (block.body.size() < 2)
+                continue;
+            auto order = listSchedule(block.body, options.goal);
+            std::vector<StaticInst> reordered;
+            reordered.reserve(block.body.size());
+            for (std::size_t idx : order)
+                reordered.push_back(block.body[idx]);
+            block.body = std::move(reordered);
+
+            if (want_spills) {
+                spill_pairs += insertSpills(block.body, options.availRegs,
+                                            spill_region, spill_stream);
+            }
+        }
+    }
+
+    prog.renumberMemStreams();
+    prog.assignPcs();
+    prog.layoutData();
+    return spill_pairs;
+}
+
+void
+unrollLoops(Program &prog, std::uint32_t factor)
+{
+    MECH_ASSERT(factor >= 1, "unroll factor must be >= 1");
+    if (factor == 1)
+        return;
+
+    constexpr RegIndex kFirstRotReg = 8;
+    constexpr RegIndex kNumRotRegs = 20;
+
+    for (auto &loop : prog.loops) {
+        std::vector<BasicBlock> unrolled;
+        unrolled.reserve(loop.blocks.size() * factor);
+        for (std::uint32_t copy = 0; copy < factor; ++copy) {
+            // Offset the rotating registers per copy so the copies'
+            // chains are independent and a later Spread schedule can
+            // interleave them.
+            RegIndex offset = static_cast<RegIndex>(
+                (copy * 7) % kNumRotRegs);
+            auto remap = [offset](RegIndex r) {
+                if (r >= kFirstRotReg &&
+                    r < kFirstRotReg + kNumRotRegs) {
+                    return static_cast<RegIndex>(
+                        kFirstRotReg +
+                        (r - kFirstRotReg + offset) % kNumRotRegs);
+                }
+                return r;
+            };
+            for (const auto &block : loop.blocks) {
+                BasicBlock nb = block;
+                if (nb.guarded) {
+                    nb.guard.src1 = remap(nb.guard.src1);
+                    nb.guard.src2 = remap(nb.guard.src2);
+                }
+                for (auto &si : nb.body) {
+                    si.dst = si.dst == kNoReg ? kNoReg : remap(si.dst);
+                    si.src1 =
+                        si.src1 == kNoReg ? kNoReg : remap(si.src1);
+                    si.src2 =
+                        si.src2 == kNoReg ? kNoReg : remap(si.src2);
+                }
+                unrolled.push_back(std::move(nb));
+            }
+        }
+        // Fuse unguarded neighbours into straight-line super-blocks:
+        // this is what gives a later scheduling pass its cross-copy
+        // window — the paper's observation that unrolling helps
+        // *through* the instruction scheduler.  Guarded blocks keep
+        // their boundaries (code cannot move across the guard).
+        std::vector<BasicBlock> fused;
+        for (auto &block : unrolled) {
+            if (!fused.empty() && !block.guarded) {
+                auto &tail = fused.back().body;
+                tail.insert(tail.end(), block.body.begin(),
+                            block.body.end());
+            } else {
+                fused.push_back(std::move(block));
+            }
+        }
+
+        loop.blocks = std::move(fused);
+        loop.tripCount = (loop.tripCount + factor - 1) / factor;
+    }
+
+    prog.renumberMemStreams();
+    prog.assignPcs();
+    prog.layoutData();
+}
+
+} // namespace mech

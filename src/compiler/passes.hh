@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Compiler-style transformations over the workload IR.
+ *
+ * The paper's second case study (§6.2, Fig. 8) compares -O3,
+ * -O3 -fno-schedule-insns, and -O3 -funroll-loops.  These passes
+ * reproduce the *mechanisms* behind those flags on the synthetic
+ * program IR:
+ *
+ *  - scheduleProgram(Spread): basic-block list scheduling that
+ *    interleaves independent dependency chains, maximizing def-use
+ *    distances (what -O3's scheduler does for an in-order target),
+ *    with a register-pressure spill model that inserts store/reload
+ *    pairs when too many values are live (the paper's "spill code"
+ *    effect on gsm_c and tiffdither);
+ *  - scheduleProgram(Tighten): the inverse — consumers packed right
+ *    behind producers, modeling unscheduled (-fno-schedule-insns)
+ *    code;
+ *  - unrollLoops(k): replicates loop bodies, dropping k-1 of every k
+ *    counter increments and back-edge branches (fewer dynamic
+ *    instructions, fewer taken branches) and widening the scheduler's
+ *    window across copies.
+ *
+ * All passes preserve dataflow: RAW/WAR/WAW register orderings within
+ * each block are honored, guards and loop tails are never reordered.
+ */
+
+#ifndef MECH_COMPILER_PASSES_HH
+#define MECH_COMPILER_PASSES_HH
+
+#include <cstdint>
+
+#include "workload/program.hh"
+
+namespace mech {
+
+/** Scheduling objective. */
+enum class SchedGoal : std::uint8_t {
+    Spread,  ///< maximize def-use distance (compiler scheduler on)
+    Tighten, ///< minimize def-use distance (scheduler off)
+};
+
+/** Options for the scheduling pass. */
+struct SchedOptions
+{
+    /** Objective. */
+    SchedGoal goal = SchedGoal::Spread;
+
+    /**
+     * Registers available to the allocator before spilling kicks in
+     * (Spread only).  Fewer available registers => more spill code.
+     */
+    std::uint32_t availRegs = 18;
+
+    /** Enable the spill model (Spread only). */
+    bool modelSpills = true;
+};
+
+/**
+ * Schedule every basic block of @p prog in place.
+ *
+ * Re-runs PC assignment and stream renumbering afterwards, so the
+ * program is immediately executable.
+ *
+ * @return Number of spill store/reload pairs inserted.
+ */
+std::uint64_t scheduleProgram(Program &prog, const SchedOptions &options);
+
+/**
+ * Unroll every loop of @p prog by @p factor in place.
+ *
+ * Loop trip counts shrink accordingly (tripCount is rounded up so the
+ * total work stays within one unrolled iteration of the original).
+ * Rotating registers in the copies are offset to decorrelate the
+ * copies' dependency chains, giving a subsequent Spread schedule more
+ * freedom — the paper's observation that unrolling helps *through*
+ * the scheduler.
+ */
+void unrollLoops(Program &prog, std::uint32_t factor);
+
+} // namespace mech
+
+#endif // MECH_COMPILER_PASSES_HH

@@ -1,0 +1,135 @@
+#include "dse/design_space.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace mech {
+
+namespace {
+
+/** Convert a nanosecond spec to cycles at @p freq_ghz (at least 1). */
+Cycles
+nsToCycles(double ns, double freq_ghz)
+{
+    return static_cast<Cycles>(
+        std::max(1.0, std::ceil(ns * freq_ghz - 1e-9)));
+}
+
+/** Table 2 couples depth and frequency. */
+double
+freqForDepth(std::uint32_t depth)
+{
+    switch (depth) {
+      case 5: return 0.6;
+      case 7: return 0.8;
+      case 9: return 1.0;
+      default:
+        fatal("unsupported pipeline depth ", depth,
+              " (Table 2 uses 5/7/9)");
+    }
+}
+
+} // namespace
+
+std::string
+DesignPoint::label() const
+{
+    std::ostringstream oss;
+    oss << "L2:" << l2KB << "KB/" << l2Assoc << "w d" << depth << "@"
+        << freqGHz << "GHz W" << width << " "
+        << predictorName(predictor);
+    return oss.str();
+}
+
+std::vector<DesignPoint>
+table2Space()
+{
+    std::vector<DesignPoint> space;
+    const std::uint64_t l2_sizes[] = {128, 256, 512, 1024};
+    const std::uint32_t l2_assocs[] = {8, 16};
+    const std::uint32_t depths[] = {5, 7, 9};
+    const std::uint32_t widths[] = {1, 2, 3, 4};
+    const PredictorKind predictors[] = {PredictorKind::Gshare1K,
+                                        PredictorKind::Hybrid3K5};
+
+    for (std::uint64_t l2 : l2_sizes) {
+        for (std::uint32_t assoc : l2_assocs) {
+            for (std::uint32_t depth : depths) {
+                for (std::uint32_t width : widths) {
+                    for (PredictorKind pred : predictors) {
+                        DesignPoint p;
+                        p.l2KB = l2;
+                        p.l2Assoc = assoc;
+                        p.depth = depth;
+                        p.freqGHz = freqForDepth(depth);
+                        p.width = width;
+                        p.predictor = pred;
+                        space.push_back(p);
+                    }
+                }
+            }
+        }
+    }
+    MECH_ASSERT(space.size() == 192, "Table 2 space must have 192 points");
+    return space;
+}
+
+DesignPoint
+defaultDesignPoint()
+{
+    DesignPoint p;
+    p.l2KB = 512;
+    p.l2Assoc = 8;
+    p.depth = 9;
+    p.freqGHz = 1.0;
+    p.width = 4;
+    p.predictor = PredictorKind::Gshare1K;
+    return p;
+}
+
+MachineParams
+machineFor(const DesignPoint &point, const LatencySpec &spec)
+{
+    MachineParams m;
+    m.width = point.width;
+    MECH_ASSERT(point.depth > 3, "need at least one front-end stage");
+    m.frontendDepth = point.depth - 3; // EX/MEM/WB form the back end
+    m.freqGHz = point.freqGHz;
+    m.latIntMult = nsToCycles(spec.intMultNs, point.freqGHz);
+    m.latIntDiv = nsToCycles(spec.intDivNs, point.freqGHz);
+    m.latFpAlu = nsToCycles(spec.fpAluNs, point.freqGHz);
+    m.latFpMult = nsToCycles(spec.fpMultNs, point.freqGHz);
+    m.latFpDiv = nsToCycles(spec.fpDivNs, point.freqGHz);
+    m.dl1HitCycles = 1;
+    m.l2HitCycles = nsToCycles(spec.l2Ns, point.freqGHz);
+    m.memCycles = nsToCycles(spec.memNs, point.freqGHz);
+    m.tlbMissCycles = nsToCycles(spec.tlbNs, point.freqGHz);
+    m.validate();
+    return m;
+}
+
+HierarchyConfig
+hierarchyFor(const DesignPoint &point)
+{
+    HierarchyConfig h;
+    h.l1i = {32 * 1024, 4, 64};
+    h.l1d = {32 * 1024, 4, 64};
+    h.l2 = {point.l2KB * 1024, point.l2Assoc, 64};
+    h.itlb = {32, 4096};
+    h.dtlb = {32, 4096};
+    return h;
+}
+
+SimConfig
+simConfigFor(const DesignPoint &point, const LatencySpec &spec)
+{
+    SimConfig cfg;
+    cfg.machine = machineFor(point, spec);
+    cfg.hierarchy = hierarchyFor(point);
+    cfg.predictor = point.predictor;
+    return cfg;
+}
+
+} // namespace mech

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The paper's Table 2 design space.
+ *
+ * 192 design points: L2 size {128,256,512,1024} KiB x associativity
+ * {8,16} x pipeline depth/frequency {5/600 MHz, 7/800 MHz, 9/1 GHz} x
+ * width {1,2,3,4} x branch predictor {1 KiB gshare, 3.5 KiB hybrid}.
+ * L1s are fixed at 32 KiB 4-way 64 B; the L2 latency is a 10 ns spec
+ * (Table 2) converted to cycles at each point's frequency, as are the
+ * memory, TLB and functional-unit latencies.
+ */
+
+#ifndef MECH_DSE_DESIGN_SPACE_HH
+#define MECH_DSE_DESIGN_SPACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "branch/predictor.hh"
+#include "cache/hierarchy.hh"
+#include "isa/machine_params.hh"
+#include "sim/inorder_sim.hh"
+
+namespace mech {
+
+/** One point of the Table 2 design space. */
+struct DesignPoint
+{
+    /** Unified L2 capacity in KiB. */
+    std::uint64_t l2KB = 512;
+
+    /** L2 associativity. */
+    std::uint32_t l2Assoc = 8;
+
+    /** Total pipeline depth (5, 7 or 9 stages). */
+    std::uint32_t depth = 9;
+
+    /** Clock frequency in GHz (tied to depth in Table 2). */
+    double freqGHz = 1.0;
+
+    /** Superscalar width. */
+    std::uint32_t width = 4;
+
+    /** Branch predictor design. */
+    PredictorKind predictor = PredictorKind::Gshare1K;
+
+    /** Compact human-readable label. */
+    std::string label() const;
+};
+
+/** Nanosecond latency specifications shared across the space. */
+struct LatencySpec
+{
+    double l2Ns = 10.0;     ///< Table 2: "10ns latency"
+    double memNs = 60.0;    ///< main memory
+    double tlbNs = 30.0;    ///< page walk
+    double intMultNs = 4.0;
+    double intDivNs = 20.0;
+    double fpAluNs = 4.0;
+    double fpMultNs = 5.0;
+    double fpDivNs = 24.0;
+};
+
+/** The full 192-point space in deterministic order. */
+std::vector<DesignPoint> table2Space();
+
+/** The paper's default configuration (Table 2, middle column). */
+DesignPoint defaultDesignPoint();
+
+/** Core machine parameters for a design point (ns -> cycles). */
+MachineParams machineFor(const DesignPoint &point,
+                         const LatencySpec &spec = LatencySpec{});
+
+/** Cache hierarchy geometry for a design point. */
+HierarchyConfig hierarchyFor(const DesignPoint &point);
+
+/** Complete simulator configuration for a design point. */
+SimConfig simConfigFor(const DesignPoint &point,
+                       const LatencySpec &spec = LatencySpec{});
+
+} // namespace mech
+
+#endif // MECH_DSE_DESIGN_SPACE_HH

@@ -1,0 +1,96 @@
+#include "dse/study.hh"
+
+#include "workload/builder.hh"
+
+namespace mech {
+
+namespace {
+
+/** Profiling configuration shared by all studies. */
+ProfilerConfig
+studyProfilerConfig()
+{
+    ProfilerConfig cfg;
+    cfg.hierarchy = hierarchyFor(defaultDesignPoint());
+    cfg.predictors = {PredictorKind::Gshare1K, PredictorKind::Hybrid3K5};
+    cfg.captureL2Stream = true;
+    return cfg;
+}
+
+} // namespace
+
+DseStudy::DseStudy(const BenchmarkProfile &bench, InstCount trace_len)
+    : benchName(bench.name)
+{
+    dynTrace = generateTrace(bench, trace_len);
+    prof = profileTrace(dynTrace, studyProfilerConfig());
+}
+
+DseStudy::DseStudy(const BenchmarkProfile &bench, InstCount trace_len,
+                   const Program &program)
+    : benchName(bench.name)
+{
+    TraceExecutor exec(program, bench.seed ^ 0xabcdef1234567890ull);
+    dynTrace = exec.run(trace_len);
+    prof = profileTrace(dynTrace, studyProfilerConfig());
+}
+
+const MemoryStats &
+DseStudy::memoryFor(const DesignPoint &point)
+{
+    auto key = std::make_pair(point.l2KB, point.l2Assoc);
+    auto it = l2Memo.find(key);
+    if (it != l2Memo.end())
+        return it->second;
+
+    const DesignPoint def = defaultDesignPoint();
+    if (point.l2KB == def.l2KB && point.l2Assoc == def.l2Assoc)
+        return l2Memo.emplace(key, prof.memory).first->second;
+
+    CacheConfig l2{point.l2KB * 1024, point.l2Assoc, 64};
+    return l2Memo.emplace(key, resweepL2(prof, l2)).first->second;
+}
+
+ActivityCounts
+DseStudy::activityFor(const MemoryStats &mem, double cycles) const
+{
+    ActivityCounts a;
+    a.cycles = cycles;
+    a.instructions = static_cast<double>(prof.program.n);
+    a.l1iAccesses = a.instructions;
+    a.l1dAccesses =
+        static_cast<double>(prof.program.mix.of(OpClass::Load) +
+                            prof.program.mix.of(OpClass::Store));
+    a.l2Accesses = static_cast<double>(
+        mem.iFetchL2Hits + mem.iFetchMemory + mem.loadL2Hits +
+        mem.loadMemory + mem.storeL1Misses);
+    a.memAccesses =
+        static_cast<double>(mem.iFetchMemory + mem.loadMemory);
+    a.branches = static_cast<double>(prof.program.branches);
+    return a;
+}
+
+PointEvaluation
+DseStudy::evaluate(const DesignPoint &point, bool run_sim)
+{
+    PointEvaluation ev;
+    ev.point = point;
+
+    const MemoryStats &mem = memoryFor(point);
+    const BranchProfile &bp = prof.branchProfileFor(point.predictor);
+    MachineParams machine = machineFor(point);
+
+    ev.model = evaluateInOrder(prof.program, mem, bp, machine);
+
+    PowerModel power(machine, hierarchyFor(point), point.predictor);
+    ev.modelEdp = power.edp(activityFor(mem, ev.model.cycles));
+
+    if (run_sim) {
+        ev.sim = simulateInOrder(dynTrace, simConfigFor(point));
+        ev.simEdp = power.edp(
+            activityFor(mem, static_cast<double>(ev.sim->cycles)));
+    }
+    return ev;
+}
+
+} // namespace mech

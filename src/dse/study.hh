@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Design-space study driver: the paper's "profile once, predict the
+ * whole space" workflow (Figs. 3, 5, 9).
+ *
+ * Per benchmark: one trace generation, one profiling pass (capturing
+ * the L2 input stream and training both Table 2 predictors), then
+ * model evaluation at any design point for microseconds each —
+ * optionally backed by a detailed simulation of the same point for
+ * validation and EDP comparison.
+ */
+
+#ifndef MECH_DSE_STUDY_HH
+#define MECH_DSE_STUDY_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "dse/design_space.hh"
+#include "model/inorder_model.hh"
+#include "power/power_model.hh"
+#include "profiler/profiler.hh"
+#include "sim/inorder_sim.hh"
+#include "workload/executor.hh"
+#include "workload/profile.hh"
+#include "workload/program.hh"
+
+namespace mech {
+
+/** Outcome of evaluating one design point for one benchmark. */
+struct PointEvaluation
+{
+    DesignPoint point;
+
+    /** Analytical model prediction. */
+    ModelResult model;
+
+    /** Detailed simulation result (when requested). */
+    std::optional<SimResult> sim;
+
+    /** Model-side energy-delay product (J*s). */
+    double modelEdp = 0.0;
+
+    /** Simulation-side energy-delay product (J*s, when simulated). */
+    double simEdp = 0.0;
+
+    /** Absolute relative CPI error vs the simulation (if simulated). */
+    double
+    cpiError() const
+    {
+        if (!sim || sim->cycles == 0)
+            return 0.0;
+        double s = static_cast<double>(sim->cycles);
+        return std::abs(model.cycles - s) / s;
+    }
+};
+
+/**
+ * Per-benchmark design-space study.
+ *
+ * Holds the generated trace and the captured profile; evaluations of
+ * individual points are cheap (model) or trace-replaying (simulator).
+ */
+class DseStudy
+{
+  public:
+    /**
+     * @param bench Benchmark profile to study.
+     * @param trace_len Dynamic instructions to generate.
+     * @param program Optional pre-transformed program (compiler case
+     *        study); defaults to the profile's own program.
+     */
+    DseStudy(const BenchmarkProfile &bench, InstCount trace_len);
+    DseStudy(const BenchmarkProfile &bench, InstCount trace_len,
+             const Program &program);
+
+    /** Evaluate one design point; simulate when @p run_sim. */
+    PointEvaluation evaluate(const DesignPoint &point, bool run_sim);
+
+    /** The workload profile (collected on the default hierarchy). */
+    const WorkloadProfile &profile() const { return prof; }
+
+    /** The generated trace. */
+    const Trace &trace() const { return dynTrace; }
+
+    /** Benchmark name. */
+    const std::string &name() const { return benchName; }
+
+  private:
+    /** Memoized MemoryStats per L2 geometry. */
+    const MemoryStats &memoryFor(const DesignPoint &point);
+
+    /** Activity counts shared by model- and sim-side EDP. */
+    ActivityCounts activityFor(const MemoryStats &mem,
+                               double cycles) const;
+
+    std::string benchName;
+    Trace dynTrace;
+    WorkloadProfile prof;
+    std::map<std::pair<std::uint64_t, std::uint32_t>, MemoryStats>
+        l2Memo;
+};
+
+} // namespace mech
+
+#endif // MECH_DSE_STUDY_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Core machine parameters shared by the analytical model and the
+ * cycle-accurate reference simulator.
+ *
+ * These are the paper's "machine characteristics" (Table 1): width W,
+ * front-end depth D, execution latencies of the non-unit instruction
+ * classes, and the cache/TLB/memory latencies.  All latencies are in
+ * cycles; the design-space driver converts nanosecond specs (Table 2
+ * gives the L2 latency in ns) at the configured frequency.
+ */
+
+#ifndef MECH_ISA_MACHINE_PARAMS_HH
+#define MECH_ISA_MACHINE_PARAMS_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "isa/op_class.hh"
+
+namespace mech {
+
+/** Machine description consumed by model and simulator. */
+struct MachineParams
+{
+    /** Pipeline width W (instruction slots per stage). */
+    std::uint32_t width = 4;
+
+    /**
+     * Front-end depth D in stages (fetch through decode).  The
+     * paper's 5/7/9-stage pipelines keep a 3-stage back end
+     * (execute, memory, writeback), so D = depth - 3.
+     */
+    std::uint32_t frontendDepth = 6;
+
+    /** Execution latency of integer multiply. */
+    Cycles latIntMult = 4;
+
+    /** Execution latency of integer divide. */
+    Cycles latIntDiv = 20;
+
+    /** Execution latency of FP add/sub/cmp. */
+    Cycles latFpAlu = 4;
+
+    /** Execution latency of FP multiply. */
+    Cycles latFpMult = 5;
+
+    /** Execution latency of FP divide. */
+    Cycles latFpDiv = 24;
+
+    /** Memory-stage occupancy of an L1D-hit load. */
+    Cycles dl1HitCycles = 1;
+
+    /** Total service latency of an access that hits the L2. */
+    Cycles l2HitCycles = 10;
+
+    /** Additional latency of going to memory after an L2 miss. */
+    Cycles memCycles = 60;
+
+    /** Penalty of a TLB miss (page-walk latency). */
+    Cycles tlbMissCycles = 30;
+
+    /** Clock frequency in GHz (for time/energy conversions). */
+    double freqGHz = 1.0;
+
+    /** Execute-stage latency of op class @p oc. */
+    Cycles
+    execLatency(OpClass oc) const
+    {
+        switch (oc) {
+          case OpClass::IntMult: return latIntMult;
+          case OpClass::IntDiv: return latIntDiv;
+          case OpClass::FpAlu: return latFpAlu;
+          case OpClass::FpMult: return latFpMult;
+          case OpClass::FpDiv: return latFpDiv;
+          default: return 1;
+        }
+    }
+
+    /** Total pipeline depth (front end + execute/memory/writeback). */
+    std::uint32_t depth() const { return frontendDepth + 3; }
+
+    /** Validate invariants; calls fatal() on a bad configuration. */
+    void
+    validate() const
+    {
+        if (width < 1 || width > 16)
+            fatal("width ", width, " out of supported range [1,16]");
+        if (frontendDepth < 2)
+            fatal("front-end depth must be >= 2 (fetch + decode)");
+        if (dl1HitCycles < 1 || l2HitCycles < 1)
+            fatal("cache latencies must be >= 1 cycle");
+        if (freqGHz <= 0.0)
+            fatal("frequency must be positive");
+    }
+};
+
+} // namespace mech
+
+#endif // MECH_ISA_MACHINE_PARAMS_HH

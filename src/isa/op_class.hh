@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Operation classes for the modeled ISA.
+ *
+ * The mechanistic model cares about instruction *classes*, not opcodes:
+ * unit-latency integer work, the non-unit long-latency classes the
+ * paper calls out (multiply, divide, and multi-cycle floating point),
+ * loads (which produce in the memory stage), stores, and branches.
+ */
+
+#ifndef MECH_ISA_OP_CLASS_HH
+#define MECH_ISA_OP_CLASS_HH
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace mech {
+
+/** Coarse operation class of an instruction. */
+enum class OpClass : std::uint8_t {
+    IntAlu,  ///< single-cycle integer ALU op
+    IntMult, ///< integer multiply (long latency)
+    IntDiv,  ///< integer divide (long latency)
+    FpAlu,   ///< floating-point add/sub/cmp (long latency)
+    FpMult,  ///< floating-point multiply (long latency)
+    FpDiv,   ///< floating-point divide (long latency)
+    Load,    ///< memory read, produces in the memory stage
+    Store,   ///< memory write, never blocks (ideal store buffer)
+    Branch,  ///< conditional or unconditional control transfer
+    Nop,     ///< no-operation (occupies a slot only)
+};
+
+/** Number of distinct OpClass values. */
+inline constexpr std::size_t kNumOpClasses = 10;
+
+/** Human-readable mnemonic for an op class. */
+constexpr std::string_view
+opClassName(OpClass oc)
+{
+    switch (oc) {
+      case OpClass::IntAlu: return "IntAlu";
+      case OpClass::IntMult: return "IntMult";
+      case OpClass::IntDiv: return "IntDiv";
+      case OpClass::FpAlu: return "FpAlu";
+      case OpClass::FpMult: return "FpMult";
+      case OpClass::FpDiv: return "FpDiv";
+      case OpClass::Load: return "Load";
+      case OpClass::Store: return "Store";
+      case OpClass::Branch: return "Branch";
+      case OpClass::Nop: return "Nop";
+    }
+    return "?";
+}
+
+/** True for memory-reading instructions. */
+constexpr bool isLoad(OpClass oc) { return oc == OpClass::Load; }
+
+/** True for memory-writing instructions. */
+constexpr bool isStore(OpClass oc) { return oc == OpClass::Store; }
+
+/** True for any memory-touching instruction. */
+constexpr bool isMem(OpClass oc) { return isLoad(oc) || isStore(oc); }
+
+/** True for control-transfer instructions. */
+constexpr bool isBranch(OpClass oc) { return oc == OpClass::Branch; }
+
+/**
+ * True for classes whose *execute-stage* latency may exceed one cycle
+ * on typical machines (the paper's non-unit long-latency classes,
+ * loads excluded: loads are handled separately because they produce
+ * their value in the memory stage).
+ */
+constexpr bool
+isLongLatencyClass(OpClass oc)
+{
+    switch (oc) {
+      case OpClass::IntMult:
+      case OpClass::IntDiv:
+      case OpClass::FpAlu:
+      case OpClass::FpMult:
+      case OpClass::FpDiv:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** All op classes, for iteration in tests and profilers. */
+inline constexpr std::array<OpClass, kNumOpClasses> kAllOpClasses = {
+    OpClass::IntAlu,  OpClass::IntMult, OpClass::IntDiv, OpClass::FpAlu,
+    OpClass::FpMult,  OpClass::FpDiv,   OpClass::Load,   OpClass::Store,
+    OpClass::Branch,  OpClass::Nop,
+};
+
+} // namespace mech
+
+#endif // MECH_ISA_OP_CLASS_HH

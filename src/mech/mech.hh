@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Umbrella header: the full public API of mechsim.
+ *
+ * Typical flow (see examples/quickstart.cpp):
+ *   1. pick a BenchmarkProfile (workload/suites.hh) or build your own;
+ *   2. generateTrace() it;
+ *   3. profileTrace() to collect the model inputs;
+ *   4. evaluateInOrder() for an instant prediction + CPI stack;
+ *   5. optionally simulateInOrder() the same trace to validate.
+ */
+
+#ifndef MECH_MECH_HH
+#define MECH_MECH_HH
+
+#include "branch/predictor.hh"
+#include "branch/profiler.hh"
+#include "cache/cache.hh"
+#include "cache/hierarchy.hh"
+#include "cache/miss_stream.hh"
+#include "cache/stack_sim.hh"
+#include "cache/tlb.hh"
+#include "common/histogram.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "common/types.hh"
+#include "compiler/passes.hh"
+#include "dse/design_space.hh"
+#include "dse/study.hh"
+#include "isa/machine_params.hh"
+#include "isa/op_class.hh"
+#include "isa/static_inst.hh"
+#include "model/cpi_stack.hh"
+#include "model/inorder_model.hh"
+#include "ooo/ooo_model.hh"
+#include "power/power_model.hh"
+#include "profiler/profiler.hh"
+#include "sim/inorder_sim.hh"
+#include "trace/trace.hh"
+#include "workload/builder.hh"
+#include "workload/executor.hh"
+#include "workload/profile.hh"
+#include "workload/program.hh"
+#include "workload/suites.hh"
+
+#endif // MECH_MECH_HH

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * CPI stacks: execution cycles broken down by the mechanism that
+ * spent them.
+ *
+ * The paper's headline insight tool (Figs. 4, 7, 8) is the CPI stack:
+ * base cycles N/W plus one component per penalty source.  Components
+ * here are finer-grained than any single figure; aggregation helpers
+ * regroup them per figure.
+ */
+
+#ifndef MECH_MODEL_CPI_STACK_HH
+#define MECH_MODEL_CPI_STACK_HH
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "common/types.hh"
+
+namespace mech {
+
+/** Cycle-stack components. */
+enum class CpiComponent : std::uint8_t {
+    Base,          ///< N/W minimum cycles
+    LongLat,       ///< non-unit arithmetic (mul/div/fp) execute stalls
+    L1DAccess,     ///< multi-cycle L1D hits (when dl1HitCycles > 1)
+    L2Access,      ///< loads missing L1D, hitting L2
+    L2Miss,        ///< loads going to memory (beyond the L2 lookup)
+    IFetchL2,      ///< instruction fetches missing L1I, hitting L2
+    IFetchMem,     ///< instruction fetches going to memory
+    ITlbMiss,      ///< instruction-TLB misses
+    DTlbMiss,      ///< data-TLB misses
+    BpredMiss,     ///< branch misprediction flushes
+    BpredTakenHit, ///< taken-branch fetch bubbles (correct predictions)
+    DepsUnit,      ///< stalls on unit-latency producers
+    DepsLL,        ///< stalls on long-latency producers (non-load)
+    DepsLoad,      ///< stalls on load producers
+    NumComponents, ///< sentinel
+};
+
+/** Number of stack components. */
+inline constexpr std::size_t kNumCpiComponents =
+    static_cast<std::size_t>(CpiComponent::NumComponents);
+
+/** Display name of a component. */
+constexpr std::string_view
+cpiComponentName(CpiComponent c)
+{
+    switch (c) {
+      case CpiComponent::Base: return "base";
+      case CpiComponent::LongLat: return "mul/div";
+      case CpiComponent::L1DAccess: return "l1d access";
+      case CpiComponent::L2Access: return "l2 access";
+      case CpiComponent::L2Miss: return "l2 miss";
+      case CpiComponent::IFetchL2: return "il1 miss";
+      case CpiComponent::IFetchMem: return "il2 miss";
+      case CpiComponent::ITlbMiss: return "itlb miss";
+      case CpiComponent::DTlbMiss: return "dtlb miss";
+      case CpiComponent::BpredMiss: return "bpred miss";
+      case CpiComponent::BpredTakenHit: return "bpred hit (taken)";
+      case CpiComponent::DepsUnit: return "deps (unit)";
+      case CpiComponent::DepsLL: return "deps (longlat)";
+      case CpiComponent::DepsLoad: return "deps (load)";
+      case CpiComponent::NumComponents: break;
+    }
+    return "?";
+}
+
+/** Cycle counts per component (stored as fractional cycles). */
+class CpiStack
+{
+  public:
+    CpiStack() { cycles.fill(0.0); }
+
+    /** Mutable cycles of component @p c. */
+    double &
+    operator[](CpiComponent c)
+    {
+        return cycles[static_cast<std::size_t>(c)];
+    }
+
+    /** Cycles of component @p c. */
+    double
+    operator[](CpiComponent c) const
+    {
+        return cycles[static_cast<std::size_t>(c)];
+    }
+
+    /** Sum of all components (total predicted cycles). */
+    double
+    total() const
+    {
+        double sum = 0.0;
+        for (double v : cycles)
+            sum += v;
+        return sum;
+    }
+
+    /** Aggregate dependency components. */
+    double
+    dependencies() const
+    {
+        return (*this)[CpiComponent::DepsUnit] +
+               (*this)[CpiComponent::DepsLL] +
+               (*this)[CpiComponent::DepsLoad];
+    }
+
+    /** Aggregate TLB components. */
+    double
+    tlb() const
+    {
+        return (*this)[CpiComponent::ITlbMiss] +
+               (*this)[CpiComponent::DTlbMiss];
+    }
+
+    /** Aggregate instruction-side miss components. */
+    double
+    ifetch() const
+    {
+        return (*this)[CpiComponent::IFetchL2] +
+               (*this)[CpiComponent::IFetchMem];
+    }
+
+    /** Divide every component by @p n (cycles -> CPI contributions). */
+    CpiStack
+    perInstruction(InstCount n) const
+    {
+        CpiStack out = *this;
+        if (n == 0)
+            return out;
+        for (auto &v : out.cycles)
+            v /= static_cast<double>(n);
+        return out;
+    }
+
+    /** Scale every component by @p f. */
+    CpiStack
+    scaled(double f) const
+    {
+        CpiStack out = *this;
+        for (auto &v : out.cycles)
+            v *= f;
+        return out;
+    }
+
+  private:
+    std::array<double, kNumCpiComponents> cycles;
+};
+
+} // namespace mech
+
+#endif // MECH_MODEL_CPI_STACK_HH

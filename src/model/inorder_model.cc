@@ -1,0 +1,187 @@
+#include "model/inorder_model.hh"
+
+namespace mech {
+
+double
+groupOverlap(std::uint32_t width)
+{
+    MECH_ASSERT(width >= 1, "width must be positive");
+    double w = width;
+    return (w - 1.0) / (2.0 * w);
+}
+
+double
+cacheMissPenalty(Cycles miss_latency, std::uint32_t width)
+{
+    // Eq. 3: penalty = MissLatency - (W-1)/2W.  The subtracted term is
+    // the expected number of instructions of the current W-group that
+    // slipped past the miss and execute underneath it.
+    return static_cast<double>(miss_latency) - groupOverlap(width);
+}
+
+double
+branchMissPenalty(std::uint32_t frontend_depth, std::uint32_t width)
+{
+    // Eq. 4: D cycles to refill the front-end pipeline, plus the
+    // flushed fraction of the execute-stage group.
+    return static_cast<double>(frontend_depth) + groupOverlap(width);
+}
+
+double
+longLatencyPenalty(Cycles latency, std::uint32_t width)
+{
+    // Eq. 6: one cycle of the execution latency is already paid in
+    // the N/W base term; older same-group instructions overlap the
+    // rest by (W-1)/2W on average.
+    return (static_cast<double>(latency) - 1.0) - groupOverlap(width);
+}
+
+double
+unitDepPenalty(std::uint64_t d, std::uint32_t width)
+{
+    // Eqs. 9-11: the producer/consumer pair sits in the same stage
+    // with probability (W-d)/W, and then W-d younger slots stall:
+    // penalty = ((W-d)/W)^2.
+    double w = width;
+    if (d >= width)
+        return 0.0;
+    double frac = (w - static_cast<double>(d)) / w;
+    return frac * frac;
+}
+
+double
+llDepPenalty(std::uint64_t d, std::uint32_t width)
+{
+    // Eq. 12: a long-latency producer is always the oldest in the
+    // execute stage by the end of its execution, so a consumer at
+    // distance d < W waits in decode with W-d lost slots.
+    double w = width;
+    if (d >= width)
+        return 0.0;
+    return (w - static_cast<double>(d)) / w;
+}
+
+double
+loadDepPenalty(std::uint64_t d, std::uint32_t width)
+{
+    // Eqs. 13-16: loads produce in the memory stage, one stage later,
+    // so consumers stall both when sharing the decode stage with the
+    // load (case i) and when trailing it by one stage (case ii);
+    // distances up to 2W-1 are exposed.
+    double w = width;
+    double dd = static_cast<double>(d);
+    if (d < width) {
+        // Case i (same stage, prob (W-d)/W) costs (2W-d)/W; case ii
+        // (consecutive stages, prob d/W) costs a full cycle.
+        return ((w - dd) / w) * ((2.0 * w - dd) / w) + dd / w;
+    }
+    if (d < 2 * static_cast<std::uint64_t>(width)) {
+        // Only case ii remains: probability and cost both (2W-d)/W.
+        double frac = (2.0 * w - dd) / w;
+        return frac * frac;
+    }
+    return 0.0;
+}
+
+ModelResult
+evaluateInOrder(const ProgramStats &program, const MemoryStats &memory,
+                const BranchProfile &branch, const MachineParams &machine)
+{
+    machine.validate();
+
+    const std::uint32_t w = machine.width;
+    const double n = static_cast<double>(program.n);
+
+    ModelResult res;
+    res.instructions = program.n;
+    CpiStack &stack = res.stack;
+
+    // ---- base: N/W (eq. 1) -----------------------------------------------
+    stack[CpiComponent::Base] = n / static_cast<double>(w);
+
+    // ---- long-latency arithmetic (eqs. 5-6) -------------------------------
+    for (OpClass oc : kAllOpClasses) {
+        if (!isLongLatencyClass(oc))
+            continue;
+        Cycles lat = machine.execLatency(oc);
+        if (lat <= 1)
+            continue;
+        double count = static_cast<double>(program.mix.of(oc));
+        stack[CpiComponent::LongLat] += count * longLatencyPenalty(lat, w);
+    }
+
+    // ---- load service latencies -------------------------------------------
+    // L1D hits pay (dl1-1)-ovl each when the L1D hit takes multiple
+    // cycles; misses are accounted at their service level instead.
+    std::uint64_t loads = program.mix.of(OpClass::Load);
+    std::uint64_t l1_hit_loads =
+        loads - memory.loadL2Hits - memory.loadMemory;
+    if (machine.dl1HitCycles > 1) {
+        stack[CpiComponent::L1DAccess] +=
+            static_cast<double>(l1_hit_loads) *
+            longLatencyPenalty(machine.dl1HitCycles, w);
+    }
+
+    // Loads served by the L2 behave as long-latency instructions with
+    // the L2 hit latency (paper §3.4: "L2 cache hits due to loads").
+    stack[CpiComponent::L2Access] +=
+        static_cast<double>(memory.loadL2Hits + memory.loadMemory) *
+        longLatencyPenalty(machine.l2HitCycles, w);
+
+    // Loads that miss the L2 additionally block the memory stage for
+    // the full memory latency (eq. 2-3 miss event).
+    stack[CpiComponent::L2Miss] +=
+        static_cast<double>(memory.loadMemory) *
+        static_cast<double>(machine.memCycles);
+
+    // ---- instruction-fetch misses (eqs. 2-3) ------------------------------
+    stack[CpiComponent::IFetchL2] +=
+        static_cast<double>(memory.iFetchL2Hits) *
+        cacheMissPenalty(machine.l2HitCycles, w);
+    stack[CpiComponent::IFetchMem] +=
+        static_cast<double>(memory.iFetchMemory) *
+        cacheMissPenalty(machine.l2HitCycles + machine.memCycles, w);
+
+    // ---- TLB misses (eqs. 2-3) ---------------------------------------------
+    stack[CpiComponent::ITlbMiss] +=
+        static_cast<double>(memory.itlbMisses) *
+        cacheMissPenalty(machine.tlbMissCycles, w);
+    stack[CpiComponent::DTlbMiss] +=
+        static_cast<double>(memory.dtlbMisses) *
+        cacheMissPenalty(machine.tlbMissCycles, w);
+
+    // ---- branches (eq. 4 + taken-branch hit penalty) -----------------------
+    stack[CpiComponent::BpredMiss] +=
+        static_cast<double>(branch.mispredicts) *
+        branchMissPenalty(machine.frontendDepth, w);
+    stack[CpiComponent::BpredTakenHit] +=
+        static_cast<double>(branch.predictedTakenCorrect);
+
+    // ---- inter-instruction dependencies (eqs. 7-16) ------------------------
+    for (OpClass oc : kAllOpClasses) {
+        const Histogram &h = program.deps.of(oc);
+        if (h.total() == 0)
+            continue;
+        if (oc == OpClass::Load) {
+            for (std::uint64_t d = 1; d < 2ull * w; ++d) {
+                stack[CpiComponent::DepsLoad] +=
+                    static_cast<double>(h.at(d)) * loadDepPenalty(d, w);
+            }
+        } else if (machine.execLatency(oc) > 1) {
+            for (std::uint64_t d = 1; d < w; ++d) {
+                stack[CpiComponent::DepsLL] +=
+                    static_cast<double>(h.at(d)) * llDepPenalty(d, w);
+            }
+        } else {
+            for (std::uint64_t d = 1; d < w; ++d) {
+                stack[CpiComponent::DepsUnit] +=
+                    static_cast<double>(h.at(d)) * unitDepPenalty(d, w);
+            }
+        }
+    }
+
+    res.cycles = stack.total();
+    return res;
+}
+
+} // namespace mech

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The mechanistic performance model for superscalar in-order
+ * processors — the paper's core contribution (§3).
+ *
+ * Execution time is estimated as
+ *
+ *     T = N/W + P_misses + P_LL + P_deps                       (eq. 1)
+ *
+ * with penalties for miss events (cache/TLB misses, branch
+ * mispredictions, taken-branch bubbles), non-unit long-latency
+ * instructions, and inter-instruction dependencies on unit-latency,
+ * long-latency and load producers (eqs. 2-16).  Inputs are the
+ * profiler's program and program-machine statistics plus the machine
+ * parameters; evaluation is a handful of closed-form sums —
+ * microseconds per design point, which is what buys the paper's
+ * three-orders-of-magnitude speedup over detailed simulation.
+ */
+
+#ifndef MECH_MODEL_INORDER_MODEL_HH
+#define MECH_MODEL_INORDER_MODEL_HH
+
+#include "branch/profiler.hh"
+#include "isa/machine_params.hh"
+#include "model/cpi_stack.hh"
+#include "profiler/profile_data.hh"
+
+namespace mech {
+
+/** Model output: total predicted cycles, broken into a CPI stack. */
+struct ModelResult
+{
+    /** Predicted execution cycles (equals stack.total()). */
+    double cycles = 0.0;
+
+    /** Cycle breakdown by mechanism. */
+    CpiStack stack;
+
+    /** Dynamic instruction count the prediction covers. */
+    InstCount instructions = 0;
+
+    /** Predicted cycles per instruction. */
+    double
+    cpi() const
+    {
+        return instructions ? cycles / static_cast<double>(instructions)
+                            : 0.0;
+    }
+
+    /** Predicted execution time in seconds at @p freq_ghz. */
+    double
+    seconds(double freq_ghz) const
+    {
+        return cycles / (freq_ghz * 1e9);
+    }
+};
+
+/**
+ * Evaluate the superscalar in-order model.
+ *
+ * @param program Machine-independent program statistics.
+ * @param memory Cache/TLB miss statistics for the target hierarchy.
+ * @param branch Profile of the target branch predictor.
+ * @param machine Core machine parameters.
+ */
+ModelResult evaluateInOrder(const ProgramStats &program,
+                            const MemoryStats &memory,
+                            const BranchProfile &branch,
+                            const MachineParams &machine);
+
+/**
+ * The fraction-of-a-cycle overlap term (W-1)/2W: instructions of a
+ * partially filled W-group that proceed underneath a miss event
+ * (paper eq. 3); exposed for tests.
+ */
+double groupOverlap(std::uint32_t width);
+
+/** Penalty of one cache/TLB miss event (paper eq. 3). */
+double cacheMissPenalty(Cycles miss_latency, std::uint32_t width);
+
+/** Penalty of one branch misprediction (paper eq. 4). */
+double branchMissPenalty(std::uint32_t frontend_depth,
+                         std::uint32_t width);
+
+/** Penalty of one long-latency instruction (paper eq. 6). */
+double longLatencyPenalty(Cycles latency, std::uint32_t width);
+
+/** Penalty of one unit-latency dependency at distance d (eq. 9-11). */
+double unitDepPenalty(std::uint64_t d, std::uint32_t width);
+
+/** Penalty of one long-latency dependency at distance d (eq. 12). */
+double llDepPenalty(std::uint64_t d, std::uint32_t width);
+
+/** Penalty of one load dependency at distance d (eqs. 13-16). */
+double loadDepPenalty(std::uint64_t d, std::uint32_t width);
+
+} // namespace mech
+
+#endif // MECH_MODEL_INORDER_MODEL_HH

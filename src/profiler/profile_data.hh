@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Profiling results: the model inputs of the paper's Table 1.
+ *
+ * Split into the machine-independent program statistics (collected
+ * once per binary) and the mixed program-machine statistics (cache /
+ * TLB miss counts, branch predictor behaviour) that depend on the
+ * memory-hierarchy and predictor configuration profiled.
+ */
+
+#ifndef MECH_PROFILER_PROFILE_DATA_HH
+#define MECH_PROFILER_PROFILE_DATA_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "branch/profiler.hh"
+#include "common/histogram.hh"
+#include "common/types.hh"
+#include "trace/trace.hh"
+
+namespace mech {
+
+/** Classification of a dependency's producer (paper §3.5). */
+enum class ProducerKind : std::uint8_t {
+    Unit, ///< unit-latency producer (IntAlu)
+    LL,   ///< non-unit long-latency producer, loads excluded
+    Load, ///< load producer (produces in the memory stage)
+};
+
+/**
+ * Inter-instruction dependency-distance profile.
+ *
+ * Per consumer instruction, the *shortest* register dependency
+ * distance is counted once, classified by the producing instruction's
+ * op class; ties at equal distance prefer the costlier hazard
+ * (loads > divide > multiply > fp > alu).
+ *
+ * Keeping the histogram per *producer op class* (rather than
+ * pre-binning into unit/LL/load) keeps the profile machine
+ * independent: whether a producer class is unit-latency or
+ * long-latency is a property of the machine's latency table, decided
+ * when the model is evaluated (Table 1's deps_unit / deps_LL /
+ * deps_ld are then simple sums).
+ */
+struct DependencyProfile
+{
+    /** Histogram of consumer counts per producer class and distance. */
+    std::array<Histogram, kNumOpClasses> byProducer;
+
+    /** Histogram for producers of class @p oc. */
+    Histogram &
+    of(OpClass oc)
+    {
+        return byProducer[static_cast<std::size_t>(oc)];
+    }
+
+    /** Read-only access. */
+    const Histogram &
+    of(OpClass oc) const
+    {
+        return byProducer[static_cast<std::size_t>(oc)];
+    }
+};
+
+/** Machine-independent program statistics (profile once per binary). */
+struct ProgramStats
+{
+    /** Dynamic instruction count N. */
+    InstCount n = 0;
+
+    /** Dynamic instruction mix (N_i per op class). */
+    InstMix mix;
+
+    /** Dependency-distance profiles. */
+    DependencyProfile deps;
+
+    /** Dynamic conditional branches. */
+    std::uint64_t branches = 0;
+
+    /** Dynamically taken branches. */
+    std::uint64_t takenBranches = 0;
+};
+
+/** Reason an access reached the unified L2 (for stream replay). */
+enum class L2RefKind : std::uint8_t {
+    Ifetch, ///< L1I miss
+    Load,   ///< L1D load miss
+    Store,  ///< L1D store miss (write-allocate traffic)
+};
+
+/** One reference of the captured L2 input stream. */
+struct L2Ref
+{
+    Addr addr = 0;
+    std::uint64_t instrIdx = 0; ///< dynamic index of the instruction
+    L2RefKind kind = L2RefKind::Load;
+};
+
+/** Cache/TLB miss counts for one hierarchy configuration. */
+struct MemoryStats
+{
+    /** I-fetch L1I misses that hit in L2. */
+    std::uint64_t iFetchL2Hits = 0;
+
+    /** I-fetch misses that go to memory. */
+    std::uint64_t iFetchMemory = 0;
+
+    /** Loads missing L1D but hitting L2 ("l2 access" events). */
+    std::uint64_t loadL2Hits = 0;
+
+    /** Loads missing L2 ("l2 miss" events). */
+    std::uint64_t loadMemory = 0;
+
+    /** Store L1D misses (informational; stores never block). */
+    std::uint64_t storeL1Misses = 0;
+
+    /** Instruction-TLB misses. */
+    std::uint64_t itlbMisses = 0;
+
+    /** Data-TLB misses on loads. */
+    std::uint64_t dtlbMisses = 0;
+
+    /**
+     * Dynamic instruction indices of loads that missed L2 — the OoO
+     * interval model derives memory-level parallelism (overlapping
+     * long misses within a reorder-buffer window) from these.
+     */
+    std::vector<std::uint64_t> loadMemoryIdx;
+
+    /** Dynamic indices of loads served by the L2 (same purpose). */
+    std::vector<std::uint64_t> loadL2HitIdx;
+};
+
+/** Complete profiling result for one (trace, configuration) pair. */
+struct WorkloadProfile
+{
+    /** Machine-independent program statistics. */
+    ProgramStats program;
+
+    /** Miss statistics for the profiled hierarchy. */
+    MemoryStats memory;
+
+    /** One profile per requested predictor kind. */
+    std::vector<BranchProfile> branchProfiles;
+
+    /**
+     * Captured L2 input stream (only when requested): lets the design
+     * space sweep re-derive MemoryStats for any L2 geometry without
+     * re-touching the trace.
+     */
+    std::vector<L2Ref> l2Stream;
+
+    /** Branch profile for a specific predictor kind. */
+    const BranchProfile &
+    branchProfileFor(PredictorKind kind) const
+    {
+        for (const auto &bp : branchProfiles) {
+            if (bp.kind == kind)
+                return bp;
+        }
+        panic("predictor kind not profiled: ", predictorName(kind));
+    }
+};
+
+} // namespace mech
+
+#endif // MECH_PROFILER_PROFILE_DATA_HH

@@ -1,0 +1,395 @@
+#include "sim/inorder_sim.hh"
+
+#include <array>
+#include <deque>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace mech {
+
+namespace {
+
+/** Sentinel "not known yet" cycle. */
+constexpr Cycles kUnknown = std::numeric_limits<Cycles>::max();
+
+/** An instruction in the execute or memory stage. */
+struct StageEntry
+{
+    std::uint64_t idx = 0; ///< dynamic trace index
+    Cycles doneAt = 0;     ///< first cycle it may leave the stage
+    bool serialized = false; ///< blocks its stage while in service
+};
+
+/**
+ * The pipeline state machine.
+ *
+ * One instance simulates one trace; per-cycle processing moves
+ * instructions downstream-first so a handoff takes effect on the next
+ * stage in the same clock (simultaneous shift semantics), while each
+ * instruction advances at most one stage per cycle.
+ */
+class Pipeline
+{
+  public:
+    Pipeline(const Trace &trace, const SimConfig &config)
+        : trace(trace), cfg(config), machine(config.machine),
+          hier(config.hierarchy),
+          predictor(makePredictor(config.predictor)),
+          feStages(config.machine.frontendDepth)
+    {
+        machine.validate();
+        regReadyAt.fill(0);
+    }
+
+    SimResult run();
+
+  private:
+    /** Process one full cycle @p t. */
+    void step(Cycles t);
+
+    void retireFromMem(Cycles t);
+    void execToMem(Cycles t);
+    void issue(Cycles t);
+    void shiftFrontEnd();
+    void fetch(Cycles t);
+
+    /** True when every source of @p di is forwardable at cycle @p t. */
+    bool
+    operandsReady(const DynInstr &di, Cycles t) const
+    {
+        for (RegIndex src : {di.src1, di.src2}) {
+            if (src != kNoReg && regReadyAt[src] > t)
+                return false;
+        }
+        return true;
+    }
+
+    /** Memory-stage service demand of one instruction. */
+    struct MemService
+    {
+        Cycles occupancy = 1;
+
+        /**
+         * True when the access holds the (single) miss port: L2/memory
+         * service and page walks serialize; L1 hits are pipelined at
+         * full width.
+         */
+        bool serialized = false;
+    };
+
+    /** Probe the data side and compute @p di's memory-stage demand. */
+    MemService
+    memService(const DynInstr &di)
+    {
+        MemService svc;
+        if (di.op == OpClass::Load) {
+            if (cfg.perfectDCache) {
+                svc.occupancy = machine.dl1HitCycles;
+                svc.serialized = svc.occupancy > 1;
+                return svc;
+            }
+            HierAccess acc = hier.data(di.effAddr, false);
+            if (cfg.perfectTlbs)
+                acc.tlbMiss = false;
+            svc.occupancy = machine.dl1HitCycles;
+            if (acc.level == MemLevel::L2) {
+                svc.occupancy = machine.l2HitCycles;
+                svc.serialized = true;
+            } else if (acc.level == MemLevel::Memory) {
+                svc.occupancy = machine.l2HitCycles + machine.memCycles;
+                svc.serialized = true;
+            }
+            if (acc.tlbMiss) {
+                svc.occupancy += machine.tlbMissCycles;
+                svc.serialized = true;
+            }
+        } else if (di.op == OpClass::Store) {
+            // Probe to keep cache/TLB state identical to the profiler;
+            // the ideal store buffer hides all store latency.
+            if (!cfg.perfectDCache)
+                (void)hier.data(di.effAddr, true);
+        }
+        return svc;
+    }
+
+    const Trace &trace;
+    SimConfig cfg;
+    MachineParams machine;
+    CacheHierarchy hier;
+    std::unique_ptr<BranchPredictor> predictor;
+
+    /** regReadyAt[r]: first cycle a consumer entering EX may read r. */
+    std::array<Cycles, kNumArchRegs> regReadyAt{};
+
+    /** Front-end stages; [0] = fetch output, [D-1] = decode buffer. */
+    std::vector<std::deque<std::uint64_t>> feStages;
+
+    /** Execute-stage contents (<= W). */
+    std::deque<StageEntry> ex;
+
+    /** Memory-stage contents (<= W). */
+    std::deque<StageEntry> mem;
+
+    std::uint64_t nextFetchIdx = 0;
+    std::uint64_t retired = 0;
+
+    /** Last trace index probed against the instruction side. */
+    std::uint64_t probedFetchIdx = kUnknown;
+
+    /** Fetch stalled until this cycle (miss / taken bubble). */
+    Cycles fetchReadyAt = 0;
+
+    /** Trace index of an unresolved mispredicted branch, if any. */
+    std::uint64_t pendingRedirectIdx = kUnknown;
+
+    /** Diagnostics. */
+    SimResult stats;
+
+    /** Cause of the current fetch stall (diagnostics only). */
+    enum class FetchStall : std::uint8_t { None, Miss, TakenBubble };
+    FetchStall fetchStallCause = FetchStall::None;
+};
+
+void
+Pipeline::retireFromMem(Cycles t)
+{
+    std::uint32_t moved = 0;
+    while (!mem.empty() && moved < machine.width) {
+        if (mem.front().doneAt > t)
+            break; // in-order: younger entries cannot pass
+        mem.pop_front();
+        ++retired;
+        ++moved;
+    }
+}
+
+void
+Pipeline::execToMem(Cycles t)
+{
+    // A missing load "blocks up the memory stage" (paper SS2.2): while
+    // a serialized access is in service, nothing enters the stage.
+    for (const auto &entry : mem) {
+        if (entry.serialized && entry.doneAt > t)
+            return;
+    }
+
+    std::uint32_t moved = 0;
+    while (!ex.empty() && moved < machine.width &&
+           mem.size() < machine.width) {
+        const StageEntry &head = ex.front();
+        if (head.doneAt > t)
+            break; // oldest not finished: in-order block
+
+        const DynInstr &di = trace[head.idx];
+        MemService svc = memService(di);
+        StageEntry entry;
+        entry.idx = head.idx;
+        entry.serialized = svc.serialized;
+        entry.doneAt = t + svc.occupancy;
+
+        // Loads produce their value when leaving the memory stage.
+        if (di.op == OpClass::Load && di.hasDst())
+            regReadyAt[di.dst] = entry.doneAt;
+
+        mem.push_back(entry);
+        ex.pop_front();
+        ++moved;
+
+        // A serialized access admits nothing behind it this cycle.
+        if (svc.serialized)
+            break;
+    }
+}
+
+void
+Pipeline::issue(Cycles t)
+{
+    auto &decode = feStages[machine.frontendDepth - 1];
+    std::uint32_t moved = 0;
+    bool stalled_on_deps = false;
+
+    // A long-latency instruction in execute "blocks all subsequent
+    // instructions" (paper SS2.2, in-order commit): no issue while one
+    // is still executing.
+    for (const auto &entry : ex) {
+        if (entry.serialized && entry.doneAt > t) {
+            if (!decode.empty())
+                ++stats.backPressureStallCycles;
+            return;
+        }
+    }
+
+    while (!decode.empty() && moved < machine.width &&
+           ex.size() < machine.width) {
+        std::uint64_t idx = decode.front();
+        const DynInstr &di = trace[idx];
+
+        if (!operandsReady(di, t)) {
+            stalled_on_deps = true;
+            break; // stall-on-use: this and all younger wait
+        }
+
+        Cycles lat = machine.execLatency(di.op);
+        ex.push_back({idx, t + lat, lat > 1});
+
+        if (di.hasDst()) {
+            // Unit and long-latency results forward out of execute;
+            // loads resolve later, at memory-stage entry.
+            regReadyAt[di.dst] =
+                di.op == OpClass::Load ? kUnknown : t + lat;
+        }
+
+        if (isBranch(di.op) && idx == pendingRedirectIdx) {
+            // Misprediction resolves at the end of execute: the front
+            // end restarts on the correct path next cycle.
+            fetchReadyAt = t + lat;
+            pendingRedirectIdx = kUnknown;
+            fetchStallCause = FetchStall::None;
+        }
+
+        decode.pop_front();
+        ++moved;
+
+        // A just-issued long-latency instruction immediately blocks
+        // everything younger.
+        if (lat > 1)
+            break;
+    }
+
+    if (moved == 0 && !decode.empty()) {
+        if (stalled_on_deps)
+            ++stats.dependencyStallCycles;
+        else
+            ++stats.backPressureStallCycles;
+    }
+}
+
+void
+Pipeline::shiftFrontEnd()
+{
+    for (std::size_t s = feStages.size() - 1; s >= 1; --s) {
+        auto &to = feStages[s];
+        auto &from = feStages[s - 1];
+        while (!from.empty() && to.size() < machine.width) {
+            to.push_back(from.front());
+            from.pop_front();
+        }
+    }
+}
+
+void
+Pipeline::fetch(Cycles t)
+{
+    if (nextFetchIdx >= trace.size())
+        return;
+
+    if (pendingRedirectIdx != kUnknown) {
+        ++stats.mispredictStallCycles;
+        return;
+    }
+    if (fetchReadyAt > t) {
+        if (fetchStallCause == FetchStall::Miss)
+            ++stats.fetchMissStallCycles;
+        else if (fetchStallCause == FetchStall::TakenBubble)
+            ++stats.takenBubbleCycles;
+        return;
+    }
+    fetchStallCause = FetchStall::None;
+
+    auto &stage0 = feStages[0];
+    std::uint32_t fetched = 0;
+    while (fetched < machine.width && stage0.size() < machine.width &&
+           nextFetchIdx < trace.size()) {
+        const DynInstr &di = trace[nextFetchIdx];
+
+        // Probe the instruction side exactly once per instruction (the
+        // profiler sees the very same access stream).  On a miss the
+        // instruction is NOT consumed: it waits for its line, while
+        // anything fetched earlier this cycle proceeds down the pipe.
+        if (nextFetchIdx != probedFetchIdx && !cfg.perfectICache) {
+            HierAccess acc = hier.fetch(di.pc);
+            probedFetchIdx = nextFetchIdx;
+
+            Cycles stall = 0;
+            if (acc.level == MemLevel::L2)
+                stall += machine.l2HitCycles;
+            else if (acc.level == MemLevel::Memory)
+                stall += machine.l2HitCycles + machine.memCycles;
+            if (acc.tlbMiss && !cfg.perfectTlbs)
+                stall += machine.tlbMissCycles;
+
+            if (stall > 0) {
+                fetchReadyAt = t + stall;
+                fetchStallCause = FetchStall::Miss;
+                break;
+            }
+        }
+
+        stage0.push_back(nextFetchIdx);
+        ++nextFetchIdx;
+        ++fetched;
+
+        if (isBranch(di.op)) {
+            bool predicted = predictor->predict(di.pc);
+            predictor->update(di.pc, di.taken);
+            if (predicted != di.taken) {
+                ++stats.mispredicts;
+                // Wrong path: nothing useful can be fetched until the
+                // branch resolves in execute.
+                pendingRedirectIdx = nextFetchIdx - 1;
+                break;
+            }
+            if (predicted) {
+                ++stats.predictedTakenCorrect;
+                // Redirect is known one cycle after fetch: one bubble.
+                fetchReadyAt = t + 2;
+                fetchStallCause = FetchStall::TakenBubble;
+                break;
+            }
+        }
+    }
+}
+
+void
+Pipeline::step(Cycles t)
+{
+    retireFromMem(t);
+    execToMem(t);
+    issue(t);
+    shiftFrontEnd();
+    fetch(t);
+}
+
+SimResult
+Pipeline::run()
+{
+    Cycles t = 0;
+    const Cycles guard =
+        trace.size() * (machine.l2HitCycles + machine.memCycles +
+                        machine.tlbMissCycles + 64) +
+        1000000;
+    while (retired < trace.size()) {
+        step(t);
+        ++t;
+        if (t > guard)
+            panic("pipeline deadlock: retired ", retired, " of ",
+                  trace.size(), " instructions after ", t, " cycles");
+    }
+    stats.cycles = t;
+    stats.retired = retired;
+    return stats;
+}
+
+} // namespace
+
+SimResult
+simulateInOrder(const Trace &trace, const SimConfig &config)
+{
+    if (trace.empty())
+        return SimResult{};
+    Pipeline pipe(trace, config);
+    return pipe.run();
+}
+
+} // namespace mech

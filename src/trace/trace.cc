@@ -1,0 +1,67 @@
+#include "trace/trace.hh"
+
+#include <sstream>
+
+namespace mech {
+
+InstMix
+Trace::mix() const
+{
+    InstMix m;
+    for (const auto &di : instrs)
+        ++m.counts[static_cast<std::size_t>(di.op)];
+    m.total = instrs.size();
+    return m;
+}
+
+bool
+validateTrace(const Trace &trace, std::string *error)
+{
+    auto fail = [&](std::size_t i, const std::string &what) {
+        if (error) {
+            std::ostringstream oss;
+            oss << "instruction " << i << ": " << what;
+            *error = oss.str();
+        }
+        return false;
+    };
+
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const DynInstr &di = trace[i];
+
+        auto reg_ok = [](RegIndex r) {
+            return r == kNoReg || r < kNumArchRegs;
+        };
+        if (!reg_ok(di.dst) || !reg_ok(di.src1) || !reg_ok(di.src2))
+            return fail(i, "register index out of range");
+
+        if (isMem(di.op) && di.effAddr == 0)
+            return fail(i, "memory op without effective address");
+        if (!isMem(di.op) && di.effAddr != 0)
+            return fail(i, "non-memory op with effective address");
+
+        if (isBranch(di.op)) {
+            if (di.taken && di.targetPc == 0)
+                return fail(i, "taken branch without target");
+        } else {
+            if (di.taken)
+                return fail(i, "non-branch marked taken");
+            if (di.targetPc != 0)
+                return fail(i, "non-branch with target");
+        }
+
+        switch (di.op) {
+          case OpClass::Store:
+          case OpClass::Branch:
+          case OpClass::Nop:
+            if (di.hasDst())
+                return fail(i, "non-producing class writes a register");
+            break;
+          default:
+            break;
+        }
+    }
+    return true;
+}
+
+} // namespace mech

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Dynamic instruction trace: the exchange format between the workload
+ * generator, the profiler, and the cycle-accurate simulator.
+ *
+ * Both the analytical model's inputs (via the profiler) and the
+ * reference cycle counts (via the simulator) are derived from the same
+ * Trace, so model-vs-simulation error reflects modeling fidelity, not
+ * workload skew.
+ */
+
+#ifndef MECH_TRACE_TRACE_HH
+#define MECH_TRACE_TRACE_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/op_class.hh"
+
+namespace mech {
+
+/** One dynamically executed instruction. */
+struct DynInstr
+{
+    /** Instruction address. */
+    Addr pc = 0;
+
+    /** Effective address (memory instructions only). */
+    Addr effAddr = 0;
+
+    /** Branch target (branches only; fall-through if not taken). */
+    Addr targetPc = 0;
+
+    /** Destination register or kNoReg. */
+    RegIndex dst = kNoReg;
+
+    /** Source registers or kNoReg. */
+    RegIndex src1 = kNoReg;
+
+    /** Second source register or kNoReg. */
+    RegIndex src2 = kNoReg;
+
+    /** Operation class. */
+    OpClass op = OpClass::IntAlu;
+
+    /** Branch outcome (branches only). */
+    bool taken = false;
+
+    /** True if this instruction writes a register. */
+    bool hasDst() const { return dst != kNoReg; }
+};
+
+/** Per-op-class dynamic instruction counts. */
+struct InstMix
+{
+    /** Count per OpClass, indexed by static_cast<size_t>(OpClass). */
+    std::array<InstCount, kNumOpClasses> counts{};
+
+    /** Total dynamic instructions. */
+    InstCount total = 0;
+
+    /** Count for one class. */
+    InstCount
+    of(OpClass oc) const
+    {
+        return counts[static_cast<std::size_t>(oc)];
+    }
+
+    /** Fraction of the dynamic stream in class @p oc (0 if empty). */
+    double
+    fraction(OpClass oc) const
+    {
+        return total ? static_cast<double>(of(oc)) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+};
+
+/**
+ * In-memory dynamic instruction trace.
+ *
+ * A thin, cache-friendly wrapper over a vector of DynInstr with
+ * convenience statistics.  Traces are deterministic functions of
+ * (benchmark profile, seed, length).
+ */
+class Trace
+{
+  public:
+    Trace() = default;
+
+    /** Reserve space for @p n instructions. */
+    void reserve(std::size_t n) { instrs.reserve(n); }
+
+    /** Append an instruction. */
+    void push(const DynInstr &di) { instrs.push_back(di); }
+
+    /** Number of dynamic instructions. */
+    InstCount size() const { return instrs.size(); }
+
+    /** True when the trace holds no instructions. */
+    bool empty() const { return instrs.empty(); }
+
+    /** Instruction at position @p i. */
+    const DynInstr &operator[](std::size_t i) const { return instrs[i]; }
+
+    /** Iteration support. */
+    auto begin() const { return instrs.begin(); }
+    auto end() const { return instrs.end(); }
+
+    /** Compute the dynamic instruction mix. */
+    InstMix mix() const;
+
+    /** Release storage. */
+    void
+    clear()
+    {
+        instrs.clear();
+        instrs.shrink_to_fit();
+    }
+
+  private:
+    std::vector<DynInstr> instrs;
+};
+
+/**
+ * Structural validity check for a trace.
+ *
+ * Verifies the invariants the rest of the stack assumes: register
+ * indices in range, memory ops carry effective addresses, branches
+ * carry targets, non-branches are never taken, destinations only on
+ * value-producing classes.
+ *
+ * @param trace Trace to check.
+ * @param error Filled with a description of the first violation.
+ * @return True when the trace is well-formed.
+ */
+bool validateTrace(const Trace &trace, std::string *error = nullptr);
+
+} // namespace mech
+
+#endif // MECH_TRACE_TRACE_HH

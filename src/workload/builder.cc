@@ -1,0 +1,363 @@
+#include "workload/builder.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "isa/op_class.hh"
+
+namespace mech {
+
+namespace {
+
+/** Registers r8..r27 rotate as destinations. */
+constexpr RegIndex kFirstRotReg = 8;
+constexpr RegIndex kNumRotRegs = 20;
+
+/** Registers r28..r31 serve as loop counters. */
+constexpr RegIndex kFirstCounterReg = 28;
+constexpr RegIndex kNumCounterRegs = 4;
+
+/**
+ * Chain-structured dependency shaping while emitting one loop body.
+ *
+ * Real dataflow is a set of interleaved dependency chains: each
+ * instruction typically consumes the value produced by the previous
+ * element of *its* chain and extends it.  The shaper maintains C
+ * chain tails; producers extend the chain they consumed from, so the
+ * effective def-use distance distribution concentrates around C —
+ * the profile's ILP knob.  This chain structure also matches the
+ * stall pattern the paper's dependency penalty formulas assume (after
+ * a stall the producer heads its stage, eq. 10).
+ */
+class DepShaper
+{
+  public:
+    DepShaper(const BenchmarkProfile &profile, Rng &rng)
+        : prof(profile), rand(rng)
+    {
+        reset();
+    }
+
+    /** Re-roll the chain count at a loop boundary. */
+    void
+    reset()
+    {
+        double jitter = 0.7 + 0.6 * rand.uniform();
+        auto chains = static_cast<std::size_t>(
+            std::max(1.0, prof.ilpChains * jitter + 0.5));
+        tails.assign(chains, kNoReg);
+        cooldown.assign(chains, 0);
+        nextChain = 0;
+        loadChain = kNoChain;
+    }
+
+    /** A random live-in register (never a stall source). */
+    RegIndex
+    liveIn()
+    {
+        return static_cast<RegIndex>(rand.below(kNumLiveInRegs));
+    }
+
+    /**
+     * Pick the primary source of the next instruction and remember
+     * which chain it came from (the producer will extend it).
+     */
+    RegIndex
+    pickSource()
+    {
+        tickCooldowns();
+        pickedChain = kNoChain;
+        if (rand.chance(prof.indepFraction))
+            return liveIn();
+
+        // Load-use pressure: follow the most recent load's chain
+        // immediately (pointer chasing / un-hoisted loads).
+        if (loadChain != kNoChain && rand.chance(prof.loadDepBias)) {
+            pickedChain = loadChain;
+            cooldown[pickedChain] = 0;
+            loadChain = kNoChain;
+            return tails[pickedChain];
+        }
+
+        std::size_t c = rand.below(tails.size());
+        // Loads are hoisted ahead of their consumers: a chain freshly
+        // extended by a load is skipped while it cools down.
+        if (cooldown[c] > 0)
+            c = rand.below(tails.size());
+        if (tails[c] == kNoReg || cooldown[c] > 0)
+            return liveIn();
+        pickedChain = c;
+        return tails[c];
+    }
+
+    /** A secondary source: another chain's tail or a live-in. */
+    RegIndex
+    pickSecondSource()
+    {
+        std::size_t c = rand.below(tails.size());
+        if (c == pickedChain || tails[c] == kNoReg)
+            return liveIn();
+        return tails[c];
+    }
+
+    /**
+     * Address source for a non-pointer load: a base register (never
+     * stalls).  Clears any chain picked by a previous instruction so
+     * the load's result starts a fresh chain.
+     */
+    RegIndex
+    addressSource()
+    {
+        pickedChain = kNoChain;
+        return liveIn();
+    }
+
+    /**
+     * Address source for a pointer-chasing load: the previous load's
+     * value, extending the load chain into a serial miss chain.
+     */
+    RegIndex
+    pointerChainSource()
+    {
+        if (loadChain != kNoChain && tails[loadChain] != kNoReg) {
+            pickedChain = loadChain;
+            return tails[loadChain];
+        }
+        pickedChain = kNoChain;
+        return liveIn();
+    }
+
+    /** Record a producing instruction: it extends (or starts) a chain. */
+    void
+    produced(const StaticInst &si)
+    {
+        if (si.dst == kNoReg)
+            return;
+        std::size_t c = pickedChain != kNoChain
+                            ? pickedChain
+                            : nextFreshChain();
+        tails[c] = si.dst;
+        if (si.op == OpClass::Load) {
+            loadChain = c;
+            // Compilers hoist loads past the exposed load-to-use
+            // window; 8 instructions clears 2W-1 for W <= 4.
+            cooldown[c] = 8;
+        }
+        pickedChain = kNoChain;
+    }
+
+  private:
+    static constexpr std::size_t kNoChain =
+        std::numeric_limits<std::size_t>::max();
+
+    /** Chain replaced by a fresh value (round-robin keeps balance). */
+    std::size_t
+    nextFreshChain()
+    {
+        std::size_t c = nextChain;
+        nextChain = (nextChain + 1) % tails.size();
+        return c;
+    }
+
+    /** Age the per-chain load-hoisting cooldowns. */
+    void
+    tickCooldowns()
+    {
+        for (auto &cd : cooldown) {
+            if (cd > 0)
+                --cd;
+        }
+    }
+
+    const BenchmarkProfile &prof;
+    Rng &rand;
+    std::vector<RegIndex> tails;
+    std::vector<int> cooldown;
+    std::size_t nextChain = 0;
+    std::size_t pickedChain = kNoChain;
+    std::size_t loadChain = kNoChain;
+};
+
+/** Sample a non-branch op class from the profile's mix weights. */
+OpClass
+sampleOp(const BenchmarkProfile &p, Rng &rng)
+{
+    static constexpr OpClass classes[] = {
+        OpClass::IntAlu, OpClass::IntMult, OpClass::IntDiv,
+        OpClass::FpAlu,  OpClass::FpMult,  OpClass::FpDiv,
+        OpClass::Load,   OpClass::Store,
+    };
+    std::vector<double> w = {p.wIntAlu, p.wIntMult, p.wIntDiv, p.wFpAlu,
+                             p.wFpMult, p.wFpDiv,   p.wLoad,   p.wStore};
+    return classes[rng.weighted(w)];
+}
+
+/** Sample a memory pattern from the profile's weights. */
+MemPattern
+samplePattern(const BenchmarkProfile &p, Rng &rng)
+{
+    static constexpr MemPattern patterns[] = {
+        MemPattern::Sequential, MemPattern::Strided,
+        MemPattern::Random,     MemPattern::Pointer,
+    };
+    std::vector<double> w = {p.wSeq, p.wStrided, p.wRandom, p.wPointer};
+    return patterns[rng.weighted(w)];
+}
+
+/** Create the condition stream for one guard branch. */
+BranchStreamDesc
+makeGuardStream(const BenchmarkProfile &p, Rng &rng)
+{
+    BranchStreamDesc desc;
+    if (rng.chance(p.hardBranchFraction)) {
+        desc.kind = BranchStreamDesc::Kind::Biased;
+        desc.takenBias = 0.4 + 0.2 * rng.uniform(); // near-coin-flip
+    } else if (rng.chance(p.correlatedFraction)) {
+        desc.kind = BranchStreamDesc::Kind::Correlated;
+        desc.histLen = 2 + static_cast<std::uint32_t>(rng.below(5));
+        desc.takenBias = 0.05; // residual noise
+    } else if (rng.chance(0.5)) {
+        desc.kind = BranchStreamDesc::Kind::Periodic;
+        double bias = std::max(p.guardTakenBias, 0.05);
+        desc.period = std::max<std::uint32_t>(
+            1, static_cast<std::uint32_t>(std::lround(1.0 / bias)));
+    } else {
+        desc.kind = BranchStreamDesc::Kind::Biased;
+        desc.takenBias = p.guardTakenBias;
+    }
+    return desc;
+}
+
+} // namespace
+
+Program
+buildProgram(const BenchmarkProfile &profile)
+{
+    MECH_ASSERT(profile.numLoops >= 1, "profile needs at least one loop");
+    MECH_ASSERT(profile.blocksPerLoop >= 1, "loop needs at least one block");
+    MECH_ASSERT(profile.instrsPerBlock >= 1, "block needs instructions");
+    MECH_ASSERT(profile.ilpChains >= 1.0, "need at least one chain");
+
+    Rng rng(profile.seed);
+    Program prog;
+    prog.name = profile.name;
+
+    for (int r = 0; r < profile.numRegions; ++r)
+        prog.regions.push_back({profile.regionKB * 1024, 0});
+
+    // Prologue: define every live-in register once.
+    for (RegIndex r = 0; r < kNumLiveInRegs; ++r) {
+        StaticInst si;
+        si.op = OpClass::IntAlu;
+        si.dst = r;
+        prog.prologue.push_back(si);
+    }
+
+    DepShaper shaper(profile, rng);
+    RegIndex rot = 0;
+    std::uint32_t mem_stream = 0;
+
+    auto next_dst = [&rot]() {
+        RegIndex r = static_cast<RegIndex>(kFirstRotReg + rot);
+        rot = static_cast<RegIndex>((rot + 1) % kNumRotRegs);
+        return r;
+    };
+
+    for (int l = 0; l < profile.numLoops; ++l) {
+        Loop loop;
+        loop.tripCount = std::max<std::uint64_t>(1, profile.tripCount);
+        loop.counterReg = static_cast<RegIndex>(
+            kFirstCounterReg + l % kNumCounterRegs);
+        shaper.reset();
+
+        for (int b = 0; b < profile.blocksPerLoop; ++b) {
+            BasicBlock block;
+
+            if (rng.chance(profile.guardFraction)) {
+                block.guarded = true;
+                prog.streams.push_back(makeGuardStream(profile, rng));
+                block.guard.op = OpClass::Branch;
+                block.guard.branchStream =
+                    static_cast<std::uint16_t>(prog.streams.size() - 1);
+                block.guard.src1 = shaper.pickSource();
+            }
+
+            // Block length varies +-25% around the profile mean.
+            int len = profile.instrsPerBlock;
+            int jitter = std::max(1, len / 4);
+            len += static_cast<int>(rng.range(-jitter, jitter));
+            len = std::max(1, len);
+
+            for (int i = 0; i < len; ++i) {
+                StaticInst si;
+                si.op = sampleOp(profile, rng);
+
+                switch (si.op) {
+                  case OpClass::Load:
+                    si.dst = next_dst();
+                    si.memStreamId = mem_stream++;
+                    si.memPattern = samplePattern(profile, rng);
+                    si.memRegion = static_cast<std::uint16_t>(
+                        rng.below(static_cast<std::uint64_t>(
+                            profile.numRegions)));
+                    si.stride = profile.strideBytes;
+                    // Pointer chains read their own previous value;
+                    // other loads use a (non-stalling) base register.
+                    si.src1 = si.memPattern == MemPattern::Pointer
+                                  ? shaper.pointerChainSource()
+                                  : shaper.addressSource();
+                    shaper.produced(si);
+                    break;
+                  case OpClass::Store:
+                    si.memStreamId = mem_stream++;
+                    si.memPattern = samplePattern(profile, rng);
+                    si.memRegion = static_cast<std::uint16_t>(
+                        rng.below(static_cast<std::uint64_t>(
+                            profile.numRegions)));
+                    si.stride = profile.strideBytes;
+                    si.src1 = shaper.pickSource(); // data value
+                    si.src2 = shaper.liveIn();     // address base
+                    break;
+                  default:
+                    si.dst = next_dst();
+                    si.src1 = shaper.pickSource();
+                    // Two-source ops: always for mul/div/fp, half the
+                    // time for plain ALU work.
+                    if (isLongLatencyClass(si.op) || rng.chance(0.5))
+                        si.src2 = shaper.pickSecondSource();
+                    shaper.produced(si);
+                    break;
+                }
+                if (si.src1 == kNoReg)
+                    si.src1 = shaper.liveIn();
+
+                block.body.push_back(si);
+            }
+            loop.blocks.push_back(std::move(block));
+        }
+
+        // The loop counter forms its own cross-iteration chain whose
+        // distance equals the body length: harmless for any realistic
+        // body size.
+        loop.counterInc.op = OpClass::IntAlu;
+        loop.counterInc.dst = loop.counterReg;
+        loop.counterInc.src1 = loop.counterReg;
+
+        loop.backEdge.op = OpClass::Branch;
+        loop.backEdge.src1 = loop.counterReg;
+        loop.backEdge.branchStream = kBackEdgeStream;
+
+        prog.loops.push_back(std::move(loop));
+    }
+
+    prog.renumberMemStreams();
+    prog.assignPcs();
+    prog.layoutData();
+    return prog;
+}
+
+} // namespace mech

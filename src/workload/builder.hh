@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Builds a synthetic Program from a BenchmarkProfile.
+ */
+
+#ifndef MECH_WORKLOAD_BUILDER_HH
+#define MECH_WORKLOAD_BUILDER_HH
+
+#include "workload/profile.hh"
+#include "workload/program.hh"
+
+namespace mech {
+
+/**
+ * Construct the synthetic program described by @p profile.
+ *
+ * Deterministic: the same profile (including seed) always produces an
+ * identical Program, and hence identical traces.
+ *
+ * The builder emits *unscheduled* code: consumers are placed close to
+ * their producers, the way a compiler's naive code generation (or
+ * -fno-schedule-insns) would.  The compiler passes in src/compiler
+ * then transform the IR the way -O3 scheduling / unrolling would.
+ */
+Program buildProgram(const BenchmarkProfile &profile);
+
+} // namespace mech
+
+#endif // MECH_WORKLOAD_BUILDER_HH

@@ -1,0 +1,164 @@
+#include "workload/executor.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.hh"
+#include "workload/builder.hh"
+
+namespace mech {
+
+TraceExecutor::TraceExecutor(const Program &program, std::uint64_t seed)
+    : prog(program), initialSeed(seed), rng(seed)
+{
+    MECH_ASSERT(!prog.loops.empty(), "program has no loops");
+    memState.resize(prog.numMemStreams);
+    branchState.resize(prog.streams.size());
+}
+
+bool
+TraceExecutor::nextOutcome(std::uint16_t id)
+{
+    MECH_ASSERT(id < prog.streams.size(), "branch stream out of range");
+    const BranchStreamDesc &desc = prog.streams[id];
+    BranchStreamState &st = branchState[id];
+
+    bool taken = false;
+    switch (desc.kind) {
+      case BranchStreamDesc::Kind::Biased:
+        taken = rng.chance(desc.takenBias);
+        break;
+      case BranchStreamDesc::Kind::Periodic:
+        taken = (st.execCount % desc.period) == (desc.period - 1);
+        break;
+      case BranchStreamDesc::Kind::Correlated: {
+        // Outcome is the parity of the last histLen outcomes, with a
+        // small noise probability: learnable from branch history but
+        // opaque to a history-less predictor.
+        std::uint32_t mask = (1u << desc.histLen) - 1;
+        bool parity = (std::popcount(st.history & mask) & 1) == 0;
+        taken = rng.chance(desc.takenBias) ? !parity : parity;
+        break;
+      }
+    }
+    st.history = (st.history << 1) | (taken ? 1u : 0u);
+    ++st.execCount;
+    return taken;
+}
+
+Addr
+TraceExecutor::effectiveAddr(const StaticInst &si)
+{
+    MECH_ASSERT(si.memRegion < prog.regions.size(), "region out of range");
+    const MemRegionDesc &region = prog.regions[si.memRegion];
+    MECH_ASSERT(region.base != 0, "layoutData() not run");
+    MemStreamState &st = memState[si.memStreamId];
+
+    std::uint64_t elems = std::max<std::uint64_t>(1, region.sizeBytes / 8);
+    Addr addr = 0;
+    switch (si.memPattern) {
+      case MemPattern::Sequential:
+        addr = region.base + st.offset;
+        st.offset = (st.offset + 8) % region.sizeBytes;
+        break;
+      case MemPattern::Strided:
+        addr = region.base + st.offset;
+        st.offset = (st.offset + std::max<std::uint32_t>(8, si.stride)) %
+                    region.sizeBytes;
+        break;
+      case MemPattern::Random:
+        addr = region.base + rng.below(elems) * 8;
+        break;
+      case MemPattern::Pointer: {
+        // Serial chain: the next element index is a deterministic
+        // scramble of the current one, so consecutive accesses are
+        // data-dependent and spread over the whole region.
+        st.pointer = (st.pointer * 6364136223846793005ull +
+                      1442695040888963407ull);
+        addr = region.base + (st.pointer % elems) * 8;
+        break;
+      }
+      case MemPattern::None:
+        panic("memory instruction without a pattern");
+    }
+    return addr & ~Addr{7};
+}
+
+void
+TraceExecutor::emit(Trace &trace, const StaticInst &si)
+{
+    DynInstr di;
+    di.pc = si.pc;
+    di.op = si.op;
+    di.dst = si.dst;
+    di.src1 = si.src1;
+    di.src2 = si.src2;
+    if (isMem(si.op))
+        di.effAddr = effectiveAddr(si);
+    trace.push(di);
+}
+
+void
+TraceExecutor::emitBranch(Trace &trace, const StaticInst &si, bool taken,
+                          Addr target)
+{
+    DynInstr di;
+    di.pc = si.pc;
+    di.op = OpClass::Branch;
+    di.src1 = si.src1;
+    di.src2 = si.src2;
+    di.taken = taken;
+    di.targetPc = target;
+    trace.push(di);
+}
+
+Trace
+TraceExecutor::run(InstCount max_instrs)
+{
+    // Reset to pristine state so repeated runs are bit-identical.
+    rng = Rng(initialSeed);
+    std::fill(memState.begin(), memState.end(), MemStreamState{});
+    std::fill(branchState.begin(), branchState.end(), BranchStreamState{});
+
+    Trace trace;
+    trace.reserve(max_instrs + 4096);
+
+    for (const auto &si : prog.prologue)
+        emit(trace, si);
+
+    std::size_t loop_cursor = 0;
+    while (trace.size() < max_instrs) {
+        const Loop &loop = prog.loops[loop_cursor % prog.loops.size()];
+        ++loop_cursor;
+
+        for (std::uint64_t iter = 0;
+             iter < loop.tripCount && trace.size() < max_instrs; ++iter) {
+            for (const auto &block : loop.blocks) {
+                if (block.guarded) {
+                    bool taken = nextOutcome(block.guard.branchStream);
+                    emitBranch(trace, block.guard, taken,
+                               block.guardTarget);
+                    if (taken)
+                        continue; // block body skipped
+                }
+                for (const auto &si : block.body)
+                    emit(trace, si);
+            }
+            emit(trace, loop.counterInc);
+            bool continuing = iter + 1 < loop.tripCount;
+            emitBranch(trace, loop.backEdge, continuing,
+                       loop.backEdgeTarget);
+        }
+    }
+    return trace;
+}
+
+Trace
+generateTrace(const BenchmarkProfile &profile, InstCount max_instrs)
+{
+    Program prog = buildProgram(profile);
+    TraceExecutor exec(prog, profile.seed ^ 0xabcdef1234567890ull);
+    return exec.run(max_instrs);
+}
+
+} // namespace mech

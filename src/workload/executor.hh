@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Executes a synthetic Program into a dynamic instruction Trace.
+ *
+ * The executor is the "functional simulator" of this stack: it
+ * resolves branch conditions, walks memory streams into concrete
+ * effective addresses, and linearizes control flow, producing the
+ * dynamic instruction stream that both the profiler (model inputs)
+ * and the cycle-accurate simulator (reference cycles) consume.
+ */
+
+#ifndef MECH_WORKLOAD_EXECUTOR_HH
+#define MECH_WORKLOAD_EXECUTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "trace/trace.hh"
+#include "workload/profile.hh"
+#include "workload/program.hh"
+
+namespace mech {
+
+/**
+ * Stateful executor turning a Program into a Trace.
+ *
+ * Deterministic given (program, seed).  The executor may be run
+ * multiple times; each run() restarts from a pristine state.
+ */
+class TraceExecutor
+{
+  public:
+    /**
+     * @param program Program to execute (must outlive the executor).
+     * @param seed Seed for condition/address randomness.
+     */
+    TraceExecutor(const Program &program, std::uint64_t seed);
+
+    /**
+     * Execute until @p max_instrs dynamic instructions are emitted
+     * (the current loop iteration is allowed to finish first, so the
+     * trace may run slightly past the target).
+     */
+    Trace run(InstCount max_instrs);
+
+  private:
+    /** Per-memory-stream cursor state. */
+    struct MemStreamState
+    {
+        std::uint64_t offset = 0;  ///< byte offset for seq/strided
+        std::uint64_t pointer = 0; ///< element index for pointer chains
+    };
+
+    /** Per-branch-stream condition state. */
+    struct BranchStreamState
+    {
+        std::uint64_t execCount = 0; ///< executions (periodic streams)
+        std::uint32_t history = 0;   ///< outcome history (correlated)
+    };
+
+    /** Resolve the next outcome of branch condition stream @p id. */
+    bool nextOutcome(std::uint16_t id);
+
+    /** Compute the next effective address for a memory instruction. */
+    Addr effectiveAddr(const StaticInst &si);
+
+    /** Emit one non-control instruction. */
+    void emit(Trace &trace, const StaticInst &si);
+
+    /** Emit a branch with resolved outcome and target. */
+    void emitBranch(Trace &trace, const StaticInst &si, bool taken,
+                    Addr target);
+
+    const Program &prog;
+    std::uint64_t initialSeed;
+    Rng rng;
+    std::vector<MemStreamState> memState;
+    std::vector<BranchStreamState> branchState;
+};
+
+/**
+ * Convenience one-shot: build the program for @p profile and execute
+ * approximately @p max_instrs instructions.
+ */
+Trace generateTrace(const BenchmarkProfile &profile, InstCount max_instrs);
+
+} // namespace mech
+
+#endif // MECH_WORKLOAD_EXECUTOR_HH

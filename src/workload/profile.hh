@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Benchmark profile: the knobs that shape a synthetic workload.
+ *
+ * The paper evaluates on 19 MiBench benchmarks plus a SPEC CPU2006
+ * subset; neither those binaries nor the M5 toolchain are available
+ * here, so each benchmark is substituted by a synthetic program whose
+ * distributional properties (instruction mix, dependency tightness,
+ * memory footprint and access patterns, branch behaviour, static code
+ * footprint) are set per benchmark to mirror its published character
+ * (see DESIGN.md §1).  The profile is the single source of truth for
+ * those properties.
+ */
+
+#ifndef MECH_WORKLOAD_PROFILE_HH
+#define MECH_WORKLOAD_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace mech {
+
+/** All generator knobs for one synthetic benchmark. */
+struct BenchmarkProfile
+{
+    /** Benchmark name (MiBench/SPEC-like identifier). */
+    std::string name;
+
+    /** Master seed; every stochastic choice derives from it. */
+    std::uint64_t seed = 1;
+
+    // ---- static structure -------------------------------------------------
+    /** Number of loops (program phases, executed round-robin). */
+    int numLoops = 4;
+
+    /** Basic blocks per loop body. */
+    int blocksPerLoop = 3;
+
+    /** Mean instructions per basic block. */
+    int instrsPerBlock = 12;
+
+    /** Iterations per loop entry. */
+    std::uint64_t tripCount = 64;
+
+    /** Fraction of blocks guarded by a conditional branch. */
+    double guardFraction = 0.3;
+
+    // ---- instruction mix (relative weights of non-branch body ops) -------
+    double wIntAlu = 1.0;
+    double wIntMult = 0.0;
+    double wIntDiv = 0.0;
+    double wFpAlu = 0.0;
+    double wFpMult = 0.0;
+    double wFpDiv = 0.0;
+    double wLoad = 0.25;
+    double wStore = 0.12;
+
+    // ---- dependency shaping ----------------------------------------------
+    /**
+     * Mean number of independent dependency chains interleaved in the
+     * instruction stream.  Real dataflow is chain/tree-structured: an
+     * instruction extends the chain it consumes from.  With C chains
+     * the typical def-use distance is ~C, so C >= width means almost
+     * no stalls (sha, the paper's high-ILP pole) while C near 1 means
+     * serial execution (adpcm/dijkstra).
+     */
+    double ilpChains = 3.0;
+
+    /**
+     * Probability that an instruction starts a fresh chain from
+     * live-in registers instead of extending an existing one.
+     */
+    double indepFraction = 0.15;
+
+    /**
+     * Probability that the instruction following a load is steered to
+     * consume that load's chain (load-use pressure, e.g., pointer
+     * chasing in dijkstra/mcf).
+     */
+    double loadDepBias = 0.0;
+
+    // ---- memory behaviour -------------------------------------------------
+    /** Pattern weights over {Sequential, Strided, Random, Pointer}. */
+    double wSeq = 1.0;
+    double wStrided = 0.0;
+    double wRandom = 0.0;
+    double wPointer = 0.0;
+
+    /** Stride in bytes for strided streams. */
+    std::uint32_t strideBytes = 256;
+
+    /** Number of data regions. */
+    int numRegions = 2;
+
+    /** Region size in KiB (all regions; the working set). */
+    std::uint64_t regionKB = 16;
+
+    // ---- branch behaviour -------------------------------------------------
+    /** P(taken) of guard branches (Biased streams). */
+    double guardTakenBias = 0.2;
+
+    /**
+     * Fraction of guard streams that are hard to predict (iid coin
+     * flips near 0.5) versus well-behaved biased/periodic streams.
+     */
+    double hardBranchFraction = 0.1;
+
+    /**
+     * Fraction of guard streams that are history-correlated
+     * (learnable by global/local history predictors, not by bimodal).
+     */
+    double correlatedFraction = 0.2;
+};
+
+} // namespace mech
+
+#endif // MECH_WORKLOAD_PROFILE_HH

@@ -1,0 +1,91 @@
+#include "workload/program.hh"
+
+#include <map>
+
+#include "common/logging.hh"
+#include "isa/op_class.hh"
+
+namespace mech {
+
+void
+Program::assignPcs()
+{
+    Addr pc = kTextBase;
+    auto place = [&pc](StaticInst &si) {
+        si.pc = pc;
+        pc += kInstBytes;
+    };
+
+    for (auto &si : prologue)
+        place(si);
+
+    for (auto &loop : loops) {
+        Addr loop_head = pc;
+        for (auto &block : loop.blocks) {
+            if (block.guarded)
+                place(block.guard);
+            for (auto &si : block.body)
+                place(si);
+            // Guard jumps past the block body when taken.
+            if (block.guarded)
+                block.guardTarget = pc;
+        }
+        place(loop.counterInc);
+        place(loop.backEdge);
+        // The back edge returns to the first instruction of the loop.
+        loop.backEdgeTarget = loop_head;
+    }
+}
+
+void
+Program::layoutData()
+{
+    Addr base = kDataBase;
+    for (auto &region : regions) {
+        region.base = base;
+        // Pad to the next 64 KiB boundary after the region so regions
+        // never share a cache set pathologically.
+        Addr size = region.sizeBytes;
+        base += ((size + 0xffff) / 0x10000 + 1) * 0x10000;
+    }
+}
+
+void
+Program::renumberMemStreams()
+{
+    // Densify stream ids while PRESERVING sharing: instructions that
+    // carried the same id keep sharing one executor cursor.  Loop
+    // unrolling relies on this — the copies of a load must continue
+    // the original's address stream, not replay it.
+    std::map<std::uint32_t, std::uint32_t> remap;
+    auto renumber = [&remap](StaticInst &si) {
+        if (!isMem(si.op))
+            return;
+        auto [it, fresh] = remap.try_emplace(
+            si.memStreamId, static_cast<std::uint32_t>(remap.size()));
+        si.memStreamId = it->second;
+    };
+    for (auto &si : prologue)
+        renumber(si);
+    for (auto &loop : loops) {
+        for (auto &block : loop.blocks) {
+            for (auto &si : block.body)
+                renumber(si);
+        }
+    }
+    numMemStreams = static_cast<std::uint32_t>(remap.size());
+}
+
+std::uint64_t
+Program::staticInstCount() const
+{
+    std::uint64_t n = prologue.size();
+    for (const auto &loop : loops) {
+        n += 2; // counterInc + backEdge
+        for (const auto &block : loop.blocks)
+            n += block.body.size() + (block.guarded ? 1 : 0);
+    }
+    return n;
+}
+
+} // namespace mech

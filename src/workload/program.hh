@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Synthetic program intermediate representation (IR).
+ *
+ * A Program is a loop-structured synthetic workload: a prologue that
+ * defines live-in registers, then a list of loops executed round-robin
+ * by the trace executor.  Each loop iteration runs the loop's basic
+ * blocks in order (some guarded by conditional branches that skip
+ * them), then a counter increment and a back-edge branch.
+ *
+ * The IR exists so that compiler-style transformations (instruction
+ * scheduling, loop unrolling, spill insertion — paper §6.2) operate on
+ * program *structure*, exactly as a compiler would, rather than on
+ * derived statistics.
+ */
+
+#ifndef MECH_WORKLOAD_PROGRAM_HH
+#define MECH_WORKLOAD_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/static_inst.hh"
+
+namespace mech {
+
+/** Size of one encoded instruction in bytes (PC spacing). */
+inline constexpr Addr kInstBytes = 4;
+
+/** Base address of the text segment. */
+inline constexpr Addr kTextBase = 0x1000;
+
+/** Base address of the data segment. */
+inline constexpr Addr kDataBase = 0x10000000;
+
+/** Registers r0..r7 are live-in scratch written by the prologue. */
+inline constexpr RegIndex kNumLiveInRegs = 8;
+
+/** Sentinel branch-stream id marking a loop back-edge branch. */
+inline constexpr std::uint16_t kBackEdgeStream = 0xffff;
+
+/** Behaviour of one conditional-branch condition stream. */
+struct BranchStreamDesc
+{
+    /** How outcomes are produced. */
+    enum class Kind : std::uint8_t {
+        Biased,     ///< iid Bernoulli with takenBias
+        Periodic,   ///< taken exactly once every `period` executions
+        Correlated, ///< outcome = f(previous `histLen` outcomes) + noise
+    };
+
+    Kind kind = Kind::Biased;
+
+    /** P(taken) for Biased; noise level for Correlated. */
+    double takenBias = 0.5;
+
+    /** Period for Periodic streams. */
+    std::uint32_t period = 2;
+
+    /** History length a Correlated stream depends on. */
+    std::uint32_t histLen = 4;
+};
+
+/** One memory working-set region. */
+struct MemRegionDesc
+{
+    /** Region size in bytes (executor wraps accesses inside it). */
+    std::uint64_t sizeBytes = 4096;
+
+    /** Base address, assigned by Program::layoutData(). */
+    Addr base = 0;
+};
+
+/**
+ * Straight-line basic block, optionally guarded.
+ *
+ * A guarded block is preceded by a conditional branch (the guard);
+ * when the guard is taken the block body is skipped entirely.
+ */
+struct BasicBlock
+{
+    /** Non-control instructions of the block. */
+    std::vector<StaticInst> body;
+
+    /** True when a guard branch precedes this block. */
+    bool guarded = false;
+
+    /** Guard branch instruction (valid when guarded). */
+    StaticInst guard;
+
+    /** Taken-target of the guard: first PC past the block body. */
+    Addr guardTarget = 0;
+};
+
+/** One natural loop. */
+struct Loop
+{
+    /** Loop body blocks, executed in order each iteration. */
+    std::vector<BasicBlock> blocks;
+
+    /** Iterations executed per entry into the loop. */
+    std::uint64_t tripCount = 1;
+
+    /** Register serving as the loop counter. */
+    RegIndex counterReg = 0;
+
+    /** Counter-increment instruction (one per iteration). */
+    StaticInst counterInc;
+
+    /** Back-edge conditional branch (taken while iterating). */
+    StaticInst backEdge;
+
+    /** Taken-target of the back edge: first PC of the loop. */
+    Addr backEdgeTarget = 0;
+
+    /** Dynamic instructions in one unguarded iteration. */
+    std::uint64_t
+    iterationLength() const
+    {
+        std::uint64_t n = 2; // counterInc + backEdge
+        for (const auto &b : blocks)
+            n += b.body.size() + (b.guarded ? 1 : 0);
+        return n;
+    }
+};
+
+/** A complete synthetic program. */
+struct Program
+{
+    /** Program name (benchmark profile it was built from). */
+    std::string name;
+
+    /** Memory working-set regions. */
+    std::vector<MemRegionDesc> regions;
+
+    /** Conditional-branch condition streams. */
+    std::vector<BranchStreamDesc> streams;
+
+    /** Prologue defining live-in registers r0..r7. */
+    std::vector<StaticInst> prologue;
+
+    /** The loops, executed round-robin by the executor. */
+    std::vector<Loop> loops;
+
+    /** Number of distinct memory streams (for executor state). */
+    std::uint32_t numMemStreams = 0;
+
+    /**
+     * Assign PCs to every instruction (prologue, guards, bodies, loop
+     * tails) and branch targets.  Must be re-run after any structural
+     * transformation.
+     */
+    void assignPcs();
+
+    /** Assign base addresses to memory regions. */
+    void layoutData();
+
+    /** Renumber memory streams densely (after transformations). */
+    void renumberMemStreams();
+
+    /** Total static instruction count (text footprint / kInstBytes). */
+    std::uint64_t staticInstCount() const;
+
+    /** Static code footprint in bytes. */
+    std::uint64_t textBytes() const { return staticInstCount() * kInstBytes; }
+};
+
+} // namespace mech
+
+#endif // MECH_WORKLOAD_PROGRAM_HH

@@ -1,0 +1,807 @@
+#include "workload/suites.hh"
+
+#include <map>
+
+#include "common/logging.hh"
+
+namespace mech {
+
+namespace {
+
+/**
+ * Profile tuning notes.
+ *
+ * Knobs are set from each benchmark's published character:
+ *  - ILP: ilpChains (mean interleaved dependency chains; sha is the
+ *    paper's high-ILP pole, adpcm/dijkstra the serial pole)
+ *  - mul/div density: wIntMult / wIntDiv (tiff2bw, gsm_c)
+ *  - fp density: wFpAlu / wFpMult (lame, rsynth, milc, lbm)
+ *  - memory footprint: regionKB x numRegions + pattern weights
+ *    (tiff2rgba streams megabytes; dijkstra/mcf chase pointers)
+ *  - branch behaviour: guardFraction, hardBranchFraction (patricia
+ *    and qsort mispredict; adpcm is near-perfectly predictable)
+ *  - static code footprint: numLoops x blocksPerLoop x instrsPerBlock
+ *    (jpeg/lame/gcc exceed the 32 KiB L1I; most MiBench kernels are
+ *    tiny).
+ *
+ * MiBench working sets are kept modest (mostly cache/TLB resident,
+ * CPI in the paper's 0.6-1.4 band); the SPEC-like set deliberately
+ * blows through the L2 (Fig. 6's CPI-up-to-9 regime).
+ */
+std::vector<BenchmarkProfile>
+makeMibench()
+{
+    std::vector<BenchmarkProfile> v;
+
+    BenchmarkProfile p;
+
+    // ---- adpcm_c: serial bit-twiddling codec, tiny footprint ----------
+    p = BenchmarkProfile{};
+    p.name = "adpcm_c";
+    p.seed = 101;
+    p.numLoops = 2;
+    p.blocksPerLoop = 4;
+    p.instrsPerBlock = 9;
+    p.tripCount = 512;
+    p.guardFraction = 0.55;
+    p.wIntAlu = 1.0;
+    p.wLoad = 0.10;
+    p.wStore = 0.05;
+    p.ilpChains = 1.3;
+    p.indepFraction = 0.06;
+    p.loadDepBias = 0.05;
+    p.wSeq = 1.0;
+    p.numRegions = 2;
+    p.regionKB = 8;
+    p.guardTakenBias = 0.25;
+    p.hardBranchFraction = 0.04;
+    p.correlatedFraction = 0.30;
+    v.push_back(p);
+
+    // ---- adpcm_d: the decoder twin, marginally more parallel ----------
+    p = BenchmarkProfile{};
+    p.name = "adpcm_d";
+    p.seed = 103;
+    p.numLoops = 2;
+    p.blocksPerLoop = 4;
+    p.instrsPerBlock = 8;
+    p.tripCount = 512;
+    p.guardFraction = 0.5;
+    p.wIntAlu = 1.0;
+    p.wLoad = 0.09;
+    p.wStore = 0.07;
+    p.ilpChains = 1.6;
+    p.indepFraction = 0.10;
+    p.loadDepBias = 0.05;
+    p.wSeq = 1.0;
+    p.numRegions = 2;
+    p.regionKB = 8;
+    p.guardTakenBias = 0.25;
+    p.hardBranchFraction = 0.04;
+    p.correlatedFraction = 0.30;
+    v.push_back(p);
+
+    // ---- dijkstra: pointer-heavy graph walk, worst W-scaling ----------
+    p = BenchmarkProfile{};
+    p.name = "dijkstra";
+    p.seed = 107;
+    p.numLoops = 3;
+    p.blocksPerLoop = 4;
+    p.instrsPerBlock = 8;
+    p.tripCount = 128;
+    p.guardFraction = 0.5;
+    p.wIntAlu = 1.0;
+    p.wLoad = 0.36;
+    p.wStore = 0.08;
+    p.ilpChains = 1.4;
+    p.indepFraction = 0.05;
+    p.loadDepBias = 0.45;
+    p.wSeq = 0.45;
+    p.wRandom = 0.35;
+    p.wPointer = 0.20;
+    p.numRegions = 2;
+    p.regionKB = 16;
+    p.guardTakenBias = 0.3;
+    p.hardBranchFraction = 0.10;
+    p.correlatedFraction = 0.2;
+    v.push_back(p);
+
+    // ---- gsm_c (toast): DSP MAC chains, multiply-dense ----------------
+    p = BenchmarkProfile{};
+    p.name = "gsm_c";
+    p.seed = 109;
+    p.numLoops = 10;
+    p.blocksPerLoop = 5;
+    p.instrsPerBlock = 14;
+    p.tripCount = 40;
+    p.guardFraction = 0.3;
+    p.wIntAlu = 1.0;
+    p.wIntMult = 0.14;
+    p.wLoad = 0.28;
+    p.wStore = 0.09;
+    p.ilpChains = 2.2;
+    p.indepFraction = 0.12;
+    p.loadDepBias = 0.10;
+    p.wSeq = 0.8;
+    p.wStrided = 0.2;
+    p.numRegions = 3;
+    p.regionKB = 16;
+    p.guardTakenBias = 0.2;
+    p.hardBranchFraction = 0.05;
+    p.correlatedFraction = 0.25;
+    v.push_back(p);
+
+    // ---- jpeg_c (cjpeg): DCT + entropy coding, big code footprint -----
+    p = BenchmarkProfile{};
+    p.name = "jpeg_c";
+    p.seed = 113;
+    p.numLoops = 36;
+    p.blocksPerLoop = 6;
+    p.instrsPerBlock = 42;
+    p.tripCount = 10;
+    p.guardFraction = 0.35;
+    p.wIntAlu = 1.0;
+    p.wIntMult = 0.08;
+    p.wLoad = 0.26;
+    p.wStore = 0.11;
+    p.ilpChains = 3.2;
+    p.indepFraction = 0.16;
+    p.loadDepBias = 0.08;
+    p.wSeq = 0.75;
+    p.wStrided = 0.22;
+    p.wRandom = 0.03;
+    p.numRegions = 3;
+    p.regionKB = 128;
+    p.guardTakenBias = 0.25;
+    p.hardBranchFraction = 0.08;
+    p.correlatedFraction = 0.2;
+    v.push_back(p);
+
+    // ---- jpeg_d (djpeg): inverse transform, store-heavier -------------
+    p = BenchmarkProfile{};
+    p.name = "jpeg_d";
+    p.seed = 127;
+    p.numLoops = 32;
+    p.blocksPerLoop = 6;
+    p.instrsPerBlock = 40;
+    p.tripCount = 10;
+    p.guardFraction = 0.3;
+    p.wIntAlu = 1.0;
+    p.wIntMult = 0.06;
+    p.wLoad = 0.22;
+    p.wStore = 0.16;
+    p.ilpChains = 3.4;
+    p.indepFraction = 0.18;
+    p.loadDepBias = 0.06;
+    p.wSeq = 0.8;
+    p.wStrided = 0.2;
+    p.numRegions = 3;
+    p.regionKB = 128;
+    p.guardTakenBias = 0.25;
+    p.hardBranchFraction = 0.07;
+    p.correlatedFraction = 0.2;
+    v.push_back(p);
+
+    // ---- lame: fp-heavy psychoacoustics, large code + data ------------
+    p = BenchmarkProfile{};
+    p.name = "lame";
+    p.seed = 131;
+    p.numLoops = 30;
+    p.blocksPerLoop = 8;
+    p.instrsPerBlock = 38;
+    p.tripCount = 12;
+    p.guardFraction = 0.3;
+    p.wIntAlu = 1.0;
+    p.wFpAlu = 0.25;
+    p.wFpMult = 0.18;
+    p.wLoad = 0.30;
+    p.wStore = 0.10;
+    p.ilpChains = 3.2;
+    p.indepFraction = 0.18;
+    p.loadDepBias = 0.08;
+    p.wSeq = 0.8;
+    p.wStrided = 0.15;
+    p.wRandom = 0.05;
+    p.numRegions = 4;
+    p.regionKB = 256;
+    p.guardTakenBias = 0.2;
+    p.hardBranchFraction = 0.06;
+    p.correlatedFraction = 0.25;
+    v.push_back(p);
+
+    // ---- patricia: trie walk, the branch-misprediction pole -----------
+    p = BenchmarkProfile{};
+    p.name = "patricia";
+    p.seed = 137;
+    p.numLoops = 4;
+    p.blocksPerLoop = 6;
+    p.instrsPerBlock = 6;
+    p.tripCount = 96;
+    p.guardFraction = 0.8;
+    p.wIntAlu = 1.0;
+    p.wLoad = 0.30;
+    p.wStore = 0.06;
+    p.ilpChains = 2.2;
+    p.indepFraction = 0.12;
+    p.loadDepBias = 0.25;
+    p.wSeq = 0.4;
+    p.wRandom = 0.45;
+    p.wPointer = 0.15;
+    p.numRegions = 2;
+    p.regionKB = 24;
+    p.guardTakenBias = 0.45;
+    p.hardBranchFraction = 0.35;
+    p.correlatedFraction = 0.1;
+    v.push_back(p);
+
+    // ---- qsort: compare-driven branches, partition sweeps -------------
+    p = BenchmarkProfile{};
+    p.name = "qsort";
+    p.seed = 139;
+    p.numLoops = 4;
+    p.blocksPerLoop = 5;
+    p.instrsPerBlock = 7;
+    p.tripCount = 128;
+    p.guardFraction = 0.7;
+    p.wIntAlu = 1.0;
+    p.wLoad = 0.32;
+    p.wStore = 0.14;
+    p.ilpChains = 2.2;
+    p.indepFraction = 0.12;
+    p.loadDepBias = 0.22;
+    p.wSeq = 0.55;
+    p.wRandom = 0.45;
+    p.numRegions = 2;
+    p.regionKB = 32;
+    p.guardTakenBias = 0.5;
+    p.hardBranchFraction = 0.3;
+    p.correlatedFraction = 0.05;
+    v.push_back(p);
+
+    // ---- rsynth: formant synthesis, fp-alu dense, modest data ---------
+    p = BenchmarkProfile{};
+    p.name = "rsynth";
+    p.seed = 149;
+    p.numLoops = 20;
+    p.blocksPerLoop = 6;
+    p.instrsPerBlock = 30;
+    p.tripCount = 24;
+    p.guardFraction = 0.25;
+    p.wIntAlu = 1.0;
+    p.wFpAlu = 0.40;
+    p.wFpMult = 0.15;
+    p.wLoad = 0.24;
+    p.wStore = 0.08;
+    p.ilpChains = 2.8;
+    p.indepFraction = 0.14;
+    p.loadDepBias = 0.06;
+    p.wSeq = 0.9;
+    p.wStrided = 0.1;
+    p.numRegions = 3;
+    p.regionKB = 24;
+    p.guardTakenBias = 0.2;
+    p.hardBranchFraction = 0.05;
+    p.correlatedFraction = 0.3;
+    v.push_back(p);
+
+    // ---- sha: unrolled rounds, the high-ILP pole -----------------------
+    p = BenchmarkProfile{};
+    p.name = "sha";
+    p.seed = 151;
+    p.numLoops = 2;
+    p.blocksPerLoop = 3;
+    p.instrsPerBlock = 26;
+    p.tripCount = 256;
+    p.guardFraction = 0.15;
+    p.wIntAlu = 1.0;
+    p.wLoad = 0.12;
+    p.wStore = 0.05;
+    p.ilpChains = 6.5;
+    p.indepFraction = 0.18;
+    p.loadDepBias = 0.0;
+    p.wSeq = 1.0;
+    p.numRegions = 2;
+    p.regionKB = 8;
+    p.guardTakenBias = 0.1;
+    p.hardBranchFraction = 0.02;
+    p.correlatedFraction = 0.3;
+    v.push_back(p);
+
+    // ---- stringsearch: byte scans with biased compare branches --------
+    p = BenchmarkProfile{};
+    p.name = "stringsearch";
+    p.seed = 157;
+    p.numLoops = 3;
+    p.blocksPerLoop = 5;
+    p.instrsPerBlock = 6;
+    p.tripCount = 160;
+    p.guardFraction = 0.75;
+    p.wIntAlu = 1.0;
+    p.wLoad = 0.30;
+    p.wStore = 0.04;
+    p.ilpChains = 2.6;
+    p.indepFraction = 0.16;
+    p.loadDepBias = 0.15;
+    p.wSeq = 0.9;
+    p.wRandom = 0.1;
+    p.numRegions = 2;
+    p.regionKB = 16;
+    p.guardTakenBias = 0.3;
+    p.hardBranchFraction = 0.18;
+    p.correlatedFraction = 0.15;
+    v.push_back(p);
+
+    // ---- susan_c: corner detection, strided window sums ---------------
+    p = BenchmarkProfile{};
+    p.name = "susan_c";
+    p.seed = 163;
+    p.numLoops = 6;
+    p.blocksPerLoop = 5;
+    p.instrsPerBlock = 16;
+    p.tripCount = 64;
+    p.guardFraction = 0.45;
+    p.wIntAlu = 1.0;
+    p.wIntMult = 0.05;
+    p.wLoad = 0.30;
+    p.wStore = 0.07;
+    p.ilpChains = 3.0;
+    p.indepFraction = 0.16;
+    p.loadDepBias = 0.08;
+    p.wSeq = 0.6;
+    p.wStrided = 0.4;
+    p.numRegions = 3;
+    p.regionKB = 96;
+    p.guardTakenBias = 0.6;
+    p.hardBranchFraction = 0.1;
+    p.correlatedFraction = 0.2;
+    v.push_back(p);
+
+    // ---- susan_e: edge detection, more arithmetic per pixel -----------
+    p = BenchmarkProfile{};
+    p.name = "susan_e";
+    p.seed = 167;
+    p.numLoops = 6;
+    p.blocksPerLoop = 5;
+    p.instrsPerBlock = 20;
+    p.tripCount = 64;
+    p.guardFraction = 0.4;
+    p.wIntAlu = 1.0;
+    p.wIntMult = 0.08;
+    p.wLoad = 0.28;
+    p.wStore = 0.08;
+    p.ilpChains = 2.8;
+    p.indepFraction = 0.15;
+    p.loadDepBias = 0.08;
+    p.wSeq = 0.6;
+    p.wStrided = 0.4;
+    p.numRegions = 3;
+    p.regionKB = 96;
+    p.guardTakenBias = 0.5;
+    p.hardBranchFraction = 0.08;
+    p.correlatedFraction = 0.2;
+    v.push_back(p);
+
+    // ---- susan_s: smoothing kernel, multiply-dense streaming ----------
+    p = BenchmarkProfile{};
+    p.name = "susan_s";
+    p.seed = 173;
+    p.numLoops = 4;
+    p.blocksPerLoop = 4;
+    p.instrsPerBlock = 22;
+    p.tripCount = 96;
+    p.guardFraction = 0.3;
+    p.wIntAlu = 1.0;
+    p.wIntMult = 0.12;
+    p.wLoad = 0.30;
+    p.wStore = 0.06;
+    p.ilpChains = 3.0;
+    p.indepFraction = 0.16;
+    p.loadDepBias = 0.06;
+    p.wSeq = 0.7;
+    p.wStrided = 0.3;
+    p.numRegions = 2;
+    p.regionKB = 96;
+    p.guardTakenBias = 0.3;
+    p.hardBranchFraction = 0.05;
+    p.correlatedFraction = 0.25;
+    v.push_back(p);
+
+    // ---- tiff2bw: per-pixel scale = the multiply/divide pole -----------
+    p = BenchmarkProfile{};
+    p.name = "tiff2bw";
+    p.seed = 179;
+    p.numLoops = 3;
+    p.blocksPerLoop = 3;
+    p.instrsPerBlock = 14;
+    p.tripCount = 256;
+    p.guardFraction = 0.2;
+    p.wIntAlu = 1.0;
+    p.wIntMult = 0.26;
+    p.wIntDiv = 0.03;
+    p.wLoad = 0.28;
+    p.wStore = 0.12;
+    p.ilpChains = 2.6;
+    p.indepFraction = 0.15;
+    p.loadDepBias = 0.05;
+    p.wSeq = 1.0;
+    p.numRegions = 3;
+    p.regionKB = 1024;
+    p.guardTakenBias = 0.15;
+    p.hardBranchFraction = 0.03;
+    p.correlatedFraction = 0.2;
+    v.push_back(p);
+
+    // ---- tiff2rgba: format expansion, the memory-streaming pole --------
+    p = BenchmarkProfile{};
+    p.name = "tiff2rgba";
+    p.seed = 181;
+    p.numLoops = 3;
+    p.blocksPerLoop = 3;
+    p.instrsPerBlock = 12;
+    p.tripCount = 256;
+    p.guardFraction = 0.2;
+    p.wIntAlu = 1.0;
+    p.wLoad = 0.34;
+    p.wStore = 0.22;
+    p.ilpChains = 4.2;
+    p.indepFraction = 0.2;
+    p.loadDepBias = 0.05;
+    p.wSeq = 1.0;
+    p.numRegions = 4;
+    p.regionKB = 2048;
+    p.guardTakenBias = 0.15;
+    p.hardBranchFraction = 0.03;
+    p.correlatedFraction = 0.2;
+    v.push_back(p);
+
+    // ---- tiffdither: error diffusion, serial middle of the range -------
+    p = BenchmarkProfile{};
+    p.name = "tiffdither";
+    p.seed = 191;
+    p.numLoops = 3;
+    p.blocksPerLoop = 5;
+    p.instrsPerBlock = 10;
+    p.tripCount = 192;
+    p.guardFraction = 0.5;
+    p.wIntAlu = 1.0;
+    p.wIntMult = 0.05;
+    p.wLoad = 0.26;
+    p.wStore = 0.10;
+    p.ilpChains = 1.8;
+    p.indepFraction = 0.10;
+    p.loadDepBias = 0.20;
+    p.wSeq = 0.85;
+    p.wStrided = 0.15;
+    p.numRegions = 2;
+    p.regionKB = 48;
+    p.guardTakenBias = 0.35;
+    p.hardBranchFraction = 0.15;
+    p.correlatedFraction = 0.15;
+    v.push_back(p);
+
+    // ---- tiffmedian: histogram median cut, random table walks ----------
+    p = BenchmarkProfile{};
+    p.name = "tiffmedian";
+    p.seed = 193;
+    p.numLoops = 4;
+    p.blocksPerLoop = 4;
+    p.instrsPerBlock = 11;
+    p.tripCount = 128;
+    p.guardFraction = 0.45;
+    p.wIntAlu = 1.0;
+    p.wIntMult = 0.03;
+    p.wLoad = 0.30;
+    p.wStore = 0.12;
+    p.ilpChains = 2.4;
+    p.indepFraction = 0.14;
+    p.loadDepBias = 0.12;
+    p.wSeq = 0.6;
+    p.wRandom = 0.4;
+    p.numRegions = 2;
+    p.regionKB = 48;
+    p.guardTakenBias = 0.3;
+    p.hardBranchFraction = 0.12;
+    p.correlatedFraction = 0.15;
+    v.push_back(p);
+
+    MECH_ASSERT(v.size() == 19, "expected 19 MiBench-like profiles");
+    return v;
+}
+
+std::vector<BenchmarkProfile>
+makeSpecLike()
+{
+    std::vector<BenchmarkProfile> v;
+    BenchmarkProfile p;
+
+    // ---- mcf: pointer chasing over a huge graph ------------------------
+    p = BenchmarkProfile{};
+    p.name = "mcf";
+    p.seed = 211;
+    p.numLoops = 4;
+    p.blocksPerLoop = 4;
+    p.instrsPerBlock = 8;
+    p.tripCount = 128;
+    p.guardFraction = 0.6;
+    p.wIntAlu = 1.0;
+    p.wLoad = 0.36;
+    p.wStore = 0.09;
+    p.ilpChains = 1.6;
+    p.indepFraction = 0.08;
+    p.loadDepBias = 0.40;
+    p.wSeq = 0.15;
+    p.wRandom = 0.45;
+    p.wPointer = 0.40;
+    p.numRegions = 3;
+    p.regionKB = 6144;
+    p.guardTakenBias = 0.4;
+    p.hardBranchFraction = 0.22;
+    p.correlatedFraction = 0.1;
+    v.push_back(p);
+
+    // ---- libquantum: long unit-stride sweeps over a huge vector --------
+    p = BenchmarkProfile{};
+    p.name = "libquantum";
+    p.seed = 223;
+    p.numLoops = 2;
+    p.blocksPerLoop = 3;
+    p.instrsPerBlock = 10;
+    p.tripCount = 512;
+    p.guardFraction = 0.3;
+    p.wIntAlu = 1.0;
+    p.wLoad = 0.33;
+    p.wStore = 0.15;
+    p.ilpChains = 4.5;
+    p.indepFraction = 0.2;
+    p.loadDepBias = 0.05;
+    p.wSeq = 1.0;
+    p.numRegions = 2;
+    p.regionKB = 16384;
+    p.guardTakenBias = 0.2;
+    p.hardBranchFraction = 0.03;
+    p.correlatedFraction = 0.2;
+    v.push_back(p);
+
+    // ---- omnetpp: event-queue pointer soup, branchy --------------------
+    p = BenchmarkProfile{};
+    p.name = "omnetpp";
+    p.seed = 227;
+    p.numLoops = 10;
+    p.blocksPerLoop = 6;
+    p.instrsPerBlock = 9;
+    p.tripCount = 48;
+    p.guardFraction = 0.6;
+    p.wIntAlu = 1.0;
+    p.wLoad = 0.32;
+    p.wStore = 0.12;
+    p.ilpChains = 1.9;
+    p.indepFraction = 0.1;
+    p.loadDepBias = 0.28;
+    p.wSeq = 0.25;
+    p.wRandom = 0.50;
+    p.wPointer = 0.25;
+    p.numRegions = 4;
+    p.regionKB = 3072;
+    p.guardTakenBias = 0.4;
+    p.hardBranchFraction = 0.25;
+    p.correlatedFraction = 0.15;
+    v.push_back(p);
+
+    // ---- astar: grid pathfinding, data-dependent branches --------------
+    p = BenchmarkProfile{};
+    p.name = "astar";
+    p.seed = 229;
+    p.numLoops = 5;
+    p.blocksPerLoop = 5;
+    p.instrsPerBlock = 9;
+    p.tripCount = 96;
+    p.guardFraction = 0.65;
+    p.wIntAlu = 1.0;
+    p.wLoad = 0.33;
+    p.wStore = 0.08;
+    p.ilpChains = 2.0;
+    p.indepFraction = 0.1;
+    p.loadDepBias = 0.28;
+    p.wSeq = 0.3;
+    p.wRandom = 0.45;
+    p.wPointer = 0.25;
+    p.numRegions = 3;
+    p.regionKB = 1536;
+    p.guardTakenBias = 0.45;
+    p.hardBranchFraction = 0.3;
+    p.correlatedFraction = 0.1;
+    v.push_back(p);
+
+    // ---- bzip2: block-sort compression, mixed locality ------------------
+    p = BenchmarkProfile{};
+    p.name = "bzip2";
+    p.seed = 233;
+    p.numLoops = 6;
+    p.blocksPerLoop = 5;
+    p.instrsPerBlock = 10;
+    p.tripCount = 128;
+    p.guardFraction = 0.55;
+    p.wIntAlu = 1.0;
+    p.wLoad = 0.28;
+    p.wStore = 0.12;
+    p.ilpChains = 2.4;
+    p.indepFraction = 0.12;
+    p.loadDepBias = 0.15;
+    p.wSeq = 0.5;
+    p.wRandom = 0.5;
+    p.numRegions = 3;
+    p.regionKB = 2048;
+    p.guardTakenBias = 0.4;
+    p.hardBranchFraction = 0.25;
+    p.correlatedFraction = 0.15;
+    v.push_back(p);
+
+    // ---- gcc: huge code footprint, branchy, medium data -----------------
+    p = BenchmarkProfile{};
+    p.name = "gcc";
+    p.seed = 239;
+    p.numLoops = 48;
+    p.blocksPerLoop = 8;
+    p.instrsPerBlock = 30;
+    p.tripCount = 6;
+    p.guardFraction = 0.6;
+    p.wIntAlu = 1.0;
+    p.wLoad = 0.28;
+    p.wStore = 0.12;
+    p.ilpChains = 2.5;
+    p.indepFraction = 0.14;
+    p.loadDepBias = 0.15;
+    p.wSeq = 0.45;
+    p.wRandom = 0.55;
+    p.numRegions = 4;
+    p.regionKB = 768;
+    p.guardTakenBias = 0.35;
+    p.hardBranchFraction = 0.2;
+    p.correlatedFraction = 0.2;
+    v.push_back(p);
+
+    // ---- milc: lattice QCD, fp streaming over a huge grid ---------------
+    p = BenchmarkProfile{};
+    p.name = "milc";
+    p.seed = 241;
+    p.numLoops = 4;
+    p.blocksPerLoop = 4;
+    p.instrsPerBlock = 20;
+    p.tripCount = 192;
+    p.guardFraction = 0.2;
+    p.wIntAlu = 1.0;
+    p.wFpAlu = 0.5;
+    p.wFpMult = 0.35;
+    p.wLoad = 0.35;
+    p.wStore = 0.12;
+    p.ilpChains = 4.0;
+    p.indepFraction = 0.18;
+    p.loadDepBias = 0.05;
+    p.wSeq = 0.9;
+    p.wStrided = 0.1;
+    p.numRegions = 3;
+    p.regionKB = 8192;
+    p.guardTakenBias = 0.15;
+    p.hardBranchFraction = 0.03;
+    p.correlatedFraction = 0.2;
+    v.push_back(p);
+
+    // ---- lbm: fluid stencil, store-heavy streaming -----------------------
+    p = BenchmarkProfile{};
+    p.name = "lbm";
+    p.seed = 251;
+    p.numLoops = 2;
+    p.blocksPerLoop = 3;
+    p.instrsPerBlock = 24;
+    p.tripCount = 384;
+    p.guardFraction = 0.15;
+    p.wIntAlu = 1.0;
+    p.wFpAlu = 0.55;
+    p.wFpMult = 0.3;
+    p.wLoad = 0.30;
+    p.wStore = 0.20;
+    p.ilpChains = 4.5;
+    p.indepFraction = 0.2;
+    p.loadDepBias = 0.04;
+    p.wSeq = 0.85;
+    p.wStrided = 0.15;
+    p.numRegions = 2;
+    p.regionKB = 16384;
+    p.guardTakenBias = 0.1;
+    p.hardBranchFraction = 0.02;
+    p.correlatedFraction = 0.2;
+    v.push_back(p);
+
+    // ---- hmmer: profile HMM inner loop, ALU-dense, cache-resident -------
+    p = BenchmarkProfile{};
+    p.name = "hmmer";
+    p.seed = 257;
+    p.numLoops = 2;
+    p.blocksPerLoop = 4;
+    p.instrsPerBlock = 18;
+    p.tripCount = 256;
+    p.guardFraction = 0.25;
+    p.wIntAlu = 1.0;
+    p.wLoad = 0.30;
+    p.wStore = 0.10;
+    p.ilpChains = 4.0;
+    p.indepFraction = 0.2;
+    p.loadDepBias = 0.08;
+    p.wSeq = 0.8;
+    p.wStrided = 0.2;
+    p.numRegions = 3;
+    p.regionKB = 96;
+    p.guardTakenBias = 0.2;
+    p.hardBranchFraction = 0.06;
+    p.correlatedFraction = 0.25;
+    v.push_back(p);
+
+    // ---- sjeng: game-tree search, mispredict-dominated -------------------
+    p = BenchmarkProfile{};
+    p.name = "sjeng";
+    p.seed = 263;
+    p.numLoops = 12;
+    p.blocksPerLoop = 6;
+    p.instrsPerBlock = 8;
+    p.tripCount = 48;
+    p.guardFraction = 0.7;
+    p.wIntAlu = 1.0;
+    p.wLoad = 0.26;
+    p.wStore = 0.08;
+    p.ilpChains = 2.3;
+    p.indepFraction = 0.12;
+    p.loadDepBias = 0.12;
+    p.wSeq = 0.35;
+    p.wRandom = 0.65;
+    p.numRegions = 3;
+    p.regionKB = 1024;
+    p.guardTakenBias = 0.45;
+    p.hardBranchFraction = 0.35;
+    p.correlatedFraction = 0.1;
+    v.push_back(p);
+
+    return v;
+}
+
+} // namespace
+
+const std::vector<BenchmarkProfile> &
+mibenchSuite()
+{
+    static const std::vector<BenchmarkProfile> suite = makeMibench();
+    return suite;
+}
+
+const std::vector<BenchmarkProfile> &
+specLikeSuite()
+{
+    static const std::vector<BenchmarkProfile> suite = makeSpecLike();
+    return suite;
+}
+
+const BenchmarkProfile &
+profileByName(const std::string &name)
+{
+    // Fig. 7 of the paper uses the MiBench binary names; map them to
+    // the canonical profile names used elsewhere.
+    static const std::map<std::string, std::string> aliases = {
+        {"cjpeg", "jpeg_c"},
+        {"djpeg", "jpeg_d"},
+        {"toast", "gsm_c"},
+    };
+    std::string wanted = name;
+    if (auto it = aliases.find(wanted); it != aliases.end())
+        wanted = it->second;
+
+    for (const auto &p : mibenchSuite()) {
+        if (p.name == wanted)
+            return p;
+    }
+    for (const auto &p : specLikeSuite()) {
+        if (p.name == wanted)
+            return p;
+    }
+    fatal("unknown benchmark profile '", name, "'");
+}
+
+} // namespace mech

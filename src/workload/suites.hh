@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Named benchmark-profile suites.
+ *
+ * mibenchSuite() returns the 19 MiBench-like profiles the paper
+ * validates on (Fig. 3); specLikeSuite() returns the memory-intensive
+ * SPEC-CPU2006-like profiles of Fig. 6.  Profiles are synthetic
+ * substitutes (see DESIGN.md §1) whose knobs mirror each benchmark's
+ * published character: ILP, mul/div density, memory footprint and
+ * patterns, branch behaviour, and static code footprint.
+ */
+
+#ifndef MECH_WORKLOAD_SUITES_HH
+#define MECH_WORKLOAD_SUITES_HH
+
+#include <string>
+#include <vector>
+
+#include "workload/profile.hh"
+
+namespace mech {
+
+/** The 19 MiBench-like benchmark profiles (paper §4, Fig. 3). */
+const std::vector<BenchmarkProfile> &mibenchSuite();
+
+/** Memory-intensive SPEC-CPU2006-like profiles (Fig. 6). */
+const std::vector<BenchmarkProfile> &specLikeSuite();
+
+/**
+ * Look up a profile by name across all suites.
+ *
+ * Aliases used by the paper's Fig. 7 (cjpeg/djpeg/toast for
+ * jpeg_c/jpeg_d/gsm_c) resolve to their canonical profiles.
+ *
+ * Calls fatal() if the name is unknown (user error).
+ */
+const BenchmarkProfile &profileByName(const std::string &name);
+
+} // namespace mech
+
+#endif // MECH_WORKLOAD_SUITES_HH

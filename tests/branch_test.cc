@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Unit tests for the branch-predictor substrate: learning behaviour
+ * of each design on deterministic patterns, hardware budgets, and the
+ * single-pass multi-predictor profiler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "branch/predictor.hh"
+#include "branch/profiler.hh"
+
+namespace mech {
+namespace {
+
+/** Run @p n outcomes of a pattern through a predictor; return hits. */
+std::uint64_t
+trainOn(BranchPredictor &pred, Addr pc, const std::vector<bool> &pattern,
+        int repeats)
+{
+    std::uint64_t hits = 0;
+    for (int r = 0; r < repeats; ++r) {
+        for (bool taken : pattern) {
+            if (pred.predict(pc) == taken)
+                ++hits;
+            pred.update(pc, taken);
+        }
+    }
+    return hits;
+}
+
+TEST(StaticPredictors, FixedDirection)
+{
+    auto nt = makePredictor(PredictorKind::NotTaken);
+    auto tk = makePredictor(PredictorKind::Taken);
+    EXPECT_FALSE(nt->predict(0x1000));
+    EXPECT_TRUE(tk->predict(0x1000));
+    nt->update(0x1000, true);
+    EXPECT_FALSE(nt->predict(0x1000)); // static never learns
+}
+
+TEST(Bimodal, LearnsBias)
+{
+    auto p = makePredictor(PredictorKind::Bimodal);
+    std::uint64_t hits = trainOn(*p, 0x1000, {true}, 100);
+    EXPECT_GE(hits, 98u); // misses at most the warmup
+}
+
+TEST(Bimodal, HysteresisSurvivesSingleFlip)
+{
+    auto p = makePredictor(PredictorKind::Bimodal);
+    trainOn(*p, 0x1000, {true}, 10);
+    p->update(0x1000, false); // one not-taken
+    EXPECT_TRUE(p->predict(0x1000)); // 2-bit counter keeps taken
+}
+
+TEST(Bimodal, CannotLearnAlternation)
+{
+    auto p = makePredictor(PredictorKind::Bimodal);
+    std::uint64_t hits = trainOn(*p, 0x1000, {true, false}, 200);
+    // A history-less 2-bit counter is at chance on T/N/T/N.
+    EXPECT_LE(hits, 240u);
+}
+
+TEST(Gshare, LearnsAlternation)
+{
+    auto p = makePredictor(PredictorKind::Gshare1K);
+    trainOn(*p, 0x1000, {true, false}, 50); // warmup
+    std::uint64_t hits = trainOn(*p, 0x1000, {true, false}, 100);
+    EXPECT_GE(hits, 195u); // history disambiguates the phases
+}
+
+TEST(Gshare, LearnsLoopExitPattern)
+{
+    // Taken 7x then not-taken once (8-iteration loop): needs history.
+    std::vector<bool> loop(8, true);
+    loop[7] = false;
+    auto p = makePredictor(PredictorKind::Gshare1K);
+    trainOn(*p, 0x1000, loop, 30);
+    std::uint64_t hits = trainOn(*p, 0x1000, loop, 50);
+    EXPECT_GE(hits, 390u); // 400 executions, near-perfect
+}
+
+TEST(Local, LearnsPerBranchPattern)
+{
+    auto p = makePredictor(PredictorKind::Local);
+    std::vector<bool> pat = {true, true, false};
+    trainOn(*p, 0x1000, pat, 50);
+    std::uint64_t hits = trainOn(*p, 0x1000, pat, 100);
+    EXPECT_GE(hits, 290u);
+}
+
+TEST(Hybrid, AtLeastAsGoodAsComponentsOnMix)
+{
+    // Two branches: one alternating (global-friendly), one short
+    // periodic (local-friendly), interleaved.
+    auto run = [](PredictorKind kind) {
+        auto p = makePredictor(kind);
+        std::uint64_t hits = 0, total = 0;
+        bool alt = false;
+        for (int i = 0; i < 3000; ++i) {
+            alt = !alt;
+            bool t1 = alt;
+            if (p->predict(0x1000) == t1)
+                ++hits;
+            p->update(0x1000, t1);
+            bool t2 = (i % 3) != 2;
+            if (p->predict(0x2000) == t2)
+                ++hits;
+            p->update(0x2000, t2);
+            total += 2;
+        }
+        return static_cast<double>(hits) / static_cast<double>(total);
+    };
+    double hybrid = run(PredictorKind::Hybrid3K5);
+    EXPECT_GE(hybrid, 0.93);
+}
+
+TEST(Hybrid, Resets)
+{
+    auto p = makePredictor(PredictorKind::Hybrid3K5);
+    trainOn(*p, 0x1000, {true}, 50);
+    p->reset();
+    // After reset the default (weakly taken counters, empty history)
+    // prediction must be deterministic.
+    EXPECT_EQ(p->predict(0x1000), p->predict(0x1000));
+}
+
+TEST(PredictorBytes, MatchesTable2Budgets)
+{
+    EXPECT_EQ(predictorBytes(PredictorKind::Gshare1K), 1024u);
+    EXPECT_EQ(predictorBytes(PredictorKind::Hybrid3K5), 3584u); // 3.5 KiB
+    EXPECT_EQ(predictorBytes(PredictorKind::NotTaken), 0u);
+}
+
+TEST(PredictorNames, AreDistinct)
+{
+    EXPECT_NE(predictorName(PredictorKind::Gshare1K),
+              predictorName(PredictorKind::Hybrid3K5));
+    EXPECT_NE(predictorName(PredictorKind::Bimodal),
+              predictorName(PredictorKind::Local));
+}
+
+// ---- BranchProfiler ----------------------------------------------------------
+
+TEST(BranchProfiler, CountsBranchesPerPredictor)
+{
+    BranchProfiler prof({PredictorKind::NotTaken, PredictorKind::Taken});
+    for (int i = 0; i < 10; ++i)
+        prof.observe(0x1000, true);
+    const auto &nt = prof.profileFor(PredictorKind::NotTaken);
+    const auto &tk = prof.profileFor(PredictorKind::Taken);
+    EXPECT_EQ(nt.branches, 10u);
+    EXPECT_EQ(nt.mispredicts, 10u);
+    EXPECT_EQ(tk.mispredicts, 0u);
+    EXPECT_EQ(tk.predictedTaken, 10u);
+    EXPECT_EQ(tk.predictedTakenCorrect, 10u);
+}
+
+TEST(BranchProfiler, PredictedTakenCorrectExcludesWrongTaken)
+{
+    BranchProfiler prof({PredictorKind::Taken});
+    prof.observe(0x1000, false); // predicted taken, actually not
+    prof.observe(0x1000, true);  // predicted taken, actually taken
+    const auto &p = prof.profileFor(PredictorKind::Taken);
+    EXPECT_EQ(p.predictedTaken, 2u);
+    EXPECT_EQ(p.predictedTakenCorrect, 1u);
+    EXPECT_EQ(p.mispredicts, 1u);
+}
+
+TEST(BranchProfiler, RateComputation)
+{
+    BranchProfile p;
+    EXPECT_DOUBLE_EQ(p.rate(), 0.0);
+    p.branches = 10;
+    p.mispredicts = 3;
+    EXPECT_DOUBLE_EQ(p.rate(), 0.3);
+}
+
+TEST(BranchProfiler, SinglePassMatchesSeparatePasses)
+{
+    // Profiling two predictors together must equal profiling each
+    // alone (no cross-predictor interference).
+    std::vector<std::pair<Addr, bool>> stream;
+    for (int i = 0; i < 500; ++i)
+        stream.push_back({0x1000 + (i % 7) * 4, (i % 3) != 0});
+
+    BranchProfiler combined(
+        {PredictorKind::Gshare1K, PredictorKind::Hybrid3K5});
+    BranchProfiler alone(
+        {PredictorKind::Gshare1K});
+    for (auto [pc, taken] : stream) {
+        combined.observe(pc, taken);
+        alone.observe(pc, taken);
+    }
+    EXPECT_EQ(combined.profileFor(PredictorKind::Gshare1K).mispredicts,
+              alone.profileFor(PredictorKind::Gshare1K).mispredicts);
+}
+
+} // namespace
+} // namespace mech

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Unit and property tests for the cache substrate: set-associative
+ * LRU cache, TLB, two-level hierarchy, and the single-pass
+ * stack-distance simulator (whose counts must equal per-configuration
+ * simulation exactly — the key Mattson inclusion property).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "cache/hierarchy.hh"
+#include "cache/miss_stream.hh"
+#include "cache/stack_sim.hh"
+#include "cache/tlb.hh"
+#include "common/rng.hh"
+
+namespace mech {
+namespace {
+
+// ---- SetAssocCache ----------------------------------------------------------
+
+TEST(Cache, ColdMissThenHit)
+{
+    SetAssocCache c({1024, 2, 64});
+    EXPECT_FALSE(c.access(0x100));
+    EXPECT_TRUE(c.access(0x100));
+    EXPECT_TRUE(c.access(0x13f)); // same 64B block
+    EXPECT_EQ(c.stats().misses, 1u);
+    EXPECT_EQ(c.stats().hits, 2u);
+}
+
+TEST(Cache, DifferentBlocksMissSeparately)
+{
+    SetAssocCache c({1024, 2, 64});
+    EXPECT_FALSE(c.access(0x000));
+    EXPECT_FALSE(c.access(0x040));
+    EXPECT_TRUE(c.access(0x000));
+    EXPECT_TRUE(c.access(0x040));
+}
+
+TEST(Cache, LruEvictionOrder)
+{
+    // 2-way, 1 set: 128B total with 64B blocks.
+    SetAssocCache c({128, 2, 64});
+    c.access(0x0000); // A
+    c.access(0x1000); // B
+    c.access(0x0000); // touch A: B is now LRU
+    c.access(0x2000); // C evicts B
+    EXPECT_TRUE(c.contains(0x0000));
+    EXPECT_FALSE(c.contains(0x1000));
+    EXPECT_TRUE(c.contains(0x2000));
+}
+
+TEST(Cache, AssociativityConfinesConflicts)
+{
+    // Direct-mapped: two blocks mapping to the same set thrash.
+    SetAssocCache dm({1024, 1, 64});
+    std::uint64_t sets = dm.config().numSets();
+    Addr a = 0, b = sets * 64; // same set index
+    dm.access(a);
+    dm.access(b);
+    EXPECT_FALSE(dm.contains(a));
+
+    // 2-way holds both.
+    SetAssocCache c2({2048, 2, 64});
+    std::uint64_t sets2 = c2.config().numSets();
+    Addr a2 = 0, b2 = sets2 * 64;
+    c2.access(a2);
+    c2.access(b2);
+    EXPECT_TRUE(c2.contains(a2));
+    EXPECT_TRUE(c2.contains(b2));
+}
+
+TEST(Cache, FlushInvalidatesContents)
+{
+    SetAssocCache c({1024, 4, 64});
+    c.access(0x40);
+    c.flush();
+    EXPECT_FALSE(c.contains(0x40));
+    EXPECT_EQ(c.stats().misses, 1u); // stats preserved
+}
+
+TEST(Cache, GeometryAccessors)
+{
+    CacheConfig cfg{32 * 1024, 4, 64};
+    EXPECT_EQ(cfg.numSets(), 128u);
+    SetAssocCache c(cfg);
+    EXPECT_EQ(c.config().sizeBytes, 32u * 1024u);
+}
+
+TEST(CacheStats, MissRatio)
+{
+    CacheStats s;
+    EXPECT_DOUBLE_EQ(s.missRatio(), 0.0);
+    s.hits = 3;
+    s.misses = 1;
+    EXPECT_DOUBLE_EQ(s.missRatio(), 0.25);
+}
+
+// ---- Tlb ----------------------------------------------------------------------
+
+TEST(Tlb, HitsWithinPage)
+{
+    Tlb t({4, 4096});
+    EXPECT_FALSE(t.access(0x1000));
+    EXPECT_TRUE(t.access(0x1fff));
+    EXPECT_FALSE(t.access(0x2000)); // next page
+    EXPECT_EQ(t.missCount(), 2u);
+    EXPECT_EQ(t.hitCount(), 1u);
+}
+
+TEST(Tlb, LruReplacement)
+{
+    Tlb t({2, 4096});
+    t.access(0x0000);  // page 0
+    t.access(0x1000);  // page 1
+    t.access(0x0000);  // touch page 0
+    t.access(0x2000);  // page 2 evicts page 1
+    EXPECT_TRUE(t.access(0x0000));
+    EXPECT_FALSE(t.access(0x1000));
+}
+
+// ---- CacheHierarchy -------------------------------------------------------------
+
+TEST(Hierarchy, FetchClassifiesLevels)
+{
+    HierarchyConfig cfg;
+    CacheHierarchy h(cfg);
+    HierAccess first = h.fetch(0x1000);
+    EXPECT_EQ(first.level, MemLevel::Memory); // cold: misses both
+    HierAccess second = h.fetch(0x1000);
+    EXPECT_EQ(second.level, MemLevel::L1);
+}
+
+TEST(Hierarchy, L2CatchesL1Evictions)
+{
+    HierarchyConfig cfg;
+    cfg.l1i = {128, 1, 64};      // tiny direct-mapped L1I
+    cfg.l2 = {64 * 1024, 8, 64}; // roomy L2
+    CacheHierarchy h(cfg);
+    Addr a = 0x0000, conflict = 0x0080; // same L1 set (2 sets of 64B)
+    h.fetch(a);
+    h.fetch(conflict); // evicts a from L1I, both in L2
+    HierAccess res = h.fetch(a);
+    EXPECT_EQ(res.level, MemLevel::L2);
+}
+
+TEST(Hierarchy, DataAndInstrSidesAreSplit)
+{
+    HierarchyConfig cfg;
+    CacheHierarchy h(cfg);
+    h.fetch(0x1000);
+    // Same address on the data side still misses L1D (split caches)
+    // but hits the unified L2.
+    HierAccess res = h.data(0x1000, false);
+    EXPECT_EQ(res.level, MemLevel::L2);
+}
+
+TEST(Hierarchy, TlbMissFlagIndependentOfCache)
+{
+    HierarchyConfig cfg;
+    CacheHierarchy h(cfg);
+    HierAccess first = h.data(0x5000, false);
+    EXPECT_TRUE(first.tlbMiss);
+    HierAccess second = h.data(0x5008, false);
+    EXPECT_FALSE(second.tlbMiss);
+}
+
+// ---- replayMisses ----------------------------------------------------------------
+
+TEST(MissStream, ReplayCountsColdMisses)
+{
+    MemRefStream stream = {{0x000, false}, {0x040, false}, {0x000, false}};
+    EXPECT_EQ(replayMisses(stream, {1024, 2, 64}), 2u);
+}
+
+// ---- StackDistanceSimulator: unit behaviour ---------------------------------------
+
+TEST(StackSim, ColdAccessesAreDeepMisses)
+{
+    StackDistanceSimulator s(1, 64, 8);
+    s.access(0x000);
+    s.access(0x040);
+    EXPECT_EQ(s.hitsForAssoc(8), 0u);
+    EXPECT_EQ(s.missesForAssoc(1), 2u);
+}
+
+TEST(StackSim, DistanceOneIsMruHit)
+{
+    StackDistanceSimulator s(1, 64, 8);
+    s.access(0x000);
+    s.access(0x000);
+    EXPECT_EQ(s.hitsForAssoc(1), 1u);
+}
+
+TEST(StackSim, InclusionAcrossAssociativities)
+{
+    StackDistanceSimulator s(2, 64, 16);
+    Rng rng(5);
+    for (int i = 0; i < 4000; ++i)
+        s.access(rng.below(64) * 64);
+    for (std::uint32_t a = 2; a <= 16; ++a)
+        EXPECT_GE(s.hitsForAssoc(a), s.hitsForAssoc(a - 1));
+}
+
+// ---- StackDistanceSimulator == SetAssocCache (Mattson property) --------------------
+
+struct StackEquivParam
+{
+    std::uint64_t numSets;
+    std::uint32_t assoc;
+    std::uint64_t addrSpaceBlocks;
+    std::uint64_t seed;
+};
+
+class StackEquivalence : public ::testing::TestWithParam<StackEquivParam>
+{
+};
+
+TEST_P(StackEquivalence, SinglePassMatchesPerConfigSimulation)
+{
+    const auto &p = GetParam();
+    StackDistanceSimulator stack(p.numSets, 64, 32);
+    SetAssocCache cache(
+        {p.numSets * p.assoc * 64, p.assoc, 64});
+
+    Rng rng(p.seed);
+    std::uint64_t cache_misses = 0;
+    for (int i = 0; i < 20000; ++i) {
+        // Mix of streaming and random references.
+        Addr addr = rng.chance(0.5)
+                        ? static_cast<Addr>(i % p.addrSpaceBlocks) * 64
+                        : rng.below(p.addrSpaceBlocks) * 64;
+        stack.access(addr);
+        if (!cache.access(addr))
+            ++cache_misses;
+    }
+    EXPECT_EQ(stack.missesForAssoc(p.assoc), cache_misses);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, StackEquivalence,
+    ::testing::Values(StackEquivParam{1, 1, 16, 3},
+                      StackEquivParam{1, 4, 64, 5},
+                      StackEquivParam{4, 2, 128, 7},
+                      StackEquivParam{16, 8, 1024, 11},
+                      StackEquivParam{64, 4, 4096, 13},
+                      StackEquivParam{8, 16, 512, 17},
+                      StackEquivParam{256, 8, 16384, 19}));
+
+} // namespace
+} // namespace mech

@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Unit tests for the common substrate: RNG, histogram, summary
+ * statistics, error metrics and the text-table printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/histogram.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+namespace mech {
+namespace {
+
+// ---- Rng ------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ZeroSeedIsUsable)
+{
+    Rng r(0);
+    EXPECT_NE(r.next(), 0u);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(13), 13u);
+}
+
+TEST(Rng, BelowCoversAllValues)
+{
+    Rng r(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 500; ++i)
+        seen.insert(r.below(5));
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(13);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        std::int64_t v = r.range(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        saw_lo |= v == -2;
+        saw_hi |= v == 2;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(17);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng r(19);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += r.chance(0.3);
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, WeightedRespectsWeights)
+{
+    Rng r(23);
+    std::vector<double> w = {1.0, 0.0, 3.0};
+    int counts[3] = {0, 0, 0};
+    for (int i = 0; i < 8000; ++i)
+        ++counts[r.weighted(w)];
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.5);
+}
+
+TEST(Rng, PowerLawFavorsSmallValues)
+{
+    Rng r(29);
+    std::uint64_t ones = 0, fours = 0;
+    for (int i = 0; i < 8000; ++i) {
+        std::uint64_t d = r.powerLaw(1.5, 8);
+        EXPECT_GE(d, 1u);
+        EXPECT_LE(d, 8u);
+        ones += d == 1;
+        fours += d == 4;
+    }
+    EXPECT_GT(ones, fours * 2);
+}
+
+TEST(Rng, GeometricBounded)
+{
+    Rng r(31);
+    for (int i = 0; i < 200; ++i)
+        EXPECT_LE(r.geometric(0.9, 5), 5u);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng a(37);
+    Rng b = a.fork();
+    EXPECT_NE(a.next(), b.next());
+}
+
+// ---- Histogram --------------------------------------------------------------
+
+TEST(Histogram, StartsEmpty)
+{
+    Histogram h;
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.at(0), 0u);
+    EXPECT_EQ(h.at(100), 0u);
+    EXPECT_EQ(h.maxKey(), 0u);
+}
+
+TEST(Histogram, AddAndQuery)
+{
+    Histogram h;
+    h.add(3);
+    h.add(3);
+    h.add(7, 5);
+    EXPECT_EQ(h.at(3), 2u);
+    EXPECT_EQ(h.at(7), 5u);
+    EXPECT_EQ(h.total(), 7u);
+    EXPECT_EQ(h.maxKey(), 7u);
+}
+
+TEST(Histogram, SumRange)
+{
+    Histogram h;
+    for (std::uint64_t k = 0; k < 10; ++k)
+        h.add(k, k);
+    EXPECT_EQ(h.sumRange(2, 4), 2u + 3u + 4u);
+    EXPECT_EQ(h.sumRange(8, 100), 8u + 9u);
+    EXPECT_EQ(h.sumRange(20, 30), 0u);
+}
+
+TEST(Histogram, Mean)
+{
+    Histogram h;
+    h.add(2, 2);
+    h.add(4, 2);
+    EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+}
+
+TEST(Histogram, Merge)
+{
+    Histogram a, b;
+    a.add(1, 2);
+    b.add(1, 3);
+    b.add(9, 1);
+    a.merge(b);
+    EXPECT_EQ(a.at(1), 5u);
+    EXPECT_EQ(a.at(9), 1u);
+    EXPECT_EQ(a.total(), 6u);
+}
+
+TEST(Histogram, Clear)
+{
+    Histogram h;
+    h.add(5, 5);
+    h.clear();
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.at(5), 0u);
+}
+
+// ---- SummaryStats ------------------------------------------------------------
+
+TEST(SummaryStats, Empty)
+{
+    SummaryStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(SummaryStats, MeanMinMax)
+{
+    SummaryStats s;
+    for (double v : {2.0, 4.0, 6.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 6.0);
+    EXPECT_EQ(s.count(), 3u);
+}
+
+TEST(SummaryStats, Stddev)
+{
+    SummaryStats s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_NEAR(s.stddev(), 2.0, 1e-9);
+}
+
+// ---- error metrics -------------------------------------------------------------
+
+TEST(ErrorMetrics, AbsRelativeError)
+{
+    EXPECT_DOUBLE_EQ(absRelativeError(110.0, 100.0), 0.1);
+    EXPECT_DOUBLE_EQ(absRelativeError(90.0, 100.0), 0.1);
+    EXPECT_DOUBLE_EQ(absRelativeError(100.0, 100.0), 0.0);
+}
+
+TEST(ErrorMetrics, EmpiricalCdf)
+{
+    std::vector<double> samples = {0.01, 0.02, 0.03, 0.10};
+    auto cdf = empiricalCdf(samples, {0.0, 0.02, 0.05, 0.2});
+    ASSERT_EQ(cdf.size(), 4u);
+    EXPECT_DOUBLE_EQ(cdf[0], 0.0);
+    EXPECT_DOUBLE_EQ(cdf[1], 0.5);
+    EXPECT_DOUBLE_EQ(cdf[2], 0.75);
+    EXPECT_DOUBLE_EQ(cdf[3], 1.0);
+}
+
+TEST(ErrorMetrics, Percentile)
+{
+    std::vector<double> s = {5.0, 1.0, 3.0, 2.0, 4.0};
+    EXPECT_DOUBLE_EQ(percentile(s, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(s, 100.0), 5.0);
+    EXPECT_DOUBLE_EQ(percentile(s, 50.0), 3.0);
+}
+
+// ---- TextTable ------------------------------------------------------------------
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer", "2"});
+    std::ostringstream oss;
+    t.print(oss);
+    std::string out = oss.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TextTable, NumFormatsPrecision)
+{
+    EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
+    EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+} // namespace
+} // namespace mech

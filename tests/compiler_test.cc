@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Tests for the compiler passes: dataflow preservation under
+ * scheduling, distance changes per objective, spill insertion under
+ * register pressure, and unrolling arithmetic (paper §6.2 mechanisms).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "compiler/passes.hh"
+#include "workload/builder.hh"
+#include "workload/executor.hh"
+#include "workload/suites.hh"
+
+namespace mech {
+namespace {
+
+BenchmarkProfile
+schedProfile()
+{
+    BenchmarkProfile p;
+    p.name = "sched-test";
+    p.seed = 4242;
+    p.numLoops = 3;
+    p.blocksPerLoop = 3;
+    p.instrsPerBlock = 18;
+    p.tripCount = 16;
+    p.guardFraction = 0.3;
+    p.wLoad = 0.25;
+    p.wStore = 0.1;
+    p.ilpChains = 3.0;
+    p.indepFraction = 0.1;
+    return p;
+}
+
+/**
+ * Instruction fingerprint: stable across scheduling (PCs and stream
+ * ids are reassigned by the passes, operands are not).
+ */
+using InstFp = std::tuple<OpClass, RegIndex, RegIndex, RegIndex>;
+
+InstFp
+fingerprint(const StaticInst &si)
+{
+    return {si.op, si.dst, si.src1, si.src2};
+}
+
+/**
+ * RAW dataflow signature of a block: the multiset of (producer
+ * fingerprint, source register, consumer fingerprint) edges under
+ * last-writer semantics.  Any reordering that changes which producer
+ * feeds which consumer changes this signature.
+ */
+std::multiset<std::tuple<InstFp, RegIndex, InstFp>>
+rawEdges(const std::vector<StaticInst> &body)
+{
+    std::multiset<std::tuple<InstFp, RegIndex, InstFp>> edges;
+    std::map<RegIndex, InstFp> last_def;
+    for (const auto &si : body) {
+        for (RegIndex src : {si.src1, si.src2}) {
+            if (src == kNoReg)
+                continue;
+            auto it = last_def.find(src);
+            if (it != last_def.end())
+                edges.insert({it->second, src, fingerprint(si)});
+        }
+        if (si.dst != kNoReg)
+            last_def[si.dst] = fingerprint(si);
+    }
+    return edges;
+}
+
+/** Mean def-use RAW distance over all blocks of a program. */
+double
+meanRawDistance(const Program &prog)
+{
+    std::uint64_t total = 0, count = 0;
+    for (const auto &loop : prog.loops) {
+        for (const auto &block : loop.blocks) {
+            std::map<RegIndex, std::size_t> last_def;
+            for (std::size_t i = 0; i < block.body.size(); ++i) {
+                const auto &si = block.body[i];
+                for (RegIndex src : {si.src1, si.src2}) {
+                    if (src == kNoReg)
+                        continue;
+                    auto it = last_def.find(src);
+                    if (it != last_def.end()) {
+                        total += i - it->second;
+                        ++count;
+                    }
+                }
+                if (si.dst != kNoReg)
+                    last_def[si.dst] = i;
+            }
+        }
+    }
+    return count ? static_cast<double>(total) /
+                       static_cast<double>(count)
+                 : 0.0;
+}
+
+// ---- scheduling ------------------------------------------------------------------
+
+TEST(Scheduler, PreservesRawDataflow)
+{
+    Program prog = buildProgram(schedProfile());
+    // Capture dataflow signatures before scheduling.
+    std::vector<std::multiset<std::tuple<InstFp, RegIndex, InstFp>>>
+        before;
+    for (const auto &loop : prog.loops)
+        for (const auto &block : loop.blocks)
+            before.push_back(rawEdges(block.body));
+
+    SchedOptions opt;
+    opt.goal = SchedGoal::Spread;
+    opt.modelSpills = false; // keep instruction sets identical
+    scheduleProgram(prog, opt);
+
+    std::size_t k = 0;
+    for (const auto &loop : prog.loops) {
+        for (const auto &block : loop.blocks) {
+            EXPECT_EQ(rawEdges(block.body), before[k])
+                << "dataflow changed in block " << k;
+            ++k;
+        }
+    }
+}
+
+TEST(Scheduler, SpreadIncreasesDistances)
+{
+    Program tight = buildProgram(schedProfile());
+    SchedOptions t;
+    t.goal = SchedGoal::Tighten;
+    scheduleProgram(tight, t);
+
+    Program spread = buildProgram(schedProfile());
+    SchedOptions s;
+    s.goal = SchedGoal::Spread;
+    s.modelSpills = false;
+    scheduleProgram(spread, s);
+
+    EXPECT_GT(meanRawDistance(spread), meanRawDistance(tight));
+}
+
+TEST(Scheduler, TightenKeepsInstructionCount)
+{
+    Program prog = buildProgram(schedProfile());
+    std::uint64_t before = prog.staticInstCount();
+    SchedOptions opt;
+    opt.goal = SchedGoal::Tighten;
+    scheduleProgram(prog, opt);
+    EXPECT_EQ(prog.staticInstCount(), before);
+}
+
+TEST(Scheduler, SpillsAddInstructionsUnderPressure)
+{
+    BenchmarkProfile p = schedProfile();
+    p.instrsPerBlock = 40; // long blocks -> long live ranges
+    p.ilpChains = 8.0;     // many parallel chains -> high pressure
+    Program prog = buildProgram(p);
+    std::uint64_t before = prog.staticInstCount();
+
+    SchedOptions opt;
+    opt.goal = SchedGoal::Spread;
+    opt.modelSpills = true;
+    opt.availRegs = 4; // brutal budget forces spills
+    std::uint64_t pairs = scheduleProgram(prog, opt);
+    EXPECT_GT(pairs, 0u);
+    EXPECT_EQ(prog.staticInstCount(), before + 2 * pairs);
+}
+
+TEST(Scheduler, NoSpillsWithGenerousBudget)
+{
+    Program prog = buildProgram(schedProfile());
+    SchedOptions opt;
+    opt.goal = SchedGoal::Spread;
+    opt.availRegs = 32;
+    EXPECT_EQ(scheduleProgram(prog, opt), 0u);
+}
+
+TEST(Scheduler, ScheduledProgramExecutes)
+{
+    Program prog = buildProgram(schedProfile());
+    SchedOptions opt;
+    opt.goal = SchedGoal::Spread;
+    opt.availRegs = 12;
+    scheduleProgram(prog, opt);
+    TraceExecutor exec(prog, 1);
+    Trace tr = exec.run(4000);
+    std::string err;
+    EXPECT_TRUE(validateTrace(tr, &err)) << err;
+}
+
+// ---- unrolling --------------------------------------------------------------------
+
+TEST(Unroller, ReplicatesBodiesAndDividesTrips)
+{
+    Program prog = buildProgram(schedProfile());
+    std::uint64_t body_before = 0;
+    for (const auto &b : prog.loops[0].blocks)
+        body_before += b.body.size();
+    std::size_t blocks_before = prog.loops[0].blocks.size();
+    std::uint64_t trips_before = prog.loops[0].tripCount;
+
+    unrollLoops(prog, 4);
+
+    // Body instructions replicate 4x; unguarded copies fuse, so the
+    // block count shrinks relative to a naive 4x replication.
+    std::uint64_t body_after = 0;
+    for (const auto &b : prog.loops[0].blocks)
+        body_after += b.body.size();
+    EXPECT_EQ(body_after, body_before * 4);
+    EXPECT_LE(prog.loops[0].blocks.size(), blocks_before * 4);
+    EXPECT_EQ(prog.loops[0].tripCount, (trips_before + 3) / 4);
+}
+
+TEST(Unroller, FusionKeepsGuardBoundaries)
+{
+    BenchmarkProfile p = schedProfile();
+    p.guardFraction = 1.0; // every block guarded: nothing fuses
+    Program prog = buildProgram(p);
+    std::size_t blocks_before = prog.loops[0].blocks.size();
+    unrollLoops(prog, 2);
+    EXPECT_EQ(prog.loops[0].blocks.size(), blocks_before * 2);
+    for (const auto &b : prog.loops[0].blocks)
+        EXPECT_TRUE(b.guarded);
+}
+
+TEST(Unroller, FactorOneIsIdentity)
+{
+    Program prog = buildProgram(schedProfile());
+    std::uint64_t before = prog.staticInstCount();
+    unrollLoops(prog, 1);
+    EXPECT_EQ(prog.staticInstCount(), before);
+}
+
+TEST(Unroller, ReducesDynamicBranchFraction)
+{
+    BenchmarkProfile p = schedProfile();
+    p.guardFraction = 0.0; // only back edges: the clearest signal
+    Program base = buildProgram(p);
+    Program unrolled = buildProgram(p);
+    unrollLoops(unrolled, 4);
+
+    TraceExecutor be(base, 3), ue(unrolled, 3);
+    double fb = be.run(20000).mix().fraction(OpClass::Branch);
+    double fu = ue.run(20000).mix().fraction(OpClass::Branch);
+    EXPECT_LT(fu, fb);
+}
+
+TEST(Unroller, UnrolledProgramExecutesValidly)
+{
+    Program prog = buildProgram(schedProfile());
+    unrollLoops(prog, 4);
+    SchedOptions opt;
+    opt.goal = SchedGoal::Spread;
+    opt.modelSpills = true;
+    scheduleProgram(prog, opt);
+    TraceExecutor exec(prog, 9);
+    Trace tr = exec.run(5000);
+    std::string err;
+    EXPECT_TRUE(validateTrace(tr, &err)) << err;
+}
+
+TEST(Unroller, PcsReassignedContiguously)
+{
+    Program prog = buildProgram(schedProfile());
+    unrollLoops(prog, 2);
+    Addr expected = kTextBase;
+    for (const auto &si : prog.prologue) {
+        EXPECT_EQ(si.pc, expected);
+        expected += kInstBytes;
+    }
+    for (const auto &loop : prog.loops) {
+        for (const auto &block : loop.blocks) {
+            if (block.guarded) {
+                EXPECT_EQ(block.guard.pc, expected);
+                expected += kInstBytes;
+            }
+            for (const auto &si : block.body) {
+                EXPECT_EQ(si.pc, expected);
+                expected += kInstBytes;
+            }
+        }
+        expected += 2 * kInstBytes; // counterInc + backEdge
+    }
+}
+
+} // namespace
+} // namespace mech

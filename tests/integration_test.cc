@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Integration tests: the whole stack end to end.  The headline
+ * contract — the mechanistic model predicts the cycle-accurate
+ * simulator within the paper's error bands — is enforced here, per
+ * benchmark and across widths.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dse/study.hh"
+#include "model/inorder_model.hh"
+#include "profiler/profiler.hh"
+#include "sim/inorder_sim.hh"
+#include "workload/executor.hh"
+#include "workload/suites.hh"
+
+namespace mech {
+namespace {
+
+constexpr InstCount kTraceLen = 60000;
+
+/** Model-vs-simulation relative CPI error for one benchmark/point. */
+double
+errorFor(const std::string &bench, const DesignPoint &point,
+         InstCount len = kTraceLen)
+{
+    DseStudy study(profileByName(bench), len);
+    PointEvaluation ev = study.evaluate(point, true);
+    return ev.cpiError();
+}
+
+// ---- per-benchmark error bands on the default configuration ---------------------
+
+class DefaultConfigError : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(DefaultConfigError, WithinPaperBand)
+{
+    // Paper Fig. 3: average 3.1%, maximum 8.4%.  Allow headroom for
+    // the synthetic substitution: every benchmark must be within 12%.
+    double err = errorFor(GetParam(), defaultDesignPoint());
+    EXPECT_LT(err, 0.12) << GetParam() << " error " << err * 100 << "%";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mibench, DefaultConfigError,
+    ::testing::Values("adpcm_c", "adpcm_d", "dijkstra", "gsm_c",
+                      "jpeg_d", "lame", "patricia", "qsort", "sha",
+                      "susan_c", "susan_s", "tiff2bw", "tiffdither",
+                      "tiffmedian"));
+
+TEST(DefaultConfigError, SuiteAverageBelowSixPercent)
+{
+    // Paper: 3.1% average on MiBench.  The synthetic suite must stay
+    // below 6% on a representative subset.
+    const char *subset[] = {"adpcm_c", "dijkstra", "gsm_c", "sha",
+                            "tiff2bw", "tiffdither", "patricia",
+                            "tiffmedian"};
+    double total = 0.0;
+    for (const char *b : subset)
+        total += errorFor(b, defaultDesignPoint());
+    EXPECT_LT(total / std::size(subset), 0.06);
+}
+
+// ---- across widths -----------------------------------------------------------------
+
+class WidthError : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(WidthError, TrioWithinBand)
+{
+    DesignPoint p = defaultDesignPoint();
+    p.width = GetParam();
+    for (const char *b : {"sha", "tiffdither", "dijkstra"}) {
+        double err = errorFor(b, p, 40000);
+        EXPECT_LT(err, 0.12)
+            << b << " at W=" << p.width << ": " << err * 100 << "%";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, WidthError,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+// ---- qualitative figure shapes -------------------------------------------------------
+
+TEST(FigureShapes, ShaScalesDijkstraSaturates)
+{
+    // Fig. 4's storyline: sha gains from width throughout; dijkstra
+    // gains little beyond W=2 because dependencies eat the base win.
+    auto cpi_at = [](const char *bench, std::uint32_t w) {
+        DseStudy study(profileByName(bench), 40000);
+        DesignPoint p = defaultDesignPoint();
+        p.width = w;
+        return study.evaluate(p, false).model.cpi();
+    };
+    double sha_gain = cpi_at("sha", 1) / cpi_at("sha", 4);
+    double dij_gain_late = cpi_at("dijkstra", 2) / cpi_at("dijkstra", 4);
+    EXPECT_GT(sha_gain, 1.6);
+    EXPECT_LT(dij_gain_late, 1.12);
+}
+
+TEST(FigureShapes, DependencyComponentGrowsWithWidth)
+{
+    DseStudy study(profileByName("dijkstra"), 40000);
+    DesignPoint w1 = defaultDesignPoint();
+    w1.width = 1;
+    DesignPoint w4 = defaultDesignPoint();
+    w4.width = 4;
+    double d1 = study.evaluate(w1, false).model.stack.dependencies();
+    double d4 = study.evaluate(w4, false).model.stack.dependencies();
+    EXPECT_GT(d4, d1);
+}
+
+TEST(FigureShapes, HybridPredictorBeatsGshareOnPatricia)
+{
+    Trace tr = generateTrace(profileByName("patricia"), kTraceLen);
+    ProfilerConfig cfg;
+    cfg.predictors = {PredictorKind::Gshare1K, PredictorKind::Hybrid3K5};
+    WorkloadProfile prof = profileTrace(tr, cfg);
+    EXPECT_LE(prof.branchProfileFor(PredictorKind::Hybrid3K5).rate(),
+              prof.branchProfileFor(PredictorKind::Gshare1K).rate() *
+                  1.05);
+}
+
+TEST(FigureShapes, SpecLikeIsMemoryBound)
+{
+    // Fig. 6: memory-intensive workloads reach much higher CPI.
+    DseStudy mcf(profileByName("mcf"), 40000);
+    DseStudy sha(profileByName("sha"), 40000);
+    DesignPoint p = defaultDesignPoint();
+    double mcf_cpi = mcf.evaluate(p, false).model.cpi();
+    double sha_cpi = sha.evaluate(p, false).model.cpi();
+    EXPECT_GT(mcf_cpi, 3.0 * sha_cpi);
+}
+
+TEST(FigureShapes, SpecLikeErrorWithinBand)
+{
+    // Paper Fig. 6: average 4.1%, max 10.7% on SPEC CPU2006.
+    for (const char *b : {"mcf", "libquantum", "hmmer"}) {
+        double err = errorFor(b, defaultDesignPoint(), 40000);
+        EXPECT_LT(err, 0.13) << b << ": " << err * 100 << "%";
+    }
+}
+
+// ---- profile once, predict many -------------------------------------------------------
+
+TEST(Workflow, OneProfileServesManyConfigurations)
+{
+    // The model evaluated via the captured profile must agree with a
+    // from-scratch profile at a different L2/predictor point.
+    const BenchmarkProfile &bench = profileByName("bzip2");
+    Trace tr = generateTrace(bench, kTraceLen);
+
+    DesignPoint alt = defaultDesignPoint();
+    alt.l2KB = 128;
+    alt.l2Assoc = 16;
+    alt.predictor = PredictorKind::Hybrid3K5;
+
+    // Path A: capture-once study.
+    DseStudy study(bench, kTraceLen);
+    double via_study = study.evaluate(alt, false).model.cycles;
+
+    // Path B: direct profile at the alternative configuration.
+    ProfilerConfig cfg;
+    cfg.hierarchy = hierarchyFor(alt);
+    cfg.predictors = {alt.predictor};
+    WorkloadProfile direct = profileTrace(tr, cfg);
+    double via_direct =
+        evaluateInOrder(direct.program, direct.memory,
+                        direct.branchProfileFor(alt.predictor),
+                        machineFor(alt))
+            .cycles;
+
+    EXPECT_NEAR(via_study, via_direct, via_direct * 1e-9);
+}
+
+} // namespace
+} // namespace mech

@@ -1,0 +1,375 @@
+/**
+ * @file
+ * Unit tests for the mechanistic in-order model: every penalty
+ * formula against hand-computed values (paper eqs. 1-16), stack
+ * consistency, and monotonicity properties across widths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string_view>
+
+#include "isa/machine_params.hh"
+#include "model/cpi_stack.hh"
+#include "model/inorder_model.hh"
+
+namespace mech {
+namespace {
+
+/** Machine with no long-latency classes (everything unit). */
+MachineParams
+unitMachine(std::uint32_t w, std::uint32_t d = 2)
+{
+    MachineParams m;
+    m.width = w;
+    m.frontendDepth = d;
+    m.latIntMult = 1;
+    m.latIntDiv = 1;
+    m.latFpAlu = 1;
+    m.latFpMult = 1;
+    m.latFpDiv = 1;
+    return m;
+}
+
+/** Program of n IntAlu instructions with no deps/branches. */
+ProgramStats
+plainProgram(InstCount n)
+{
+    ProgramStats p;
+    p.n = n;
+    p.mix.counts[static_cast<std::size_t>(OpClass::IntAlu)] = n;
+    p.mix.total = n;
+    return p;
+}
+
+// ---- eq. 3 helpers -----------------------------------------------------------
+
+TEST(Formulas, GroupOverlap)
+{
+    EXPECT_DOUBLE_EQ(groupOverlap(1), 0.0);
+    EXPECT_DOUBLE_EQ(groupOverlap(2), 0.25);
+    EXPECT_DOUBLE_EQ(groupOverlap(4), 0.375);
+}
+
+TEST(Formulas, CacheMissPenalty)
+{
+    // Eq. 3: MissLatency - (W-1)/2W.
+    EXPECT_DOUBLE_EQ(cacheMissPenalty(10, 4), 10.0 - 0.375);
+    EXPECT_DOUBLE_EQ(cacheMissPenalty(60, 1), 60.0);
+}
+
+TEST(Formulas, BranchMissPenalty)
+{
+    // Eq. 4: D + (W-1)/2W.
+    EXPECT_DOUBLE_EQ(branchMissPenalty(6, 4), 6.375);
+    EXPECT_DOUBLE_EQ(branchMissPenalty(2, 1), 2.0);
+}
+
+TEST(Formulas, LongLatencyPenalty)
+{
+    // Eq. 6: (latency - 1) - (W-1)/2W.
+    EXPECT_DOUBLE_EQ(longLatencyPenalty(4, 4), 3.0 - 0.375);
+    EXPECT_DOUBLE_EQ(longLatencyPenalty(20, 2), 19.0 - 0.25);
+}
+
+TEST(Formulas, UnitDepPenalty)
+{
+    // Eq. 11: ((W-d)/W)^2 for d < W, else 0.
+    EXPECT_DOUBLE_EQ(unitDepPenalty(1, 4), 0.5625);
+    EXPECT_DOUBLE_EQ(unitDepPenalty(2, 4), 0.25);
+    EXPECT_DOUBLE_EQ(unitDepPenalty(3, 4), 0.0625);
+    EXPECT_DOUBLE_EQ(unitDepPenalty(4, 4), 0.0);
+    EXPECT_DOUBLE_EQ(unitDepPenalty(1, 1), 0.0);
+}
+
+TEST(Formulas, LLDepPenalty)
+{
+    // Eq. 12: (W-d)/W for d < W.
+    EXPECT_DOUBLE_EQ(llDepPenalty(1, 4), 0.75);
+    EXPECT_DOUBLE_EQ(llDepPenalty(3, 4), 0.25);
+    EXPECT_DOUBLE_EQ(llDepPenalty(5, 4), 0.0);
+}
+
+TEST(Formulas, LoadDepPenaltyShortDistance)
+{
+    // Eq. 16 first sum: (W-d)/W * (2W-d)/W + d/W for d < W.
+    EXPECT_DOUBLE_EQ(loadDepPenalty(1, 4),
+                     0.75 * 1.75 + 0.25); // 1.5625
+    EXPECT_DOUBLE_EQ(loadDepPenalty(3, 4), 0.25 * 1.25 + 0.75);
+}
+
+TEST(Formulas, LoadDepPenaltyLongDistance)
+{
+    // Eq. 16 second sum: ((2W-d)/W)^2 for W <= d < 2W.
+    EXPECT_DOUBLE_EQ(loadDepPenalty(4, 4), 1.0);
+    EXPECT_DOUBLE_EQ(loadDepPenalty(6, 4), 0.25);
+    EXPECT_DOUBLE_EQ(loadDepPenalty(7, 4), 0.0625);
+    EXPECT_DOUBLE_EQ(loadDepPenalty(8, 4), 0.0);
+}
+
+TEST(Formulas, LoadDepPenaltyAtWidthOne)
+{
+    // W=1: only d=1 contributes, a full bubble.
+    EXPECT_DOUBLE_EQ(loadDepPenalty(1, 1), 1.0);
+    EXPECT_DOUBLE_EQ(loadDepPenalty(2, 1), 0.0);
+}
+
+// ---- full model: base term -----------------------------------------------------
+
+TEST(InOrderModel, IdealProgramIsBaseOnly)
+{
+    ProgramStats prog = plainProgram(1000);
+    MemoryStats mem;
+    BranchProfile bp;
+    ModelResult res = evaluateInOrder(prog, mem, bp, unitMachine(4));
+    EXPECT_DOUBLE_EQ(res.cycles, 250.0);
+    EXPECT_DOUBLE_EQ(res.stack[CpiComponent::Base], 250.0);
+    EXPECT_DOUBLE_EQ(res.cpi(), 0.25);
+}
+
+TEST(InOrderModel, StackSumsToTotal)
+{
+    ProgramStats prog = plainProgram(1000);
+    prog.mix.counts[static_cast<std::size_t>(OpClass::IntMult)] = 50;
+    prog.deps.of(OpClass::IntAlu).add(1, 100);
+    prog.deps.of(OpClass::Load).add(2, 40);
+    MemoryStats mem;
+    mem.loadL2Hits = 10;
+    mem.loadMemory = 5;
+    mem.itlbMisses = 2;
+    BranchProfile bp;
+    bp.mispredicts = 20;
+    bp.predictedTakenCorrect = 30;
+
+    MachineParams m;
+    m.width = 4;
+    ModelResult res = evaluateInOrder(prog, mem, bp, m);
+    EXPECT_NEAR(res.cycles, res.stack.total(), 1e-9);
+    EXPECT_GT(res.cycles, 250.0);
+}
+
+// ---- full model: each penalty in isolation --------------------------------------
+
+TEST(InOrderModel, MultiplyPenalty)
+{
+    ProgramStats prog = plainProgram(1000);
+    prog.mix.counts[static_cast<std::size_t>(OpClass::IntMult)] = 100;
+    MachineParams m;
+    m.width = 4;
+    m.latIntMult = 4;
+    ModelResult res =
+        evaluateInOrder(prog, MemoryStats{}, BranchProfile{}, m);
+    EXPECT_DOUBLE_EQ(res.stack[CpiComponent::LongLat],
+                     100.0 * (3.0 - 0.375));
+}
+
+TEST(InOrderModel, L2AccessAndMissSplit)
+{
+    ProgramStats prog = plainProgram(1000);
+    prog.mix.counts[static_cast<std::size_t>(OpClass::Load)] = 200;
+    MemoryStats mem;
+    mem.loadL2Hits = 20;
+    mem.loadMemory = 10;
+    MachineParams m = unitMachine(4);
+    m.l2HitCycles = 10;
+    m.memCycles = 60;
+    ModelResult res = evaluateInOrder(prog, mem, BranchProfile{}, m);
+    // Both L2-served loads and memory loads pay the L2 access term...
+    EXPECT_DOUBLE_EQ(res.stack[CpiComponent::L2Access],
+                     30.0 * (9.0 - 0.375));
+    // ...and memory loads additionally pay the full memory latency.
+    EXPECT_DOUBLE_EQ(res.stack[CpiComponent::L2Miss], 10.0 * 60.0);
+}
+
+TEST(InOrderModel, MultiCycleL1DHits)
+{
+    ProgramStats prog = plainProgram(1000);
+    prog.mix.counts[static_cast<std::size_t>(OpClass::Load)] = 100;
+    MachineParams m = unitMachine(4);
+    m.dl1HitCycles = 2;
+    ModelResult res =
+        evaluateInOrder(prog, MemoryStats{}, BranchProfile{}, m);
+    EXPECT_DOUBLE_EQ(res.stack[CpiComponent::L1DAccess],
+                     100.0 * (1.0 - 0.375));
+}
+
+TEST(InOrderModel, IFetchPenalties)
+{
+    ProgramStats prog = plainProgram(1000);
+    MemoryStats mem;
+    mem.iFetchL2Hits = 8;
+    mem.iFetchMemory = 2;
+    MachineParams m = unitMachine(4);
+    m.l2HitCycles = 10;
+    m.memCycles = 60;
+    ModelResult res = evaluateInOrder(prog, mem, BranchProfile{}, m);
+    EXPECT_DOUBLE_EQ(res.stack[CpiComponent::IFetchL2], 8.0 * 9.625);
+    EXPECT_DOUBLE_EQ(res.stack[CpiComponent::IFetchMem], 2.0 * 69.625);
+}
+
+TEST(InOrderModel, BranchPenalties)
+{
+    ProgramStats prog = plainProgram(1000);
+    BranchProfile bp;
+    bp.mispredicts = 10;
+    bp.predictedTakenCorrect = 40;
+    MachineParams m = unitMachine(4, 6);
+    ModelResult res = evaluateInOrder(prog, MemoryStats{}, bp, m);
+    EXPECT_DOUBLE_EQ(res.stack[CpiComponent::BpredMiss], 10.0 * 6.375);
+    EXPECT_DOUBLE_EQ(res.stack[CpiComponent::BpredTakenHit], 40.0);
+}
+
+TEST(InOrderModel, TlbPenalties)
+{
+    ProgramStats prog = plainProgram(1000);
+    MemoryStats mem;
+    mem.itlbMisses = 3;
+    mem.dtlbMisses = 5;
+    MachineParams m = unitMachine(4);
+    m.tlbMissCycles = 30;
+    ModelResult res = evaluateInOrder(prog, mem, BranchProfile{}, m);
+    EXPECT_DOUBLE_EQ(res.stack.tlb(), 8.0 * (30.0 - 0.375));
+}
+
+TEST(InOrderModel, DependencyClassification)
+{
+    // Producer class decides the formula: IntAlu -> unit, IntMult ->
+    // LL, Load -> load; the machine's latency table drives the split.
+    ProgramStats prog = plainProgram(1000);
+    prog.deps.of(OpClass::IntAlu).add(1, 10);
+    prog.deps.of(OpClass::IntMult).add(1, 10);
+    prog.deps.of(OpClass::Load).add(1, 10);
+    MachineParams m;
+    m.width = 4;
+    m.latIntMult = 4;
+    ModelResult res =
+        evaluateInOrder(prog, MemoryStats{}, BranchProfile{}, m);
+    EXPECT_DOUBLE_EQ(res.stack[CpiComponent::DepsUnit], 10.0 * 0.5625);
+    EXPECT_DOUBLE_EQ(res.stack[CpiComponent::DepsLL], 10.0 * 0.75);
+    EXPECT_DOUBLE_EQ(res.stack[CpiComponent::DepsLoad], 10.0 * 1.5625);
+}
+
+TEST(InOrderModel, UnitLatencyMultIsNotLongLatency)
+{
+    // If the machine executes multiplies in one cycle, deps on them
+    // use the unit formula and there is no LL penalty.
+    ProgramStats prog = plainProgram(1000);
+    prog.mix.counts[static_cast<std::size_t>(OpClass::IntMult)] = 100;
+    prog.deps.of(OpClass::IntMult).add(1, 10);
+    MachineParams m = unitMachine(4);
+    ModelResult res =
+        evaluateInOrder(prog, MemoryStats{}, BranchProfile{}, m);
+    EXPECT_DOUBLE_EQ(res.stack[CpiComponent::LongLat], 0.0);
+    EXPECT_DOUBLE_EQ(res.stack[CpiComponent::DepsLL], 0.0);
+    EXPECT_DOUBLE_EQ(res.stack[CpiComponent::DepsUnit], 10.0 * 0.5625);
+}
+
+TEST(InOrderModel, DistancesBeyondReachAreFree)
+{
+    ProgramStats prog = plainProgram(1000);
+    prog.deps.of(OpClass::IntAlu).add(4, 100);  // d >= W
+    prog.deps.of(OpClass::Load).add(8, 100);    // d >= 2W
+    MachineParams m = unitMachine(4);
+    ModelResult res =
+        evaluateInOrder(prog, MemoryStats{}, BranchProfile{}, m);
+    EXPECT_DOUBLE_EQ(res.stack.dependencies(), 0.0);
+}
+
+// ---- properties across widths -----------------------------------------------------
+
+class ModelWidthSweep : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(ModelWidthSweep, BaseCyclesScaleInversely)
+{
+    std::uint32_t w = GetParam();
+    ProgramStats prog = plainProgram(1200);
+    ModelResult res =
+        evaluateInOrder(prog, MemoryStats{}, BranchProfile{},
+                        unitMachine(w));
+    EXPECT_DOUBLE_EQ(res.stack[CpiComponent::Base], 1200.0 / w);
+}
+
+TEST_P(ModelWidthSweep, DependencyFreeTimeNonIncreasingInWidth)
+{
+    std::uint32_t w = GetParam();
+    if (w == 1)
+        return; // nothing to compare against
+    ProgramStats prog = plainProgram(1200);
+    MemoryStats mem;
+    mem.loadL2Hits = 17;
+    BranchProfile bp;
+    bp.mispredicts = 5;
+    double narrower =
+        evaluateInOrder(prog, mem, bp, unitMachine(w - 1)).cycles;
+    double wider = evaluateInOrder(prog, mem, bp, unitMachine(w)).cycles;
+    EXPECT_LE(wider, narrower);
+}
+
+TEST_P(ModelWidthSweep, StackAlwaysSumsToTotal)
+{
+    std::uint32_t w = GetParam();
+    ProgramStats prog = plainProgram(997);
+    prog.deps.of(OpClass::IntAlu).add(1, 31);
+    prog.deps.of(OpClass::Load).add(2, 11);
+    prog.mix.counts[static_cast<std::size_t>(OpClass::IntDiv)] = 7;
+    MemoryStats mem;
+    mem.loadMemory = 3;
+    BranchProfile bp;
+    bp.mispredicts = 13;
+    MachineParams m;
+    m.width = w;
+    ModelResult res = evaluateInOrder(prog, mem, bp, m);
+    EXPECT_NEAR(res.cycles, res.stack.total(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ModelWidthSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 8u));
+
+// ---- CpiStack helpers ---------------------------------------------------------------
+
+TEST(CpiStack, PerInstructionDividesEveryComponent)
+{
+    CpiStack s;
+    s[CpiComponent::Base] = 100.0;
+    s[CpiComponent::BpredMiss] = 50.0;
+    CpiStack per = s.perInstruction(200);
+    EXPECT_DOUBLE_EQ(per[CpiComponent::Base], 0.5);
+    EXPECT_DOUBLE_EQ(per[CpiComponent::BpredMiss], 0.25);
+}
+
+TEST(CpiStack, Aggregations)
+{
+    CpiStack s;
+    s[CpiComponent::DepsUnit] = 1.0;
+    s[CpiComponent::DepsLL] = 2.0;
+    s[CpiComponent::DepsLoad] = 3.0;
+    s[CpiComponent::ITlbMiss] = 0.5;
+    s[CpiComponent::DTlbMiss] = 0.5;
+    s[CpiComponent::IFetchL2] = 4.0;
+    EXPECT_DOUBLE_EQ(s.dependencies(), 6.0);
+    EXPECT_DOUBLE_EQ(s.tlb(), 1.0);
+    EXPECT_DOUBLE_EQ(s.ifetch(), 4.0);
+}
+
+TEST(CpiStack, ComponentNamesAreUnique)
+{
+    std::set<std::string_view> names;
+    for (std::size_t c = 0; c < kNumCpiComponents; ++c)
+        names.insert(cpiComponentName(static_cast<CpiComponent>(c)));
+    EXPECT_EQ(names.size(), kNumCpiComponents);
+}
+
+TEST(ModelResult, SecondsAtFrequency)
+{
+    ModelResult r;
+    r.cycles = 2e9;
+    r.instructions = 1;
+    EXPECT_DOUBLE_EQ(r.seconds(1.0), 2.0);
+    EXPECT_DOUBLE_EQ(r.seconds(2.0), 1.0);
+}
+
+} // namespace
+} // namespace mech

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Tests for the ISA definitions and the dynamic-trace container,
+ * including the structural validity checker.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/machine_params.hh"
+#include "isa/op_class.hh"
+#include "test_util.hh"
+#include "trace/trace.hh"
+
+namespace mech {
+namespace {
+
+using test::TraceBuilder;
+
+// ---- op classes -----------------------------------------------------------------
+
+TEST(OpClass, Predicates)
+{
+    EXPECT_TRUE(isLoad(OpClass::Load));
+    EXPECT_TRUE(isStore(OpClass::Store));
+    EXPECT_TRUE(isMem(OpClass::Load));
+    EXPECT_TRUE(isMem(OpClass::Store));
+    EXPECT_FALSE(isMem(OpClass::IntAlu));
+    EXPECT_TRUE(isBranch(OpClass::Branch));
+    EXPECT_FALSE(isBranch(OpClass::Nop));
+}
+
+TEST(OpClass, LongLatencyClasses)
+{
+    EXPECT_TRUE(isLongLatencyClass(OpClass::IntMult));
+    EXPECT_TRUE(isLongLatencyClass(OpClass::IntDiv));
+    EXPECT_TRUE(isLongLatencyClass(OpClass::FpAlu));
+    EXPECT_TRUE(isLongLatencyClass(OpClass::FpMult));
+    EXPECT_TRUE(isLongLatencyClass(OpClass::FpDiv));
+    EXPECT_FALSE(isLongLatencyClass(OpClass::IntAlu));
+    EXPECT_FALSE(isLongLatencyClass(OpClass::Load));
+    EXPECT_FALSE(isLongLatencyClass(OpClass::Branch));
+}
+
+TEST(OpClass, NamesAreDistinct)
+{
+    std::set<std::string_view> names;
+    for (OpClass oc : kAllOpClasses)
+        names.insert(opClassName(oc));
+    EXPECT_EQ(names.size(), kNumOpClasses);
+}
+
+// ---- machine params --------------------------------------------------------------
+
+TEST(MachineParams, ExecLatencyTable)
+{
+    MachineParams m;
+    m.latIntMult = 4;
+    m.latIntDiv = 20;
+    EXPECT_EQ(m.execLatency(OpClass::IntMult), 4u);
+    EXPECT_EQ(m.execLatency(OpClass::IntDiv), 20u);
+    EXPECT_EQ(m.execLatency(OpClass::IntAlu), 1u);
+    EXPECT_EQ(m.execLatency(OpClass::Load), 1u);
+    EXPECT_EQ(m.execLatency(OpClass::Branch), 1u);
+}
+
+TEST(MachineParams, DepthIsFrontEndPlusThree)
+{
+    MachineParams m;
+    m.frontendDepth = 6;
+    EXPECT_EQ(m.depth(), 9u);
+}
+
+TEST(MachineParamsDeath, ValidateRejectsBadWidth)
+{
+    MachineParams m;
+    m.width = 0;
+    EXPECT_EXIT(m.validate(), ::testing::ExitedWithCode(1), "width");
+}
+
+TEST(MachineParamsDeath, ValidateRejectsShallowFrontEnd)
+{
+    MachineParams m;
+    m.frontendDepth = 1;
+    EXPECT_EXIT(m.validate(), ::testing::ExitedWithCode(1), "front-end");
+}
+
+// ---- trace container ----------------------------------------------------------------
+
+TEST(Trace, MixCounts)
+{
+    Trace tr = TraceBuilder()
+                   .alu(8)
+                   .alu(9)
+                   .load(10, 0x10000000)
+                   .branch(true)
+                   .build();
+    InstMix mix = tr.mix();
+    EXPECT_EQ(mix.total, 4u);
+    EXPECT_EQ(mix.of(OpClass::IntAlu), 2u);
+    EXPECT_EQ(mix.of(OpClass::Load), 1u);
+    EXPECT_EQ(mix.of(OpClass::Branch), 1u);
+    EXPECT_DOUBLE_EQ(mix.fraction(OpClass::IntAlu), 0.5);
+}
+
+TEST(Trace, EmptyMix)
+{
+    Trace tr;
+    EXPECT_TRUE(tr.empty());
+    EXPECT_DOUBLE_EQ(tr.mix().fraction(OpClass::Load), 0.0);
+}
+
+TEST(Trace, ClearReleases)
+{
+    Trace tr = TraceBuilder().filler(10).build();
+    tr.clear();
+    EXPECT_TRUE(tr.empty());
+}
+
+// ---- validity checker -----------------------------------------------------------------
+
+TEST(Validate, AcceptsWellFormedTrace)
+{
+    Trace tr = TraceBuilder()
+                   .alu(8)
+                   .load(9, 0x10000000)
+                   .store(0x10000040, 8)
+                   .branch(true)
+                   .branch(false)
+                   .build();
+    std::string err;
+    EXPECT_TRUE(validateTrace(tr, &err)) << err;
+}
+
+TEST(Validate, RejectsRegisterOutOfRange)
+{
+    Trace tr;
+    DynInstr di;
+    di.op = OpClass::IntAlu;
+    di.dst = 200;
+    tr.push(di);
+    std::string err;
+    EXPECT_FALSE(validateTrace(tr, &err));
+    EXPECT_NE(err.find("register"), std::string::npos);
+}
+
+TEST(Validate, RejectsMemOpWithoutAddress)
+{
+    Trace tr;
+    DynInstr di;
+    di.op = OpClass::Load;
+    di.dst = 8;
+    tr.push(di);
+    EXPECT_FALSE(validateTrace(tr));
+}
+
+TEST(Validate, RejectsNonMemOpWithAddress)
+{
+    Trace tr;
+    DynInstr di;
+    di.op = OpClass::IntAlu;
+    di.dst = 8;
+    di.effAddr = 0x1000;
+    tr.push(di);
+    EXPECT_FALSE(validateTrace(tr));
+}
+
+TEST(Validate, RejectsTakenBranchWithoutTarget)
+{
+    Trace tr;
+    DynInstr di;
+    di.op = OpClass::Branch;
+    di.taken = true;
+    tr.push(di);
+    EXPECT_FALSE(validateTrace(tr));
+}
+
+TEST(Validate, RejectsTakenNonBranch)
+{
+    Trace tr;
+    DynInstr di;
+    di.op = OpClass::IntAlu;
+    di.dst = 8;
+    di.taken = true;
+    tr.push(di);
+    EXPECT_FALSE(validateTrace(tr));
+}
+
+TEST(Validate, RejectsStoreWithDestination)
+{
+    Trace tr;
+    DynInstr di;
+    di.op = OpClass::Store;
+    di.dst = 8;
+    di.effAddr = 0x1000;
+    tr.push(di);
+    EXPECT_FALSE(validateTrace(tr));
+}
+
+TEST(Validate, ReportsFirstViolationIndex)
+{
+    Trace tr = TraceBuilder().alu(8).alu(9).build();
+    DynInstr bad;
+    bad.op = OpClass::Load; // no effAddr
+    bad.dst = 10;
+    tr.push(bad);
+    std::string err;
+    EXPECT_FALSE(validateTrace(tr, &err));
+    EXPECT_NE(err.find("instruction 2"), std::string::npos);
+}
+
+} // namespace
+} // namespace mech

@@ -1,0 +1,410 @@
+/**
+ * @file
+ * Tests for the synthetic workload substrate: program building,
+ * trace execution, determinism, structural invariants, profile
+ * registries, and that the generator knobs actually steer the
+ * statistics they claim to steer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "trace/trace.hh"
+#include "workload/builder.hh"
+#include "workload/executor.hh"
+#include "workload/suites.hh"
+
+namespace mech {
+namespace {
+
+BenchmarkProfile
+tinyProfile()
+{
+    BenchmarkProfile p;
+    p.name = "tiny";
+    p.seed = 77;
+    p.numLoops = 2;
+    p.blocksPerLoop = 3;
+    p.instrsPerBlock = 10;
+    p.tripCount = 8;
+    p.guardFraction = 0.5;
+    p.wLoad = 0.2;
+    p.wStore = 0.1;
+    return p;
+}
+
+// ---- program structure ---------------------------------------------------------
+
+TEST(Builder, StructureMatchesProfile)
+{
+    Program prog = buildProgram(tinyProfile());
+    EXPECT_EQ(prog.loops.size(), 2u);
+    for (const auto &loop : prog.loops) {
+        EXPECT_EQ(loop.blocks.size(), 3u);
+        EXPECT_EQ(loop.tripCount, 8u);
+    }
+    EXPECT_EQ(prog.prologue.size(),
+              static_cast<std::size_t>(kNumLiveInRegs));
+}
+
+TEST(Builder, DeterministicForSameSeed)
+{
+    Program a = buildProgram(tinyProfile());
+    Program b = buildProgram(tinyProfile());
+    ASSERT_EQ(a.staticInstCount(), b.staticInstCount());
+    ASSERT_EQ(a.loops.size(), b.loops.size());
+    for (std::size_t l = 0; l < a.loops.size(); ++l) {
+        const auto &la = a.loops[l], &lb = b.loops[l];
+        ASSERT_EQ(la.blocks.size(), lb.blocks.size());
+        for (std::size_t k = 0; k < la.blocks.size(); ++k) {
+            ASSERT_EQ(la.blocks[k].body.size(), lb.blocks[k].body.size());
+            for (std::size_t i = 0; i < la.blocks[k].body.size(); ++i) {
+                EXPECT_EQ(la.blocks[k].body[i].op,
+                          lb.blocks[k].body[i].op);
+                EXPECT_EQ(la.blocks[k].body[i].dst,
+                          lb.blocks[k].body[i].dst);
+            }
+        }
+    }
+}
+
+TEST(Builder, SeedChangesProgram)
+{
+    BenchmarkProfile p = tinyProfile();
+    Program a = buildProgram(p);
+    p.seed = 78;
+    Program b = buildProgram(p);
+    bool differs = a.staticInstCount() != b.staticInstCount();
+    if (!differs) {
+        for (std::size_t l = 0; !differs && l < a.loops.size(); ++l) {
+            for (std::size_t k = 0;
+                 !differs && k < a.loops[l].blocks.size(); ++k) {
+                const auto &ba = a.loops[l].blocks[k].body;
+                const auto &bb = b.loops[l].blocks[k].body;
+                differs = ba.size() != bb.size();
+                for (std::size_t i = 0;
+                     !differs && i < ba.size(); ++i) {
+                    differs = ba[i].op != bb[i].op ||
+                              ba[i].src1 != bb[i].src1;
+                }
+            }
+        }
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(Builder, PcsAreContiguousAndUnique)
+{
+    Program prog = buildProgram(tinyProfile());
+    Addr expected = kTextBase;
+    for (const auto &si : prog.prologue) {
+        EXPECT_EQ(si.pc, expected);
+        expected += kInstBytes;
+    }
+    for (const auto &loop : prog.loops) {
+        for (const auto &block : loop.blocks) {
+            if (block.guarded) {
+                EXPECT_EQ(block.guard.pc, expected);
+                expected += kInstBytes;
+            }
+            for (const auto &si : block.body) {
+                EXPECT_EQ(si.pc, expected);
+                expected += kInstBytes;
+            }
+        }
+        EXPECT_EQ(loop.counterInc.pc, expected);
+        expected += kInstBytes;
+        EXPECT_EQ(loop.backEdge.pc, expected);
+        expected += kInstBytes;
+    }
+}
+
+TEST(Builder, BackEdgeTargetsLoopHead)
+{
+    Program prog = buildProgram(tinyProfile());
+    Addr cursor = kTextBase +
+                  static_cast<Addr>(prog.prologue.size()) * kInstBytes;
+    for (const auto &loop : prog.loops) {
+        EXPECT_EQ(loop.backEdgeTarget, cursor);
+        cursor = loop.backEdge.pc + kInstBytes;
+    }
+}
+
+TEST(Builder, GuardTargetSkipsBlockBody)
+{
+    Program prog = buildProgram(tinyProfile());
+    for (const auto &loop : prog.loops) {
+        for (const auto &block : loop.blocks) {
+            if (!block.guarded)
+                continue;
+            Addr expected = block.guard.pc + kInstBytes +
+                            static_cast<Addr>(block.body.size()) *
+                                kInstBytes;
+            EXPECT_EQ(block.guardTarget, expected);
+        }
+    }
+}
+
+TEST(Builder, RegionsAreLaidOutDisjoint)
+{
+    BenchmarkProfile p = tinyProfile();
+    p.numRegions = 4;
+    p.regionKB = 64;
+    Program prog = buildProgram(p);
+    for (std::size_t i = 1; i < prog.regions.size(); ++i) {
+        EXPECT_GE(prog.regions[i].base,
+                  prog.regions[i - 1].base +
+                      prog.regions[i - 1].sizeBytes);
+    }
+}
+
+TEST(Builder, MemStreamsAreDense)
+{
+    Program prog = buildProgram(tinyProfile());
+    std::vector<bool> seen(prog.numMemStreams, false);
+    for (const auto &loop : prog.loops) {
+        for (const auto &block : loop.blocks) {
+            for (const auto &si : block.body) {
+                if (isMem(si.op)) {
+                    ASSERT_LT(si.memStreamId, prog.numMemStreams);
+                    seen[si.memStreamId] = true;
+                }
+            }
+        }
+    }
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+// ---- trace execution -------------------------------------------------------------
+
+TEST(Executor, TraceIsValid)
+{
+    Trace tr = generateTrace(tinyProfile(), 5000);
+    std::string err;
+    EXPECT_TRUE(validateTrace(tr, &err)) << err;
+}
+
+TEST(Executor, EveryBenchmarkProducesValidTraces)
+{
+    for (const auto &bench : mibenchSuite()) {
+        Trace tr = generateTrace(bench, 3000);
+        std::string err;
+        EXPECT_TRUE(validateTrace(tr, &err))
+            << bench.name << ": " << err;
+        EXPECT_GE(tr.size(), 3000u);
+    }
+    for (const auto &bench : specLikeSuite()) {
+        Trace tr = generateTrace(bench, 3000);
+        std::string err;
+        EXPECT_TRUE(validateTrace(tr, &err))
+            << bench.name << ": " << err;
+    }
+}
+
+TEST(Executor, DeterministicTraces)
+{
+    Trace a = generateTrace(tinyProfile(), 4000);
+    Trace b = generateTrace(tinyProfile(), 4000);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].pc, b[i].pc);
+        EXPECT_EQ(a[i].effAddr, b[i].effAddr);
+        EXPECT_EQ(a[i].taken, b[i].taken);
+    }
+}
+
+TEST(Executor, RerunsAreIdentical)
+{
+    Program prog = buildProgram(tinyProfile());
+    TraceExecutor exec(prog, 99);
+    Trace a = exec.run(2000);
+    Trace b = exec.run(2000);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].effAddr, b[i].effAddr);
+}
+
+TEST(Executor, BackEdgesAreTakenPerTripCount)
+{
+    BenchmarkProfile p = tinyProfile();
+    p.guardFraction = 0.0;
+    p.numLoops = 1;
+    p.tripCount = 10;
+    Program prog = buildProgram(p);
+    TraceExecutor exec(prog, 5);
+    // Run exactly one loop entry's worth of instructions.
+    std::uint64_t iter_len = prog.loops[0].iterationLength();
+    Trace tr = exec.run(kNumLiveInRegs + iter_len * 10 - 1);
+
+    std::uint64_t taken = 0, not_taken = 0;
+    for (const auto &di : tr) {
+        if (isBranch(di.op))
+            (di.taken ? taken : not_taken) += 1;
+    }
+    EXPECT_EQ(taken, 9u);     // 9 back edges taken
+    EXPECT_EQ(not_taken, 1u); // final exit
+}
+
+TEST(Executor, GuardSkipsBlockWhenTaken)
+{
+    BenchmarkProfile p = tinyProfile();
+    p.guardFraction = 1.0;
+    p.guardTakenBias = 1.0;      // every guard taken
+    p.hardBranchFraction = 0.0;
+    p.correlatedFraction = 0.0;
+    // Force Biased streams by eliminating the periodic choice: with
+    // bias 1.0 even periodic streams fire every time, so either way
+    // every block is skipped.
+    Program prog = buildProgram(p);
+    TraceExecutor exec(prog, 7);
+    Trace tr = exec.run(500);
+    // Only prologue, guards, counter increments and back edges: no
+    // block bodies at all (all loads/stores/alu come from prologue).
+    for (std::size_t i = kNumLiveInRegs; i < tr.size(); ++i) {
+        bool is_ctrl = isBranch(tr[i].op);
+        bool is_counter = tr[i].op == OpClass::IntAlu &&
+                          tr[i].dst >= 28;
+        EXPECT_TRUE(is_ctrl || is_counter)
+            << "unexpected op at " << i << ": "
+            << opClassName(tr[i].op);
+    }
+}
+
+TEST(Executor, SequentialStreamsWalkForward)
+{
+    BenchmarkProfile p = tinyProfile();
+    p.wLoad = 1.0;
+    p.wIntAlu = 0.0;
+    p.wStore = 0.0;
+    p.wSeq = 1.0;
+    p.guardFraction = 0.0;
+    Program prog = buildProgram(p);
+    TraceExecutor exec(prog, 3);
+    Trace tr = exec.run(300);
+    // Group loads by pc; each stream's addresses must advance by 8
+    // (modulo wrap).
+    std::map<Addr, Addr> last;
+    for (const auto &di : tr) {
+        if (di.op != OpClass::Load)
+            continue;
+        auto it = last.find(di.pc);
+        if (it != last.end() && di.effAddr > it->second)
+            EXPECT_EQ(di.effAddr - it->second, 8u);
+        last[di.pc] = di.effAddr;
+    }
+}
+
+TEST(Executor, AddressesStayInsideRegions)
+{
+    BenchmarkProfile p = tinyProfile();
+    p.wRandom = 1.0;
+    p.wSeq = 0.0;
+    p.numRegions = 2;
+    p.regionKB = 4;
+    Program prog = buildProgram(p);
+    TraceExecutor exec(prog, 11);
+    Trace tr = exec.run(2000);
+    for (const auto &di : tr) {
+        if (!isMem(di.op))
+            continue;
+        bool inside = false;
+        for (const auto &region : prog.regions) {
+            if (di.effAddr >= region.base &&
+                di.effAddr < region.base + region.sizeBytes) {
+                inside = true;
+            }
+        }
+        EXPECT_TRUE(inside);
+    }
+}
+
+// ---- knob steering -----------------------------------------------------------------
+
+TEST(Knobs, LoadWeightSteersLoadFraction)
+{
+    BenchmarkProfile lo = tinyProfile();
+    lo.wLoad = 0.05;
+    BenchmarkProfile hi = tinyProfile();
+    hi.wLoad = 0.6;
+    double f_lo = generateTrace(lo, 20000).mix().fraction(OpClass::Load);
+    double f_hi = generateTrace(hi, 20000).mix().fraction(OpClass::Load);
+    EXPECT_LT(f_lo, f_hi);
+    EXPECT_GT(f_hi, 0.2);
+}
+
+TEST(Knobs, MultWeightCreatesMultiplies)
+{
+    BenchmarkProfile p = tinyProfile();
+    p.wIntMult = 0.3;
+    double f =
+        generateTrace(p, 20000).mix().fraction(OpClass::IntMult);
+    EXPECT_GT(f, 0.05);
+}
+
+TEST(Knobs, GuardFractionSteersBranchFraction)
+{
+    BenchmarkProfile few = tinyProfile();
+    few.guardFraction = 0.0;
+    BenchmarkProfile many = tinyProfile();
+    many.guardFraction = 1.0;
+    many.instrsPerBlock = 5;
+    double f_few =
+        generateTrace(few, 20000).mix().fraction(OpClass::Branch);
+    double f_many =
+        generateTrace(many, 20000).mix().fraction(OpClass::Branch);
+    EXPECT_LT(f_few, f_many);
+}
+
+// ---- suites ---------------------------------------------------------------------------
+
+TEST(Suites, MibenchHas19DistinctNames)
+{
+    const auto &suite = mibenchSuite();
+    EXPECT_EQ(suite.size(), 19u);
+    std::set<std::string> names;
+    for (const auto &p : suite)
+        names.insert(p.name);
+    EXPECT_EQ(names.size(), 19u);
+}
+
+TEST(Suites, SpecLikeNonEmptyAndDistinct)
+{
+    const auto &suite = specLikeSuite();
+    EXPECT_GE(suite.size(), 8u);
+    std::set<std::string> names;
+    for (const auto &p : suite)
+        names.insert(p.name);
+    EXPECT_EQ(names.size(), suite.size());
+}
+
+TEST(Suites, LookupByNameAndAliases)
+{
+    EXPECT_EQ(profileByName("sha").name, "sha");
+    EXPECT_EQ(profileByName("mcf").name, "mcf");
+    EXPECT_EQ(profileByName("cjpeg").name, "jpeg_c");
+    EXPECT_EQ(profileByName("djpeg").name, "jpeg_d");
+    EXPECT_EQ(profileByName("toast").name, "gsm_c");
+}
+
+TEST(Suites, BigCodeBenchmarksExceedL1I)
+{
+    EXPECT_GT(buildProgram(profileByName("jpeg_c")).textBytes(),
+              32u * 1024u);
+    EXPECT_GT(buildProgram(profileByName("gcc")).textBytes(),
+              32u * 1024u);
+    EXPECT_LT(buildProgram(profileByName("sha")).textBytes(),
+              32u * 1024u);
+}
+
+TEST(Suites, IlpPolesDifferInChains)
+{
+    EXPECT_GT(profileByName("sha").ilpChains,
+              profileByName("dijkstra").ilpChains + 3.0);
+}
+
+} // namespace
+} // namespace mech

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Calibration diagnostic: per-benchmark model-vs-simulator breakdown.
+ *
+ * Prints each model penalty component next to the simulator's stall
+ * diagnostics so systematic modeling bias can be localized.  Not part
+ * of the library API; a developer tool.
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "mech/mech.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mech;
+
+    InstCount n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 200000;
+    DesignPoint point = defaultDesignPoint();
+    if (argc > 2)
+        point.width = static_cast<std::uint32_t>(std::atoi(argv[2]));
+
+    TextTable table({"bench", "mCPI", "sCPI", "err%", "m.deps", "s.deps",
+                     "m.taken", "s.taken", "m.miss", "s.fetchmiss",
+                     "m.bpred", "s.bpredstall", "m.LL+l2"});
+
+    for (const auto &bench : mibenchSuite()) {
+        DseStudy study(bench, n);
+        PointEvaluation ev = study.evaluate(point, true);
+        const auto &st = ev.model.stack;
+        const SimResult &sim = *ev.sim;
+        double N = static_cast<double>(study.profile().program.n);
+
+        auto cpi = [N](double cycles) { return cycles / N; };
+
+        table.addRow({
+            bench.name,
+            TextTable::num(ev.model.cpi(), 3),
+            TextTable::num(sim.cpi(), 3),
+            TextTable::num(ev.cpiError() * 100.0, 1),
+            TextTable::num(cpi(st.dependencies()), 3),
+            TextTable::num(cpi(static_cast<double>(
+                sim.dependencyStallCycles)), 3),
+            TextTable::num(cpi(st[CpiComponent::BpredTakenHit]), 3),
+            TextTable::num(cpi(static_cast<double>(
+                sim.takenBubbleCycles)), 3),
+            TextTable::num(cpi(st.ifetch() + st.tlb()), 3),
+            TextTable::num(cpi(static_cast<double>(
+                sim.fetchMissStallCycles)), 3),
+            TextTable::num(cpi(st[CpiComponent::BpredMiss]), 3),
+            TextTable::num(cpi(static_cast<double>(
+                sim.mispredictStallCycles)), 3),
+            TextTable::num(cpi(st[CpiComponent::LongLat] +
+                               st[CpiComponent::L2Access] +
+                               st[CpiComponent::L2Miss]), 3),
+        });
+    }
+    table.print(std::cout);
+    return 0;
+}
