@@ -30,6 +30,24 @@ traceLength(int argc, char **argv, InstCount fallback)
     return fallback;
 }
 
+/**
+ * Worker threads for a bench: `--threads N` argument, else the
+ * MECH_THREADS environment variable, else every hardware thread.
+ */
+inline unsigned
+threadCount(int argc, char **argv)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::string(argv[i]) == "--threads")
+            return ThreadPool::sanitizeWorkerCount(
+                std::strtoll(argv[i + 1], nullptr, 10));
+    }
+    if (const char *env = std::getenv("MECH_THREADS"))
+        return ThreadPool::sanitizeWorkerCount(
+            std::strtoll(env, nullptr, 10));
+    return ThreadPool::defaultWorkerCount();
+}
+
 /** Paper-style coarse stack groups used by Figs. 4 and 8. */
 struct CoarseStack
 {

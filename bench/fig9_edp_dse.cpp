@@ -20,19 +20,24 @@ main(int argc, char **argv)
 {
     using namespace mech;
     InstCount n = bench::traceLength(argc, argv, 50000);
+    unsigned nthreads = bench::threadCount(argc, argv);
     auto space = table2Space();
 
     std::cout << "=== Figure 9: EDP design-space exploration ===\n"
               << space.size() << " design points, " << n
-              << " instructions per benchmark\n\n";
+              << " instructions per benchmark, " << nthreads
+              << " worker thread(s)\n\n";
 
-    for (const char *name : {"adpcm_d", "gsm_c", "lame", "patricia"}) {
-        DseStudy study(profileByName(name), n);
+    // One batched run: 4 benchmarks x 192 points x (model + detailed
+    // sim), sharded across the pool.
+    StudyRunner runner({profileByName("adpcm_d"), profileByName("gsm_c"),
+                        profileByName("lame"), profileByName("patricia")},
+                       n, true);
+    auto results = runner.evaluateAll(space, nthreads);
 
-        std::vector<PointEvaluation> evals;
-        evals.reserve(space.size());
-        for (const auto &point : space)
-            evals.push_back(study.evaluate(point, true));
+    for (auto &result : results) {
+        const std::string &name = result.benchmark;
+        std::vector<PointEvaluation> &evals = result.evals;
 
         std::sort(evals.begin(), evals.end(),
                   [](const auto &a, const auto &b) {

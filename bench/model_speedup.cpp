@@ -9,6 +9,9 @@
  * is "a few seconds" for the whole space.
  */
 
+#include <chrono>
+#include <iostream>
+
 #include <benchmark/benchmark.h>
 
 #include "bench_util.hh"
@@ -81,11 +84,107 @@ BM_DetailedSimulation(benchmark::State &state)
                             static_cast<std::int64_t>(kLen));
 }
 
+/**
+ * The batched engine over the full Table 2 space, threads as the
+ * benchmark argument (profiles prebuilt, so this times the sharded
+ * point-evaluation phase the paper's speedup claim is about).
+ */
+void
+BM_BatchEvaluateAll(benchmark::State &state)
+{
+    static std::vector<BenchmarkProfile> benches = {
+        profileByName("tiffdither"), profileByName("sha"),
+        profileByName("patricia"), profileByName("jpeg_c")};
+    static StudyRunner runner(benches, kLen);
+    static auto space = table2Space();
+    // Warm the per-benchmark profiles outside the timed region.
+    static auto warm = runner.evaluateAll(space, 1);
+    benchmark::DoNotOptimize(warm.size());
+
+    auto nthreads = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        auto results = runner.evaluateAll(space, nthreads);
+        benchmark::DoNotOptimize(results[0].evals[0].model.cycles);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(benches.size() * space.size()));
+}
+
 BENCHMARK(BM_TraceGeneration)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Profiling)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ModelEvaluation)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_DetailedSimulation)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BatchEvaluateAll)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(static_cast<int>(ThreadPool::defaultWorkerCount()));
+
+/**
+ * Serial-vs-parallel wall-clock comparison of the complete
+ * profile-once / predict-everywhere workflow (trace generation +
+ * profiling + 192-point model sweep for 8 benchmarks), printed after
+ * the microbenchmarks.
+ */
+void
+reportBatchSpeedup()
+{
+    using clock = std::chrono::steady_clock;
+
+    const std::vector<BenchmarkProfile> benches = {
+        profileByName("tiffdither"), profileByName("sha"),
+        profileByName("patricia"),   profileByName("jpeg_c"),
+        profileByName("adpcm_d"),    profileByName("gsm_c"),
+        profileByName("lame"),       profileByName("dijkstra")};
+    const auto space = table2Space();
+    const unsigned nthreads = ThreadPool::defaultWorkerCount();
+
+    auto timeRun = [&](unsigned threads) {
+        StudyRunner runner(benches, kLen); // fresh: includes profiling
+        auto t0 = clock::now();
+        auto results = runner.evaluateAll(space, threads);
+        auto t1 = clock::now();
+        benchmark::DoNotOptimize(results.back().evals.back().model.cycles);
+        return std::chrono::duration<double>(t1 - t0).count();
+    };
+
+    double serial_s = timeRun(1);
+    double parallel_s = timeRun(nthreads);
+
+    std::cout << "\n--- batched design-space sweep, " << benches.size()
+              << " benchmarks x " << space.size() << " points ("
+              << kLen << " instructions each) ---\n"
+              << "serial   (1 thread):   " << serial_s * 1e3 << " ms\n"
+              << "parallel (" << nthreads
+              << " threads):  " << parallel_s * 1e3 << " ms\n"
+              << "parallel speedup: " << serial_s / parallel_s
+              << "x (hardware threads: " << nthreads << ")\n";
+}
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // The wall-clock comparison is for full default runs; skip it
+    // when the caller is listing or filtering microbenchmarks.
+    bool selective = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--benchmark_list_tests", 0) == 0 ||
+            arg.rfind("--benchmark_filter", 0) == 0) {
+            selective = true;
+        }
+    }
+
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    if (!selective)
+        reportBatchSpeedup();
+    return 0;
+}

@@ -5,7 +5,10 @@
  * default (an ablation the analytical model makes instantaneous).
  */
 
+#include <cstddef>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench_util.hh"
 
@@ -32,20 +35,16 @@ main(int argc, char **argv)
     auto space = table2Space();
     std::cout << "\ntotal design points: " << space.size() << "\n\n";
 
-    // One-at-a-time sensitivity for one middle-of-the-road benchmark.
+    // One-at-a-time sensitivity for one middle-of-the-road benchmark:
+    // batch every probe (default first) through the parallel engine.
     const char *bench = "jpeg_c";
-    DseStudy study(profileByName(bench), n);
-    double base_cpi = study.evaluate(def, false).model.cpi();
-
-    std::cout << "model sensitivity around the default (" << bench
-              << ", CPI " << TextTable::num(base_cpi, 3) << "):\n\n";
-    TextTable sens({"variation", "model CPI", "vs default"});
-    auto probe = [&](const std::string &label, DesignPoint p) {
-        double cpi = study.evaluate(p, false).model.cpi();
-        double delta = (cpi / base_cpi - 1.0) * 100.0;
-        sens.addRow({label, TextTable::num(cpi, 3),
-                     TextTable::num(delta, 1) + "%"});
+    std::vector<std::string> labels;
+    std::vector<DesignPoint> probes;
+    auto probe = [&](const std::string &label, const DesignPoint &p) {
+        labels.push_back(label);
+        probes.push_back(p);
     };
+    probe("default", def);
     DesignPoint p = def;
     p.width = 1;
     probe("width 1", p);
@@ -72,6 +71,22 @@ main(int argc, char **argv)
     p = def;
     p.predictor = PredictorKind::Hybrid3K5;
     probe("hybrid 3.5KB predictor", p);
+
+    StudyRunner runner({profileByName(bench)}, n);
+    auto evals =
+        runner.evaluateAll(probes, bench::threadCount(argc, argv));
+    const std::vector<PointEvaluation> &points = evals.at(0).evals;
+    double base_cpi = points.at(0).model.cpi();
+
+    std::cout << "model sensitivity around the default (" << bench
+              << ", CPI " << TextTable::num(base_cpi, 3) << "):\n\n";
+    TextTable sens({"variation", "model CPI", "vs default"});
+    for (std::size_t i = 1; i < points.size(); ++i) {
+        double cpi = points[i].model.cpi();
+        double delta = (cpi / base_cpi - 1.0) * 100.0;
+        sens.addRow({labels[i], TextTable::num(cpi, 3),
+                     TextTable::num(delta, 1) + "%"});
+    }
     sens.print(std::cout);
 
     std::cout << "\n(CPI comparisons only; the depth/frequency rows "

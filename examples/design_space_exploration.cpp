@@ -4,15 +4,18 @@
  *
  * Profiles one benchmark once, then ranks the full Table 2 space by
  * model-estimated energy-delay product in well under a second —
- * the workflow that takes months with detailed simulation.
+ * the workflow that takes months with detailed simulation.  The
+ * sweep runs through the batched engine, sharded across every
+ * hardware thread.
  *
- * Usage: design_space_exploration [benchmark] [instructions]
+ * Usage: design_space_exploration [benchmark] [instructions] [threads]
  */
 
 #include <algorithm>
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "mech/mech.hh"
@@ -24,14 +27,15 @@ main(int argc, char **argv)
 
     std::string bench_name = argc > 1 ? argv[1] : "gsm_c";
     InstCount n = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 150000;
+    unsigned nthreads =
+        argc > 3 ? ThreadPool::sanitizeWorkerCount(std::atoll(argv[3]))
+                 : ThreadPool::defaultWorkerCount();
 
-    DseStudy study(profileByName(bench_name), n);
     auto space = table2Space();
 
-    std::vector<PointEvaluation> evals;
-    evals.reserve(space.size());
-    for (const auto &point : space)
-        evals.push_back(study.evaluate(point, false));
+    StudyRunner runner({profileByName(bench_name)}, n);
+    std::vector<PointEvaluation> evals =
+        std::move(runner.evaluateAll(space, nthreads).at(0).evals);
 
     std::sort(evals.begin(), evals.end(),
               [](const auto &a, const auto &b) {

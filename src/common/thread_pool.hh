@@ -1,0 +1,165 @@
+/**
+ * @file
+ * A small fixed-size worker pool over a FIFO work queue.
+ *
+ * Built for the DSE layer's embarrassingly parallel (benchmark x
+ * design point) sweeps, but generic: submit() accepts any nullary
+ * callable and returns a std::future for its result, so exceptions
+ * thrown by a task propagate to whoever waits on it.
+ *
+ * A pool with zero workers degenerates to inline execution: submit()
+ * runs the task on the calling thread before returning.  That keeps
+ * serial fallback paths (nthreads <= 1 without a spare thread) free
+ * of any scheduling machinery while preserving the future-based API.
+ */
+
+#ifndef MECH_COMMON_THREAD_POOL_HH
+#define MECH_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace mech {
+
+/** Fixed-size thread pool with a FIFO task queue. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param workers Worker threads to spawn; 0 means "run tasks
+     *        inline on the submitting thread".
+     */
+    explicit ThreadPool(unsigned workers)
+    {
+        threads.reserve(workers);
+        try {
+            for (unsigned i = 0; i < workers; ++i)
+                threads.emplace_back([this] { workerLoop(); });
+        } catch (...) {
+            // Spawning worker i failed (resource exhaustion): join
+            // the 0..i-1 already running, else their joinable
+            // std::threads would terminate() on vector destruction.
+            shutdown();
+            throw;
+        }
+    }
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Drains the queue: joins after every submitted task has run. */
+    ~ThreadPool() { shutdown(); }
+
+    /**
+     * Queue @p fn for execution and return a future for its result.
+     *
+     * Tasks are dispatched to workers in submission order (FIFO); an
+     * exception escaping @p fn is captured into the future.
+     */
+    template <typename F>
+    auto
+    submit(F &&fn) -> std::future<std::invoke_result_t<std::decay_t<F>>>
+    {
+        using R = std::invoke_result_t<std::decay_t<F>>;
+        // packaged_task is move-only; std::function needs copyable
+        // targets, so hold it through a shared_ptr.
+        auto task =
+            std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+        std::future<R> fut = task->get_future();
+
+        if (threads.empty()) {
+            (*task)();
+            return fut;
+        }
+
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            queue.emplace([task] { (*task)(); });
+        }
+        cv.notify_one();
+        return fut;
+    }
+
+    /** Number of worker threads (0 for an inline pool). */
+    std::size_t workerCount() const { return threads.size(); }
+
+    /**
+     * Worker count for "use the whole machine" callers: the hardware
+     * concurrency, or 1 when the runtime cannot tell.
+     */
+    static unsigned
+    defaultWorkerCount()
+    {
+        unsigned hw = std::thread::hardware_concurrency();
+        return hw ? hw : 1;
+    }
+
+    /** Upper bound on user-requested worker counts. */
+    static constexpr unsigned kMaxWorkers = 256;
+
+    /**
+     * Clamp an untrusted (CLI/env) worker count: negatives fall back
+     * to defaultWorkerCount(), oversized requests cap at kMaxWorkers.
+     */
+    static unsigned
+    sanitizeWorkerCount(long long requested)
+    {
+        if (requested < 0)
+            return defaultWorkerCount();
+        if (requested > static_cast<long long>(kMaxWorkers))
+            return kMaxWorkers;
+        return static_cast<unsigned>(requested);
+    }
+
+  private:
+    void
+    shutdown()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            stopping = true;
+        }
+        cv.notify_all();
+        for (auto &t : threads)
+            t.join();
+        threads.clear();
+    }
+    void
+    workerLoop()
+    {
+        for (;;) {
+            std::function<void()> job;
+            {
+                std::unique_lock<std::mutex> lock(mtx);
+                cv.wait(lock,
+                        [this] { return stopping || !queue.empty(); });
+                if (queue.empty()) {
+                    if (stopping)
+                        return;
+                    continue;
+                }
+                job = std::move(queue.front());
+                queue.pop();
+            }
+            job();
+        }
+    }
+
+    std::vector<std::thread> threads;
+    std::queue<std::function<void()>> queue;
+    std::mutex mtx;
+    std::condition_variable cv;
+    bool stopping = false;
+};
+
+} // namespace mech
+
+#endif // MECH_COMMON_THREAD_POOL_HH

@@ -35,20 +35,40 @@ DseStudy::DseStudy(const BenchmarkProfile &bench, InstCount trace_len,
     prof = profileTrace(dynTrace, studyProfilerConfig());
 }
 
+const MemoryStats *
+DseStudy::findMemo(const DesignPoint &point) const
+{
+    auto it = l2Memo.find(std::make_pair(point.l2KB, point.l2Assoc));
+    return it != l2Memo.end() ? &it->second : nullptr;
+}
+
 const MemoryStats &
 DseStudy::memoryFor(const DesignPoint &point)
 {
-    auto key = std::make_pair(point.l2KB, point.l2Assoc);
-    auto it = l2Memo.find(key);
-    if (it != l2Memo.end())
-        return it->second;
+    if (const MemoryStats *memo = findMemo(point))
+        return *memo;
+    return l2Memo
+        .emplace(std::make_pair(point.l2KB, point.l2Assoc),
+                 computeMemory(point))
+        .first->second;
+}
 
+MemoryStats
+DseStudy::computeMemory(const DesignPoint &point) const
+{
     const DesignPoint def = defaultDesignPoint();
     if (point.l2KB == def.l2KB && point.l2Assoc == def.l2Assoc)
-        return l2Memo.emplace(key, prof.memory).first->second;
+        return prof.memory;
 
     CacheConfig l2{point.l2KB * 1024, point.l2Assoc, 64};
-    return l2Memo.emplace(key, resweepL2(prof, l2)).first->second;
+    return resweepL2(prof, l2);
+}
+
+void
+DseStudy::prepare(const std::vector<DesignPoint> &points)
+{
+    for (const auto &point : points)
+        memoryFor(point);
 }
 
 ActivityCounts
@@ -71,12 +91,12 @@ DseStudy::activityFor(const MemoryStats &mem, double cycles) const
 }
 
 PointEvaluation
-DseStudy::evaluate(const DesignPoint &point, bool run_sim)
+DseStudy::evaluateWith(const MemoryStats &mem, const DesignPoint &point,
+                       bool run_sim) const
 {
     PointEvaluation ev;
     ev.point = point;
 
-    const MemoryStats &mem = memoryFor(point);
     const BranchProfile &bp = prof.branchProfileFor(point.predictor);
     MachineParams machine = machineFor(point);
 
@@ -91,6 +111,20 @@ DseStudy::evaluate(const DesignPoint &point, bool run_sim)
             activityFor(mem, static_cast<double>(ev.sim->cycles)));
     }
     return ev;
+}
+
+PointEvaluation
+DseStudy::evaluate(const DesignPoint &point, bool run_sim)
+{
+    return evaluateWith(memoryFor(point), point, run_sim);
+}
+
+PointEvaluation
+DseStudy::evaluate(const DesignPoint &point, bool run_sim) const
+{
+    if (const MemoryStats *memo = findMemo(point))
+        return evaluateWith(*memo, point, run_sim);
+    return evaluateWith(computeMemory(point), point, run_sim);
 }
 
 } // namespace mech

@@ -13,10 +13,13 @@
 #ifndef MECH_DSE_STUDY_HH
 #define MECH_DSE_STUDY_HH
 
+#include <cmath>
 #include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "dse/design_space.hh"
 #include "model/inorder_model.hh"
@@ -79,6 +82,22 @@ class DseStudy
     /** Evaluate one design point; simulate when @p run_sim. */
     PointEvaluation evaluate(const DesignPoint &point, bool run_sim);
 
+    /**
+     * Thread-safe evaluation: identical results to the non-const
+     * overload, but never mutates the study.  L2 geometries already
+     * prepare()d (or profiled) are served from the memo; others are
+     * re-derived locally on the calling thread without being cached.
+     */
+    PointEvaluation evaluate(const DesignPoint &point,
+                             bool run_sim) const;
+
+    /**
+     * Memoize MemoryStats for every distinct L2 geometry in
+     * @p points, so subsequent const evaluations are pure lookups.
+     * Call once before sharing the study read-only across threads.
+     */
+    void prepare(const std::vector<DesignPoint> &points);
+
     /** The workload profile (collected on the default hierarchy). */
     const WorkloadProfile &profile() const { return prof; }
 
@@ -89,8 +108,19 @@ class DseStudy
     const std::string &name() const { return benchName; }
 
   private:
+    /** Memoized stats for @p point's L2 geometry, or null on miss. */
+    const MemoryStats *findMemo(const DesignPoint &point) const;
+
     /** Memoized MemoryStats per L2 geometry. */
     const MemoryStats &memoryFor(const DesignPoint &point);
+
+    /** Derive MemoryStats for @p point without touching the memo. */
+    MemoryStats computeMemory(const DesignPoint &point) const;
+
+    /** Shared core of the mutable and const evaluate paths. */
+    PointEvaluation evaluateWith(const MemoryStats &mem,
+                                 const DesignPoint &point,
+                                 bool run_sim) const;
 
     /** Activity counts shared by model- and sim-side EDP. */
     ActivityCounts activityFor(const MemoryStats &mem,

@@ -1,0 +1,101 @@
+#include "dse/study_runner.hh"
+
+#include <algorithm>
+#include <future>
+#include <utility>
+
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+
+namespace mech {
+
+StudyRunner::StudyRunner(std::vector<BenchmarkProfile> benches,
+                         InstCount trace_len, bool run_sim)
+    : benches(std::move(benches)), traceLen(trace_len), runSim(run_sim)
+{
+}
+
+StudyRunner::~StudyRunner() = default;
+
+const DseStudy &
+StudyRunner::study(std::size_t bench_idx) const
+{
+    MECH_ASSERT(bench_idx < studies.size() && studies[bench_idx],
+                "study not built; call evaluateAll first");
+    return *studies[bench_idx];
+}
+
+std::vector<StudyResult>
+StudyRunner::evaluateAll(const std::vector<DesignPoint> &points,
+                         unsigned nthreads)
+{
+    // Declared before the pool so they outlive it: if a task throws
+    // and f.get() rethrows below, the pool destructor drains the
+    // remaining queued tasks during unwinding, and those tasks write
+    // into these vectors.
+    std::vector<StudyResult> results(benches.size());
+    std::vector<std::future<void>> done;
+
+    // nthreads <= 1: a zero-worker pool runs every task inline on
+    // this thread, in submission order — the strictly serial path.
+    ThreadPool pool(nthreads <= 1 ? 0 : nthreads);
+
+    // Phase 1: profile each benchmark once (trace generation + the
+    // single profiling pass) and memoize every L2 geometry the sweep
+    // will touch.  After this phase the studies are only read.
+    if (studies.size() != benches.size())
+        studies.resize(benches.size());
+    {
+        std::vector<std::future<void>> built;
+        built.reserve(benches.size());
+        for (std::size_t b = 0; b < benches.size(); ++b) {
+            built.push_back(pool.submit([this, b, &points] {
+                if (!studies[b])
+                    studies[b] = std::make_unique<DseStudy>(benches[b],
+                                                            traceLen);
+                studies[b]->prepare(points);
+            }));
+        }
+        for (auto &f : built)
+            f.get();
+    }
+
+    // Phase 2: shard the (benchmark x point) matrix.  Each task
+    // evaluates against its const study and writes its preassigned
+    // slots, so aggregation is deterministic in design-space order
+    // regardless of worker count or scheduling.
+    //
+    // Granularity: a model-only evaluation is microseconds — well
+    // under the queue/future cost of a task — so points are sharded
+    // in chunks (~4 chunks per worker per benchmark).  Detailed
+    // simulations are orders of magnitude slower and shard per point
+    // for load balance.
+    const std::size_t chunk =
+        runSim ? 1
+               : std::max<std::size_t>(
+                     1, points.size() / (std::max(nthreads, 1u) * 4));
+    for (std::size_t b = 0; b < benches.size(); ++b) {
+        results[b].benchmark = benches[b].name;
+        results[b].evals.resize(points.size());
+        const DseStudy &study = *studies[b];
+        for (std::size_t start = 0; start < points.size();
+             start += chunk) {
+            const std::size_t end =
+                std::min(points.size(), start + chunk);
+            PointEvaluation *slots = results[b].evals.data();
+            const DesignPoint *pts = points.data();
+            bool sim = runSim;
+            done.push_back(
+                pool.submit([&study, slots, pts, start, end, sim] {
+                    for (std::size_t i = start; i < end; ++i)
+                        slots[i] = study.evaluate(pts[i], sim);
+                }));
+        }
+    }
+    for (auto &f : done)
+        f.get();
+
+    return results;
+}
+
+} // namespace mech

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Batched design-space evaluation across benchmarks and design points.
+ *
+ * The paper's workflow is profile-once / predict-everywhere: per
+ * benchmark one trace generation and one profiling pass, then model
+ * evaluations at microseconds per design point.  The (benchmark x
+ * design point) evaluation matrix is embarrassingly parallel, so
+ * StudyRunner shards it across a ThreadPool:
+ *
+ *   phase 1  one task per benchmark builds its DseStudy (trace +
+ *            single profiling pass) and prepare()s every L2 geometry
+ *            in the requested point list;
+ *   phase 2  one task per (benchmark, point) evaluates the model (and
+ *            optionally the detailed simulator) against the now
+ *            read-only study, writing into a preallocated slot.
+ *
+ * Results are aggregated deterministically: slot (b, i) of the output
+ * always holds benchmark b at points[i], independent of worker count
+ * or scheduling.  With nthreads <= 1 no threads are spawned at all
+ * (the pool runs tasks inline), so the serial path produces
+ * bit-identical results through the very same code.
+ */
+
+#ifndef MECH_DSE_STUDY_RUNNER_HH
+#define MECH_DSE_STUDY_RUNNER_HH
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dse/design_space.hh"
+#include "dse/study.hh"
+#include "workload/profile.hh"
+
+namespace mech {
+
+/** All point evaluations for one benchmark, in design-space order. */
+struct StudyResult
+{
+    /** Benchmark name. */
+    std::string benchmark;
+
+    /** evals[i] is the evaluation of points[i]. */
+    std::vector<PointEvaluation> evals;
+};
+
+/** Parallel batch evaluator for (benchmark x design point) sweeps. */
+class StudyRunner
+{
+  public:
+    /**
+     * @param benches Benchmarks to study (profiled once each).
+     * @param trace_len Dynamic instructions per benchmark trace.
+     * @param run_sim Also run the detailed simulation per point.
+     */
+    StudyRunner(std::vector<BenchmarkProfile> benches,
+                InstCount trace_len, bool run_sim = false);
+    ~StudyRunner();
+
+    StudyRunner(const StudyRunner &) = delete;
+    StudyRunner &operator=(const StudyRunner &) = delete;
+
+    /**
+     * Evaluate every benchmark at every design point.
+     *
+     * @param points Design points, evaluated in the given order.
+     * @param nthreads Worker threads; <= 1 runs fully serial (and
+     *        bit-identical) on the calling thread.
+     * @return One StudyResult per benchmark, in suite order; each
+     *         holds one PointEvaluation per point, in @p points
+     *         order.  Deterministic for any @p nthreads.
+     *
+     * Profiles are built on first use and cached: a second
+     * evaluateAll() on the same runner reuses them.
+     */
+    std::vector<StudyResult>
+    evaluateAll(const std::vector<DesignPoint> &points,
+                unsigned nthreads);
+
+    /** Number of benchmarks under study. */
+    std::size_t benchmarkCount() const { return benches.size(); }
+
+    /** The per-benchmark study (built by evaluateAll), for drills. */
+    const DseStudy &study(std::size_t bench_idx) const;
+
+  private:
+    std::vector<BenchmarkProfile> benches;
+    InstCount traceLen;
+    bool runSim;
+
+    /** Built lazily by evaluateAll, then reused. */
+    std::vector<std::unique_ptr<DseStudy>> studies;
+};
+
+} // namespace mech
+
+#endif // MECH_DSE_STUDY_RUNNER_HH

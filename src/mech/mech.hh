@@ -25,10 +25,12 @@
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
+#include "common/thread_pool.hh"
 #include "common/types.hh"
 #include "compiler/passes.hh"
 #include "dse/design_space.hh"
 #include "dse/study.hh"
+#include "dse/study_runner.hh"
 #include "isa/machine_params.hh"
 #include "isa/op_class.hh"
 #include "isa/static_inst.hh"

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Golden regression test for the mechanistic model (eqs. 1-16).
+ *
+ * Snapshots the full CPI stack of one small fixed workload (patricia,
+ * seed-determined, 30k instructions) at Table 2 corner points.  Any
+ * refactor of the model equations, the profiler, or the workload
+ * generator that shifts these numbers fails here with a precise
+ * component-level diff instead of silently changing bench output.
+ *
+ * Regenerating after an *intentional* model change:
+ *
+ *     MECH_GOLDEN_REGEN=1 ./golden_model_test
+ *
+ * prints the replacement kGolden table on stdout; paste it below and
+ * re-run to confirm.
+ */
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dse/design_space.hh"
+#include "dse/study.hh"
+#include "model/cpi_stack.hh"
+#include "workload/suites.hh"
+
+namespace {
+
+using namespace mech;
+
+constexpr InstCount kLen = 30000;
+constexpr const char *kBench = "patricia";
+
+/** Corner points of the Table 2 space, plus the paper default. */
+std::vector<std::pair<std::string, DesignPoint>>
+goldenPoints()
+{
+    std::vector<std::pair<std::string, DesignPoint>> pts;
+    DesignPoint p = defaultDesignPoint();
+    pts.emplace_back("default", p);
+
+    // Smallest machine: narrow, shallow, small L2, weak predictor.
+    p = DesignPoint{};
+    p.l2KB = 128;
+    p.l2Assoc = 8;
+    p.depth = 5;
+    p.freqGHz = 0.6;
+    p.width = 1;
+    p.predictor = PredictorKind::Gshare1K;
+    pts.emplace_back("min-corner", p);
+
+    // Largest machine: wide, deep, big L2, strong predictor.
+    p = DesignPoint{};
+    p.l2KB = 1024;
+    p.l2Assoc = 16;
+    p.depth = 9;
+    p.freqGHz = 1.0;
+    p.width = 4;
+    p.predictor = PredictorKind::Hybrid3K5;
+    pts.emplace_back("max-corner", p);
+
+    // Mixed corner: narrow but deep with a big L2.
+    p = DesignPoint{};
+    p.l2KB = 1024;
+    p.l2Assoc = 8;
+    p.depth = 9;
+    p.freqGHz = 1.0;
+    p.width = 1;
+    p.predictor = PredictorKind::Gshare1K;
+    pts.emplace_back("narrow-deep", p);
+
+    // Mixed corner: wide but shallow with the small L2.
+    p = DesignPoint{};
+    p.l2KB = 128;
+    p.l2Assoc = 16;
+    p.depth = 5;
+    p.freqGHz = 0.6;
+    p.width = 4;
+    p.predictor = PredictorKind::Hybrid3K5;
+    pts.emplace_back("wide-shallow", p);
+    return pts;
+}
+
+struct GoldenRow
+{
+    const char *label;
+    double cycles;
+    std::array<double, kNumCpiComponents> stack;
+};
+
+// Snapshot of the model at the golden points (generated with
+// MECH_GOLDEN_REGEN=1; see file comment).  Component order follows
+// CpiComponent.
+const GoldenRow kGolden[] = {
+    {"default", 90837.25,
+     {7502.5, 0, 0, 14032.875, 43380, 0, 835.5, 29.625, 355.5,
+      12737.25, 2989, 4685.9375, 0, 4289.0625}},
+    {"min-corner", 73647,
+     {30010, 0, 0, 8135, 26028, 0, 504, 18, 216, 3996, 2989, 0, 0,
+      1751}},
+    {"max-corner", 90190.125,
+     {7502.5, 0, 0, 14032.875, 43380, 0, 835.5, 29.625, 355.5,
+      12055.125, 3024, 4685.9375, 0, 4289.0625}},
+    {"narrow-deep", 105991,
+     {30010, 0, 0, 14643, 43380, 0, 840, 30, 360, 11988, 2989, 0, 0,
+      1751}},
+    {"wide-shallow", 58274.125,
+     {7502.5, 0, 0, 7524.875, 26028, 0, 499.5, 17.625, 211.5,
+      4491.125, 3024, 4685.9375, 0, 4289.0625}},
+};
+
+std::vector<std::pair<std::string, ModelResult>>
+evaluateGoldenPoints()
+{
+    DseStudy study(profileByName(kBench), kLen);
+    std::vector<std::pair<std::string, ModelResult>> out;
+    for (const auto &[label, point] : goldenPoints())
+        out.emplace_back(label, study.evaluate(point, false).model);
+    return out;
+}
+
+/** Print a replacement kGolden table from the current model. */
+void
+printRegen(const std::vector<std::pair<std::string, ModelResult>> &rows)
+{
+    std::printf("const GoldenRow kGolden[] = {\n");
+    for (const auto &[label, model] : rows) {
+        std::printf("    {\"%s\", %.17g,\n     {", label.c_str(),
+                    model.cycles);
+        for (std::size_t c = 0; c < kNumCpiComponents; ++c) {
+            std::printf("%s%.17g", c ? ", " : "",
+                        model.stack[static_cast<CpiComponent>(c)]);
+        }
+        std::printf("}},\n");
+    }
+    std::printf("};\n");
+}
+
+TEST(GoldenModel, CpiStacksMatchSnapshotAtTable2Corners)
+{
+    auto rows = evaluateGoldenPoints();
+
+    if (std::getenv("MECH_GOLDEN_REGEN")) {
+        printRegen(rows);
+        GTEST_SKIP() << "regeneration mode: table printed, not checked";
+    }
+
+    ASSERT_EQ(rows.size(), std::size(kGolden))
+        << "golden table out of date; regenerate with MECH_GOLDEN_REGEN=1";
+
+    // The model is closed-form arithmetic on profiled counts, so the
+    // snapshot holds to tight relative tolerance across compilers;
+    // any real model change moves components far more than 1e-9.
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const auto &[label, model] = rows[i];
+        const GoldenRow &want = kGolden[i];
+        EXPECT_EQ(label, want.label);
+        EXPECT_NEAR(model.cycles, want.cycles,
+                    std::abs(want.cycles) * 1e-9 + 1e-12)
+            << label;
+        for (std::size_t c = 0; c < kNumCpiComponents; ++c) {
+            auto comp = static_cast<CpiComponent>(c);
+            EXPECT_NEAR(model.stack[comp], want.stack[c],
+                        std::abs(want.stack[c]) * 1e-9 + 1e-12)
+                << label << " component " << cpiComponentName(comp);
+        }
+    }
+}
+
+TEST(GoldenModel, StackTotalEqualsPredictedCycles)
+{
+    for (const auto &[label, model] : evaluateGoldenPoints()) {
+        EXPECT_NEAR(model.stack.total(), model.cycles,
+                    1e-9 * model.cycles)
+            << label;
+    }
+}
+
+} // namespace

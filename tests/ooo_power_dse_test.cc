@@ -229,10 +229,12 @@ TEST(DesignSpace, Has192DistinctPoints)
 TEST(DesignSpace, DepthTiesFrequency)
 {
     for (const auto &p : table2Space()) {
-        if (p.depth == 5)
+        if (p.depth == 5) {
             EXPECT_DOUBLE_EQ(p.freqGHz, 0.6);
-        if (p.depth == 9)
+        }
+        if (p.depth == 9) {
             EXPECT_DOUBLE_EQ(p.freqGHz, 1.0);
+        }
     }
 }
 

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for the parallel batch-evaluation engine: determinism of
+ * evaluateAll across worker counts over the full 192-point Table 2
+ * space, agreement with the plain serial DseStudy loop, ordering, and
+ * profile reuse across calls.
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dse/design_space.hh"
+#include "dse/study.hh"
+#include "dse/study_runner.hh"
+#include "model/cpi_stack.hh"
+#include "workload/suites.hh"
+
+namespace {
+
+using namespace mech;
+
+constexpr InstCount kLen = 20000;
+
+/** Exact (bitwise) equality of two model results. */
+void
+expectSameModel(const ModelResult &a, const ModelResult &b,
+                const std::string &where)
+{
+    EXPECT_EQ(a.cycles, b.cycles) << where;
+    EXPECT_EQ(a.instructions, b.instructions) << where;
+    for (std::size_t c = 0; c < kNumCpiComponents; ++c) {
+        auto comp = static_cast<CpiComponent>(c);
+        EXPECT_EQ(a.stack[comp], b.stack[comp])
+            << where << " component " << cpiComponentName(comp);
+    }
+}
+
+void
+expectSameEvaluations(const std::vector<StudyResult> &a,
+                      const std::vector<StudyResult> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t r = 0; r < a.size(); ++r) {
+        EXPECT_EQ(a[r].benchmark, b[r].benchmark);
+        ASSERT_EQ(a[r].evals.size(), b[r].evals.size());
+        for (std::size_t i = 0; i < a[r].evals.size(); ++i) {
+            const PointEvaluation &ea = a[r].evals[i];
+            const PointEvaluation &eb = b[r].evals[i];
+            std::string where = a[r].benchmark + " point " +
+                                std::to_string(i) + " (" +
+                                ea.point.label() + ")";
+            // Ordering: both sides must hold the same design point in
+            // the same slot.
+            EXPECT_EQ(ea.point.label(), eb.point.label()) << where;
+            expectSameModel(ea.model, eb.model, where);
+            EXPECT_EQ(ea.modelEdp, eb.modelEdp) << where;
+            EXPECT_EQ(ea.sim.has_value(), eb.sim.has_value()) << where;
+            if (ea.sim && eb.sim) {
+                EXPECT_EQ(ea.sim->cycles, eb.sim->cycles) << where;
+                EXPECT_EQ(ea.simEdp, eb.simEdp) << where;
+            }
+        }
+    }
+}
+
+TEST(StudyRunner, ParallelMatchesSerialOverFullTable2Space)
+{
+    auto space = table2Space();
+    ASSERT_EQ(space.size(), 192u);
+
+    StudyRunner serial({profileByName("sha")}, kLen);
+    StudyRunner parallel({profileByName("sha")}, kLen);
+
+    auto one = serial.evaluateAll(space, 1);
+    auto many = parallel.evaluateAll(space, 4);
+
+    expectSameEvaluations(one, many);
+}
+
+TEST(StudyRunner, MatchesThePlainSerialStudyLoop)
+{
+    auto space = table2Space();
+    const BenchmarkProfile &bench = profileByName("dijkstra");
+
+    // The pre-existing serial path: one study, one explicit loop.
+    DseStudy study(bench, kLen);
+    std::vector<PointEvaluation> loop;
+    loop.reserve(space.size());
+    for (const auto &point : space)
+        loop.push_back(study.evaluate(point, false));
+
+    StudyRunner runner({bench}, kLen);
+    auto batched = runner.evaluateAll(space, 4);
+
+    ASSERT_EQ(batched.size(), 1u);
+    ASSERT_EQ(batched[0].evals.size(), loop.size());
+    for (std::size_t i = 0; i < loop.size(); ++i) {
+        expectSameModel(loop[i].model, batched[0].evals[i].model,
+                        "point " + std::to_string(i));
+        EXPECT_EQ(loop[i].modelEdp, batched[0].evals[i].modelEdp);
+    }
+}
+
+TEST(StudyRunner, ShardsMultipleBenchmarksDeterministically)
+{
+    // A small point list exercises the multi-benchmark sharding
+    // without paying for the full space three times.
+    auto space = table2Space();
+    std::vector<DesignPoint> points(space.begin(), space.begin() + 24);
+
+    std::vector<BenchmarkProfile> benches = {
+        profileByName("sha"), profileByName("adpcm_d"),
+        profileByName("patricia")};
+
+    StudyRunner serial(benches, kLen);
+    StudyRunner parallel(benches, kLen);
+
+    auto one = serial.evaluateAll(points, 1);
+    auto many = parallel.evaluateAll(points, 8);
+
+    ASSERT_EQ(one.size(), benches.size());
+    for (std::size_t b = 0; b < benches.size(); ++b)
+        EXPECT_EQ(one[b].benchmark, benches[b].name);
+    expectSameEvaluations(one, many);
+}
+
+TEST(StudyRunner, ReusesProfilesAcrossCalls)
+{
+    auto space = table2Space();
+    std::vector<DesignPoint> points(space.begin(), space.begin() + 8);
+
+    StudyRunner runner({profileByName("stringsearch")}, kLen);
+    auto first = runner.evaluateAll(points, 2);
+    auto second = runner.evaluateAll(points, 1);
+    expectSameEvaluations(first, second);
+}
+
+TEST(StudyRunner, SimulationResultsAreDeterministicToo)
+{
+    // Detailed simulation replays the shared trace; a handful of
+    // points keeps runtime modest while covering the sim path.
+    auto space = table2Space();
+    std::vector<DesignPoint> points = {space.front(), space[95],
+                                       space.back()};
+
+    StudyRunner serial({profileByName("qsort")}, kLen, true);
+    StudyRunner parallel({profileByName("qsort")}, kLen, true);
+
+    auto one = serial.evaluateAll(points, 1);
+    auto many = parallel.evaluateAll(points, 4);
+
+    ASSERT_EQ(many[0].evals.size(), 3u);
+    for (const auto &ev : many[0].evals)
+        EXPECT_TRUE(ev.sim.has_value());
+    expectSameEvaluations(one, many);
+}
+
+} // namespace

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for the common ThreadPool: inline (0-worker) execution,
+ * single and many workers, FIFO ordering, exception propagation, and
+ * queue draining on destruction.
+ */
+
+#include <atomic>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.hh"
+
+namespace {
+
+using mech::ThreadPool;
+
+TEST(ThreadPool, ZeroWorkersRunsInlineOnSubmittingThread)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.workerCount(), 0u);
+
+    std::thread::id ran_on;
+    auto fut = pool.submit([&] { ran_on = std::this_thread::get_id(); });
+    // Inline execution: the task already ran by the time submit
+    // returned, on this very thread.
+    EXPECT_EQ(fut.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_EQ(ran_on, std::this_thread::get_id());
+}
+
+TEST(ThreadPool, ZeroWorkersPreservesSubmissionOrder)
+{
+    ThreadPool pool(0);
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        pool.submit([&order, i] { order.push_back(i); });
+    ASSERT_EQ(order.size(), 8u);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ThreadPool, SingleWorkerExecutesTasksInFifoOrder)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.workerCount(), 1u);
+
+    std::vector<int> order;
+    std::vector<std::future<void>> futs;
+    for (int i = 0; i < 32; ++i)
+        futs.push_back(pool.submit([&order, i] { order.push_back(i); }));
+    for (auto &f : futs)
+        f.get();
+
+    ASSERT_EQ(order.size(), 32u);
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ThreadPool, ManyWorkersRunEveryTaskExactlyOnce)
+{
+    ThreadPool pool(8);
+    EXPECT_EQ(pool.workerCount(), 8u);
+
+    constexpr int kTasks = 500;
+    std::atomic<int> runs{0};
+    std::vector<std::future<int>> futs;
+    futs.reserve(kTasks);
+    for (int i = 0; i < kTasks; ++i) {
+        futs.push_back(pool.submit([&runs, i] {
+            runs.fetch_add(1, std::memory_order_relaxed);
+            return i * i;
+        }));
+    }
+    for (int i = 0; i < kTasks; ++i)
+        EXPECT_EQ(futs[static_cast<std::size_t>(i)].get(), i * i);
+    EXPECT_EQ(runs.load(), kTasks);
+}
+
+TEST(ThreadPool, ReturnsValuesThroughFutures)
+{
+    ThreadPool pool(2);
+    auto a = pool.submit([] { return 21 * 2; });
+    auto b = pool.submit([] { return std::string("hello"); });
+    EXPECT_EQ(a.get(), 42);
+    EXPECT_EQ(b.get(), "hello");
+}
+
+TEST(ThreadPool, PropagatesExceptionsToTheFuture)
+{
+    for (unsigned workers : {0u, 1u, 4u}) {
+        ThreadPool pool(workers);
+        auto ok = pool.submit([] { return 1; });
+        auto bad = pool.submit(
+            []() -> int { throw std::runtime_error("task failed"); });
+        EXPECT_EQ(ok.get(), 1);
+        EXPECT_THROW(bad.get(), std::runtime_error);
+        // The pool survives a throwing task.
+        EXPECT_EQ(pool.submit([] { return 2; }).get(), 2);
+    }
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks)
+{
+    std::atomic<int> runs{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 64; ++i) {
+            pool.submit(
+                [&runs] { runs.fetch_add(1, std::memory_order_relaxed); });
+        }
+        // No explicit wait: destruction must run everything queued.
+    }
+    EXPECT_EQ(runs.load(), 64);
+}
+
+TEST(ThreadPool, DefaultWorkerCountIsPositive)
+{
+    EXPECT_GE(ThreadPool::defaultWorkerCount(), 1u);
+}
+
+} // namespace

@@ -292,8 +292,9 @@ TEST(Executor, SequentialStreamsWalkForward)
         if (di.op != OpClass::Load)
             continue;
         auto it = last.find(di.pc);
-        if (it != last.end() && di.effAddr > it->second)
+        if (it != last.end() && di.effAddr > it->second) {
             EXPECT_EQ(di.effAddr - it->second, 8u);
+        }
         last[di.pc] = di.effAddr;
     }
 }

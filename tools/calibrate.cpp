@@ -7,8 +7,12 @@
  * of the library API; a developer tool.
  */
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdlib>
 #include <iostream>
+#include <iterator>
+#include <vector>
 
 #include "mech/mech.hh"
 
@@ -21,22 +25,46 @@ main(int argc, char **argv)
     DesignPoint point = defaultDesignPoint();
     if (argc > 2)
         point.width = static_cast<std::uint32_t>(std::atoi(argv[2]));
+    unsigned nthreads =
+        argc > 3 ? ThreadPool::sanitizeWorkerCount(std::atoll(argv[3]))
+                 : ThreadPool::defaultWorkerCount();
 
     TextTable table({"bench", "mCPI", "sCPI", "err%", "m.deps", "s.deps",
                      "m.taken", "s.taken", "m.miss", "s.fetchmiss",
                      "m.bpred", "s.bpredstall", "m.LL+l2"});
 
-    for (const auto &bench : mibenchSuite()) {
-        DseStudy study(bench, n);
-        PointEvaluation ev = study.evaluate(point, true);
+    // Batch: every benchmark profiled and (model + sim) evaluated at
+    // the chosen point, sharded across the pool.  Groups of nthreads
+    // benchmarks bound peak memory: each study pins its full trace
+    // (and captured L2 stream), and one point per benchmark gains
+    // nothing from keeping profiles cached beyond its group.
+    const auto &suite = mibenchSuite();
+    const std::size_t group_size = std::max(1u, nthreads);
+    std::vector<StudyResult> results;
+    for (std::size_t at = 0; at < suite.size(); at += group_size) {
+        auto last =
+            suite.begin() +
+            static_cast<std::ptrdiff_t>(
+                std::min(suite.size(), at + group_size));
+        StudyRunner runner(
+            {suite.begin() + static_cast<std::ptrdiff_t>(at), last}, n,
+            true);
+        auto group = runner.evaluateAll({point}, nthreads);
+        results.insert(results.end(),
+                       std::make_move_iterator(group.begin()),
+                       std::make_move_iterator(group.end()));
+    }
+
+    for (const auto &result : results) {
+        const PointEvaluation &ev = result.evals.at(0);
         const auto &st = ev.model.stack;
         const SimResult &sim = *ev.sim;
-        double N = static_cast<double>(study.profile().program.n);
+        double N = static_cast<double>(ev.model.instructions);
 
         auto cpi = [N](double cycles) { return cycles / N; };
 
         table.addRow({
-            bench.name,
+            result.benchmark,
             TextTable::num(ev.model.cpi(), 3),
             TextTable::num(sim.cpi(), 3),
             TextTable::num(ev.cpiError() * 100.0, 1),
