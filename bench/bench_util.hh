@@ -1,6 +1,11 @@
 /**
  * @file
  * Shared helpers for the figure/table regeneration benches.
+ *
+ * Every bench takes the same standard options (--instructions,
+ * --threads, --profile-dir) parsed through the shared cli::ArgParser,
+ * with MECH_TRACE_LEN / MECH_THREADS environment fallbacks so suite
+ * runs can be resized without editing command lines.
  */
 
 #ifndef MECH_BENCH_BENCH_UTIL_HH
@@ -13,39 +18,85 @@
 
 namespace mech::bench {
 
-/**
- * Trace length for a bench: `--instructions N` argument, else the
- * MECH_TRACE_LEN environment variable, else @p fallback.  Benches
- * default to container-friendly lengths; raise for tighter statistics.
- */
-inline InstCount
-traceLength(int argc, char **argv, InstCount fallback)
+/** Standard options shared by every bench. */
+struct Args
 {
-    for (int i = 1; i + 1 < argc; ++i) {
-        if (std::string(argv[i]) == "--instructions")
-            return std::strtoull(argv[i + 1], nullptr, 10);
-    }
+    /** Dynamic instructions per benchmark trace. */
+    InstCount instructions = 0;
+
+    /** Worker threads for batched sweeps. */
+    unsigned threads = 0;
+
+    /** Directory of .mprof artifacts ("" = profile in-process). */
+    std::string profileDir;
+};
+
+/**
+ * Parse the standard bench options.
+ *
+ * Defaults: @p fallback_instructions (or MECH_TRACE_LEN), every
+ * hardware thread (or MECH_THREADS).  Benches default to
+ * container-friendly lengths; raise for tighter statistics.  Exits
+ * with a usage string on --help or bad arguments.
+ *
+ * Only advertise what the bench consumes: @p with_threads /
+ * @p with_profile_dir drop those options from the parser so a
+ * serial or artifact-incompatible bench rejects them loudly instead
+ * of accepting and silently ignoring them.
+ */
+inline Args
+parseArgs(int argc, char **argv, const std::string &prog,
+          const std::string &description,
+          InstCount fallback_instructions, bool with_threads = true,
+          bool with_profile_dir = true)
+{
+    Args args;
+    args.instructions = fallback_instructions;
     if (const char *env = std::getenv("MECH_TRACE_LEN"))
-        return std::strtoull(env, nullptr, 10);
-    return fallback;
+        args.instructions = std::strtoull(env, nullptr, 10);
+    args.threads = ThreadPool::defaultWorkerCount();
+    if (const char *env = std::getenv("MECH_THREADS")) {
+        args.threads = ThreadPool::sanitizeWorkerCount(
+            std::strtoll(env, nullptr, 10));
+    }
+
+    cli::ArgParser parser(prog, description);
+    parser.add("instructions", "N",
+               "dynamic instructions per benchmark trace",
+               &args.instructions);
+    if (with_threads) {
+        parser.add("threads", "N", "worker threads for batched sweeps",
+                   &args.threads);
+    }
+    if (with_profile_dir) {
+        parser.add("profile-dir", "dir",
+                   "load .mprof artifacts from this directory instead "
+                   "of re-profiling (see tools/mech_profile)",
+                   &args.profileDir);
+    }
+    parser.parse(argc, argv);
+    args.threads = ThreadPool::sanitizeWorkerCount(
+        static_cast<long long>(args.threads));
+    return args;
 }
 
 /**
- * Worker threads for a bench: `--threads N` argument, else the
- * MECH_THREADS environment variable, else every hardware thread.
+ * Build a study for @p bench: loaded from its artifact when
+ * --profile-dir supplies one, otherwise profiled in-process.
  */
-inline unsigned
-threadCount(int argc, char **argv)
+inline DseStudy
+makeStudy(const BenchmarkProfile &bench, const Args &args)
 {
-    for (int i = 1; i + 1 < argc; ++i) {
-        if (std::string(argv[i]) == "--threads")
-            return ThreadPool::sanitizeWorkerCount(
-                std::strtoll(argv[i + 1], nullptr, 10));
-    }
-    if (const char *env = std::getenv("MECH_THREADS"))
-        return ThreadPool::sanitizeWorkerCount(
-            std::strtoll(env, nullptr, 10));
-    return ThreadPool::defaultWorkerCount();
+    return DseStudy::loadOrProfile(args.profileDir, bench,
+                                   args.instructions);
+}
+
+/** Point a runner at --profile-dir when one was given. */
+inline void
+applyProfileDir(StudyRunner &runner, const Args &args)
+{
+    if (!args.profileDir.empty())
+        runner.useProfileDir(args.profileDir);
 }
 
 /** Paper-style coarse stack groups used by Figs. 4 and 8. */

@@ -14,22 +14,26 @@ int
 main(int argc, char **argv)
 {
     using namespace mech;
-    InstCount n = bench::traceLength(argc, argv, 300000);
+    bench::Args args = bench::parseArgs(
+        argc, argv, "fig3_validation",
+        "model vs detailed-simulation CPI on the default config",
+        300000, /*with_threads=*/false);
     DesignPoint point = defaultDesignPoint();
+    const BackendSet backends = backendSet("model,sim");
 
     std::cout << "=== Figure 3: CPI, model vs detailed simulation ===\n"
-              << "config: " << point.label() << ", " << n
+              << "config: " << point.label() << ", " << args.instructions
               << " instructions per benchmark\n\n";
 
     TextTable table({"benchmark", "model CPI", "detailed CPI", "error%"});
     SummaryStats err;
     for (const auto &bench : mibenchSuite()) {
-        DseStudy study(bench, n);
-        PointEvaluation ev = study.evaluate(point, true);
-        double e = ev.cpiError();
+        DseStudy study = bench::makeStudy(bench, args);
+        PointEvaluation ev = study.evaluate(point, backends);
+        double e = ev.cpiError().value();
         err.add(e * 100.0);
-        table.addRow({bench.name, TextTable::num(ev.model.cpi(), 3),
-                      TextTable::num(ev.sim->cpi(), 3),
+        table.addRow({bench.name, TextTable::num(ev.model().cpi(), 3),
+                      TextTable::num(ev.sim()->cpi(), 3),
                       TextTable::num(e * 100.0, 1)});
     }
     table.print(std::cout);

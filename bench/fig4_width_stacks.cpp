@@ -17,13 +17,17 @@ int
 main(int argc, char **argv)
 {
     using namespace mech;
-    InstCount n = bench::traceLength(argc, argv, 300000);
+    bench::Args args = bench::parseArgs(
+        argc, argv, "fig4_width_stacks",
+        "model CPI stacks across superscalar widths", 300000,
+        /*with_threads=*/false);
+    const BackendSet backends = backendSet("model,sim");
 
     std::cout << "=== Figure 4: CPI stacks vs superscalar width ===\n"
-              << n << " instructions per benchmark\n\n";
+              << args.instructions << " instructions per benchmark\n\n";
 
     for (const char *name : {"sha", "tiffdither", "dijkstra"}) {
-        DseStudy study(profileByName(name), n);
+        DseStudy study = bench::makeStudy(profileByName(name), args);
         std::cout << "--- " << name << " ---\n";
         TextTable table({"W", "base", "mul/div", "l2 access", "l2 miss",
                          "tlb", "bpred miss", "bpred hit(taken)",
@@ -31,9 +35,9 @@ main(int argc, char **argv)
         for (std::uint32_t w = 1; w <= 4; ++w) {
             DesignPoint p = defaultDesignPoint();
             p.width = w;
-            PointEvaluation ev = study.evaluate(p, true);
-            auto per = ev.model.stack.perInstruction(
-                ev.model.instructions);
+            PointEvaluation ev = study.evaluate(p, backends);
+            const EvalResult &model = ev.model();
+            auto per = model.stack.perInstruction(model.instructions);
             bench::CoarseStack c = bench::coarsen(per);
             table.addRow({std::to_string(w), TextTable::num(c.base, 3),
                           TextTable::num(c.muldiv, 3),
@@ -44,8 +48,8 @@ main(int argc, char **argv)
                           TextTable::num(c.bpredTaken, 3),
                           TextTable::num(c.deps, 3),
                           TextTable::num(c.ifetch, 3),
-                          TextTable::num(ev.model.cpi(), 3),
-                          TextTable::num(ev.sim->cpi(), 3)});
+                          TextTable::num(model.cpi(), 3),
+                          TextTable::num(ev.sim()->cpi(), 3)});
         }
         table.print(std::cout);
         std::cout << '\n';

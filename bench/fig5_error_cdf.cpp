@@ -19,35 +19,41 @@ main(int argc, char **argv)
 {
     using namespace mech;
     using clock = std::chrono::steady_clock;
-    InstCount n = bench::traceLength(argc, argv, 50000);
+    bench::Args args = bench::parseArgs(
+        argc, argv, "fig5_error_cdf",
+        "model error CDF across the full Table 2 design space", 50000,
+        /*with_threads=*/false);
 
     auto space = table2Space();
     const auto &suite = mibenchSuite();
+    const BackendSet model_only = backendSet("model");
+    const BackendSet with_sim = backendSet("model,sim");
 
     std::cout << "=== Figure 5: error CDF across the design space ===\n"
               << space.size() << " design points x " << suite.size()
-              << " benchmarks, " << n << " instructions each\n\n";
+              << " benchmarks, " << args.instructions
+              << " instructions each\n\n";
 
     std::vector<double> errors;
     double sim_seconds = 0.0, model_seconds = 0.0, profile_seconds = 0.0;
 
     for (const auto &bench : suite) {
         auto t0 = clock::now();
-        DseStudy study(bench, n);
+        DseStudy study = bench::makeStudy(bench, args);
         profile_seconds +=
             std::chrono::duration<double>(clock::now() - t0).count();
         for (const auto &point : space) {
             auto t1 = clock::now();
-            PointEvaluation model_only = study.evaluate(point, false);
+            PointEvaluation cheap = study.evaluate(point, model_only);
             auto t2 = clock::now();
-            PointEvaluation with_sim = study.evaluate(point, true);
+            PointEvaluation validated = study.evaluate(point, with_sim);
             auto t3 = clock::now();
             model_seconds +=
                 std::chrono::duration<double>(t2 - t1).count();
             sim_seconds +=
                 std::chrono::duration<double>(t3 - t2).count();
-            (void)model_only;
-            errors.push_back(with_sim.cpiError() * 100.0);
+            (void)cheap;
+            errors.push_back(validated.cpiError().value() * 100.0);
         }
     }
 

@@ -16,25 +16,30 @@ int
 main(int argc, char **argv)
 {
     using namespace mech;
-    InstCount n = bench::traceLength(argc, argv, 300000);
+    bench::Args args = bench::parseArgs(
+        argc, argv, "fig6_spec_validation",
+        "model vs detailed-simulation CPI on SPEC-like workloads",
+        300000, /*with_threads=*/false);
     DesignPoint point = defaultDesignPoint();
+    const BackendSet backends = backendSet("model,sim");
 
     std::cout << "=== Figure 6: SPEC-like validation ===\n"
-              << "config: " << point.label() << ", " << n
+              << "config: " << point.label() << ", " << args.instructions
               << " instructions per benchmark\n\n";
 
     TextTable table({"benchmark", "model CPI", "detailed CPI",
                      "error%", "l2-miss share"});
     SummaryStats err;
     for (const auto &bench : specLikeSuite()) {
-        DseStudy study(bench, n);
-        PointEvaluation ev = study.evaluate(point, true);
-        double e = ev.cpiError();
+        DseStudy study = bench::makeStudy(bench, args);
+        PointEvaluation ev = study.evaluate(point, backends);
+        const EvalResult &model = ev.model();
+        double e = ev.cpiError().value();
         err.add(e * 100.0);
         double miss_share =
-            ev.model.stack[CpiComponent::L2Miss] / ev.model.cycles;
-        table.addRow({bench.name, TextTable::num(ev.model.cpi(), 3),
-                      TextTable::num(ev.sim->cpi(), 3),
+            model.stack[CpiComponent::L2Miss] / model.cycles;
+        table.addRow({bench.name, TextTable::num(model.cpi(), 3),
+                      TextTable::num(ev.sim()->cpi(), 3),
                       TextTable::num(e * 100.0, 1),
                       TextTable::num(miss_share, 2)});
     }

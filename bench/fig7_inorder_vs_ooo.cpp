@@ -1,7 +1,8 @@
 /**
  * @file
  * Figure 7: in-order vs out-of-order CPI stacks (both from
- * mechanistic models) for the paper's 13-benchmark selection at W=4.
+ * mechanistic models) for the paper's 13-benchmark selection at W=4,
+ * evaluated through the "model" and "ooo" backends of the registry.
  *
  * Paper observations reproduced here:
  *  - dependencies and mul/div latencies are hidden out-of-order;
@@ -19,13 +20,16 @@ int
 main(int argc, char **argv)
 {
     using namespace mech;
-    InstCount n = bench::traceLength(argc, argv, 200000);
+    bench::Args args = bench::parseArgs(
+        argc, argv, "fig7_inorder_vs_ooo",
+        "in-order vs out-of-order model CPI stacks", 200000,
+        /*with_threads=*/false);
     DesignPoint point = defaultDesignPoint();
-    OooParams ooo;
+    const BackendSet backends = backendSet("model,ooo");
 
     std::cout << "=== Figure 7: in-order vs out-of-order CPI stacks ===\n"
-              << "W=4, OoO window " << ooo.robSize << ", " << n
-              << " instructions per benchmark\n\n";
+              << "W=4, OoO window " << OooParams{}.robSize << ", "
+              << args.instructions << " instructions per benchmark\n\n";
 
     const char *benchmarks[] = {"cjpeg",    "dijkstra", "djpeg",
                                 "lame",     "patricia", "susan_c",
@@ -38,18 +42,10 @@ main(int argc, char **argv)
                      "CPI"});
 
     for (const char *name : benchmarks) {
-        DseStudy study(profileByName(name), n);
-        const WorkloadProfile &prof = study.profile();
-        const BranchProfile &bp =
-            prof.branchProfileFor(point.predictor);
-        MachineParams machine = machineFor(point);
+        DseStudy study = bench::makeStudy(profileByName(name), args);
+        PointEvaluation ev = study.evaluate(point, backends);
 
-        ModelResult io = evaluateInOrder(prof.program, prof.memory, bp,
-                                         machine);
-        ModelResult oo = evaluateOutOfOrder(prof.program, prof.memory,
-                                            bp, machine, ooo);
-
-        auto add_row = [&](const char *core, const ModelResult &res) {
+        auto add_row = [&](const char *core, const EvalResult &res) {
             auto per = res.stack.perInstruction(res.instructions);
             table.addRow(
                 {name, core, TextTable::num(per[CpiComponent::Base], 3),
@@ -61,8 +57,8 @@ main(int argc, char **argv)
                  TextTable::num(per.dependencies(), 3),
                  TextTable::num(res.cpi(), 3)});
         };
-        add_row("in-order", io);
-        add_row("OoO", oo);
+        add_row("in-order", ev.of(kModelBackend));
+        add_row("OoO", ev.of(kOooBackend));
     }
     table.print(std::cout);
 

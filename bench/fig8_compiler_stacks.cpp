@@ -47,12 +47,19 @@ variantProgram(const BenchmarkProfile &bench, const std::string &variant)
 int
 main(int argc, char **argv)
 {
-    InstCount n = bench::traceLength(argc, argv, 150000);
+    bench::Args args = bench::parseArgs(
+        argc, argv, "fig8_compiler_stacks",
+        "normalized cycle stacks across compiler optimizations",
+        150000, /*with_threads=*/false,
+        // Each variant profiles a freshly transformed program, so
+        // saved artifacts cannot apply here.
+        /*with_profile_dir=*/false);
     DesignPoint point = defaultDesignPoint();
 
     std::cout << "=== Figure 8: cycle stacks across compiler "
                  "optimizations ===\n"
-              << "cycles normalized to the O3 variant; " << n
+              << "cycles normalized to the O3 variant; "
+              << args.instructions
               << " instructions profiled per variant\n\n";
 
     const char *benchmarks[] = {"gsm_c", "sha", "stringsearch",
@@ -78,12 +85,12 @@ main(int argc, char **argv)
 
         for (const char *variant : variants) {
             Program prog = variantProgram(bench, variant);
-            DseStudy study(bench, n, prog);
-            PointEvaluation ev = study.evaluate(point, false);
+            DseStudy study(bench, args.instructions, prog);
+            PointEvaluation ev = study.evaluate(point);
+            const EvalResult &model = ev.model();
             // Cycle stack = CPI stack x N: the model stack already is
             // cycles; normalization happens against O3 below.
-            Row row{variant, bench::coarsen(ev.model.stack),
-                    ev.model.cycles};
+            Row row{variant, bench::coarsen(model.stack), model.cycles};
             if (row.variant == "O3")
                 o3_cycles = row.cycles;
             rows.push_back(row);

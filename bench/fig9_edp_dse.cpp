@@ -19,38 +19,50 @@ int
 main(int argc, char **argv)
 {
     using namespace mech;
-    InstCount n = bench::traceLength(argc, argv, 50000);
-    unsigned nthreads = bench::threadCount(argc, argv);
+    bench::Args args = bench::parseArgs(
+        argc, argv, "fig9_edp_dse",
+        "EDP design-space exploration, model vs detailed simulation",
+        50000);
     auto space = table2Space();
 
     std::cout << "=== Figure 9: EDP design-space exploration ===\n"
-              << space.size() << " design points, " << n
-              << " instructions per benchmark, " << nthreads
+              << space.size() << " design points, " << args.instructions
+              << " instructions per benchmark, " << args.threads
               << " worker thread(s)\n\n";
 
     // One batched run: 4 benchmarks x 192 points x (model + detailed
     // sim), sharded across the pool.
     StudyRunner runner({profileByName("adpcm_d"), profileByName("gsm_c"),
                         profileByName("lame"), profileByName("patricia")},
-                       n, true);
-    auto results = runner.evaluateAll(space, nthreads);
+                       args.instructions, backendSet("model,sim"));
+    bench::applyProfileDir(runner, args);
+    auto results = runner.evaluateAll(space, args.threads);
 
     for (auto &result : results) {
         const std::string &name = result.benchmark;
         std::vector<PointEvaluation> &evals = result.evals;
 
+        auto sim_edp = [](const PointEvaluation &ev) {
+            return ev.of(kSimBackend).edp;
+        };
+        auto model_edp = [](const PointEvaluation &ev) {
+            return ev.model().edp;
+        };
+
         std::sort(evals.begin(), evals.end(),
-                  [](const auto &a, const auto &b) {
-                      return a.simEdp > b.simEdp;
+                  [&](const auto &a, const auto &b) {
+                      return sim_edp(a) > sim_edp(b);
                   });
 
         auto model_best = std::min_element(
-            evals.begin(), evals.end(), [](const auto &a, const auto &b) {
-                return a.modelEdp < b.modelEdp;
+            evals.begin(), evals.end(),
+            [&](const auto &a, const auto &b) {
+                return model_edp(a) < model_edp(b);
             });
         auto sim_best = std::min_element(
-            evals.begin(), evals.end(), [](const auto &a, const auto &b) {
-                return a.simEdp < b.simEdp;
+            evals.begin(), evals.end(),
+            [&](const auto &a, const auto &b) {
+                return sim_edp(a) < sim_edp(b);
             });
 
         std::cout << "--- " << name
@@ -60,17 +72,17 @@ main(int argc, char **argv)
                          "detailed EDP"});
         for (std::size_t i = 0; i < evals.size(); i += 16) {
             table.addRow({evals[i].point.label(),
-                          TextTable::num(evals[i].modelEdp * 1e6, 4),
-                          TextTable::num(evals[i].simEdp * 1e6, 4)});
+                          TextTable::num(model_edp(evals[i]) * 1e6, 4),
+                          TextTable::num(sim_edp(evals[i]) * 1e6, 4)});
         }
         table.addRow({evals.back().point.label(),
-                      TextTable::num(evals.back().modelEdp * 1e6, 4),
-                      TextTable::num(evals.back().simEdp * 1e6, 4)});
+                      TextTable::num(model_edp(evals.back()) * 1e6, 4),
+                      TextTable::num(sim_edp(evals.back()) * 1e6, 4)});
         table.print(std::cout);
         std::cout << "  (EDP shown in uJ*s)\n";
 
-        double edp_gap =
-            (model_best->simEdp - sim_best->simEdp) / sim_best->simEdp;
+        double edp_gap = (sim_edp(*model_best) - sim_edp(*sim_best)) /
+                         sim_edp(*sim_best);
         std::cout << "  detailed optimum: " << sim_best->point.label()
                   << "\n  model picks:      "
                   << model_best->point.label()

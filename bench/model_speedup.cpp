@@ -65,8 +65,8 @@ BM_ModelEvaluation(benchmark::State &state)
     DesignPoint point = defaultDesignPoint();
     point.l2KB = 256; // off-default so the L2 resweep cost shows once
     for (auto _ : state) {
-        PointEvaluation ev = study.evaluate(point, false);
-        benchmark::DoNotOptimize(ev.model.cycles);
+        PointEvaluation ev = study.evaluate(point);
+        benchmark::DoNotOptimize(ev.model().cycles);
     }
 }
 
@@ -104,7 +104,7 @@ BM_BatchEvaluateAll(benchmark::State &state)
     auto nthreads = static_cast<unsigned>(state.range(0));
     for (auto _ : state) {
         auto results = runner.evaluateAll(space, nthreads);
-        benchmark::DoNotOptimize(results[0].evals[0].model.cycles);
+        benchmark::DoNotOptimize(results[0].evals[0].model().cycles);
     }
     state.SetItemsProcessed(
         static_cast<std::int64_t>(state.iterations()) *
@@ -146,7 +146,8 @@ reportBatchSpeedup()
         auto t0 = clock::now();
         auto results = runner.evaluateAll(space, threads);
         auto t1 = clock::now();
-        benchmark::DoNotOptimize(results.back().evals.back().model.cycles);
+        benchmark::DoNotOptimize(
+            results.back().evals.back().model().cycles);
         return std::chrono::duration<double>(t1 - t0).count();
     };
 

@@ -16,7 +16,9 @@ int
 main(int argc, char **argv)
 {
     using namespace mech;
-    InstCount n = bench::traceLength(argc, argv, 250000);
+    bench::Args args = bench::parseArgs(
+        argc, argv, "table2_design_space",
+        "the Table 2 design space and model sensitivity", 250000);
     DesignPoint def = defaultDesignPoint();
 
     std::cout << "=== Table 2: design space ===\n\n";
@@ -72,17 +74,17 @@ main(int argc, char **argv)
     p.predictor = PredictorKind::Hybrid3K5;
     probe("hybrid 3.5KB predictor", p);
 
-    StudyRunner runner({profileByName(bench)}, n);
-    auto evals =
-        runner.evaluateAll(probes, bench::threadCount(argc, argv));
+    StudyRunner runner({profileByName(bench)}, args.instructions);
+    bench::applyProfileDir(runner, args);
+    auto evals = runner.evaluateAll(probes, args.threads);
     const std::vector<PointEvaluation> &points = evals.at(0).evals;
-    double base_cpi = points.at(0).model.cpi();
+    double base_cpi = points.at(0).model().cpi();
 
     std::cout << "model sensitivity around the default (" << bench
               << ", CPI " << TextTable::num(base_cpi, 3) << "):\n\n";
     TextTable sens({"variation", "model CPI", "vs default"});
     for (std::size_t i = 1; i < points.size(); ++i) {
-        double cpi = points[i].model.cpi();
+        double cpi = points[i].model().cpi();
         double delta = (cpi / base_cpi - 1.0) * 100.0;
         sens.addRow({labels[i], TextTable::num(cpi, 3),
                      TextTable::num(delta, 1) + "%"});

@@ -6,8 +6,6 @@
  * Applies the scheduling and unrolling passes to one benchmark's IR
  * and reports the model's cycle breakdown per variant, normalized to
  * the scheduled (-O3-like) build.
- *
- * Usage: compiler_optimizations [benchmark] [instructions] [unroll]
  */
 
 #include <cstdlib>
@@ -21,10 +19,16 @@ main(int argc, char **argv)
 {
     using namespace mech;
 
-    std::string bench_name = argc > 1 ? argv[1] : "tiffdither";
-    InstCount n = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 150000;
-    auto unroll = static_cast<std::uint32_t>(
-        argc > 3 ? std::atoi(argv[3]) : 4);
+    std::string bench_name = "tiffdither";
+    InstCount n = 150000;
+    unsigned unroll = 4;
+    cli::ArgParser parser("compiler_optimizations",
+                          "model cycle stacks across compiler "
+                          "optimization variants");
+    parser.addPositional("benchmark", "profile name", &bench_name);
+    parser.addPositional("instructions", "trace length", &n);
+    parser.addPositional("unroll", "unroll factor", &unroll);
+    parser.parse(argc, argv);
 
     const BenchmarkProfile &bench = profileByName(bench_name);
     DesignPoint point = defaultDesignPoint();
@@ -43,11 +47,12 @@ main(int argc, char **argv)
     auto evaluate = [&](const std::string &name, Program prog,
                         std::uint64_t spills) {
         DseStudy study(bench, n, prog);
-        PointEvaluation ev = study.evaluate(point, false);
-        rows.push_back({name, ev.model.cycles,
-                        ev.model.stack.dependencies(),
-                        ev.model.stack[CpiComponent::BpredTakenHit],
-                        ev.model.instructions, spills});
+        PointEvaluation ev = study.evaluate(point);
+        const EvalResult &model = ev.model();
+        rows.push_back({name, model.cycles,
+                        model.stack.dependencies(),
+                        model.stack[CpiComponent::BpredTakenHit],
+                        model.instructions, spills});
     };
 
     // -O3 -fno-schedule-insns: consumers packed behind producers.

@@ -7,8 +7,6 @@
  * the workflow that takes months with detailed simulation.  The
  * sweep runs through the batched engine, sharded across every
  * hardware thread.
- *
- * Usage: design_space_exploration [benchmark] [instructions] [threads]
  */
 
 #include <algorithm>
@@ -25,11 +23,18 @@ main(int argc, char **argv)
 {
     using namespace mech;
 
-    std::string bench_name = argc > 1 ? argv[1] : "gsm_c";
-    InstCount n = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 150000;
-    unsigned nthreads =
-        argc > 3 ? ThreadPool::sanitizeWorkerCount(std::atoll(argv[3]))
-                 : ThreadPool::defaultWorkerCount();
+    std::string bench_name = "gsm_c";
+    InstCount n = 150000;
+    unsigned nthreads = ThreadPool::defaultWorkerCount();
+    cli::ArgParser parser("design_space_exploration",
+                          "rank the Table 2 space by model-estimated "
+                          "EDP for one benchmark");
+    parser.addPositional("benchmark", "profile name", &bench_name);
+    parser.addPositional("instructions", "trace length", &n);
+    parser.addPositional("threads", "worker threads", &nthreads);
+    parser.parse(argc, argv);
+    nthreads = ThreadPool::sanitizeWorkerCount(
+        static_cast<long long>(nthreads));
 
     auto space = table2Space();
 
@@ -39,7 +44,7 @@ main(int argc, char **argv)
 
     std::sort(evals.begin(), evals.end(),
               [](const auto &a, const auto &b) {
-                  return a.modelEdp < b.modelEdp;
+                  return a.model().edp < b.model().edp;
               });
 
     std::cout << "benchmark: " << bench_name << "  (" << space.size()
@@ -48,13 +53,14 @@ main(int argc, char **argv)
     TextTable table({"rank", "configuration", "CPI", "EDP (uJ*s)"});
     for (std::size_t i = 0; i < 10 && i < evals.size(); ++i) {
         table.addRow({std::to_string(i + 1), evals[i].point.label(),
-                      TextTable::num(evals[i].model.cpi(), 3),
-                      TextTable::num(evals[i].modelEdp * 1e6, 4)});
+                      TextTable::num(evals[i].model().cpi(), 3),
+                      TextTable::num(evals[i].model().edp * 1e6, 4)});
     }
     table.print(std::cout);
 
     std::cout << "\nworst configuration: " << evals.back().point.label()
-              << " at " << TextTable::num(evals.back().modelEdp * 1e6, 4)
+              << " at "
+              << TextTable::num(evals.back().model().edp * 1e6, 4)
               << " uJ*s\n";
     return 0;
 }

@@ -4,10 +4,9 @@
  * (paper §6.1)
  *
  * Profiles one benchmark and prints side-by-side CPI stacks from the
- * in-order mechanistic model and the out-of-order interval model,
+ * in-order mechanistic model and the out-of-order interval model —
+ * both running through the unified backend API ("model" and "ooo"),
  * with the delta per mechanism.
- *
- * Usage: inorder_vs_ooo [benchmark] [instructions]
  */
 
 #include <cstdlib>
@@ -21,22 +20,23 @@ main(int argc, char **argv)
 {
     using namespace mech;
 
-    std::string bench_name = argc > 1 ? argv[1] : "dijkstra";
-    InstCount n = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 150000;
+    std::string bench_name = "dijkstra";
+    InstCount n = 150000;
+    cli::ArgParser parser("inorder_vs_ooo",
+                          "in-order vs out-of-order model CPI stacks "
+                          "for one benchmark");
+    parser.addPositional("benchmark", "profile name", &bench_name);
+    parser.addPositional("instructions", "trace length", &n);
+    parser.parse(argc, argv);
 
     DesignPoint point = defaultDesignPoint();
     DseStudy study(profileByName(bench_name), n);
-    const WorkloadProfile &prof = study.profile();
-    const BranchProfile &bp = prof.branchProfileFor(point.predictor);
-    MachineParams machine = machineFor(point);
-
-    ModelResult io =
-        evaluateInOrder(prof.program, prof.memory, bp, machine);
-    ModelResult oo = evaluateOutOfOrder(prof.program, prof.memory, bp,
-                                        machine, OooParams{});
+    PointEvaluation ev = study.evaluate(point, backendSet("model,ooo"));
+    const EvalResult &io = ev.of(kModelBackend);
+    const EvalResult &oo = ev.of(kOooBackend);
 
     std::cout << "benchmark: " << bench_name << "   (" << point.label()
-              << ", OoO window 128)\n\n";
+              << ", OoO window " << OooParams{}.robSize << ")\n\n";
 
     CpiStack io_per = io.stack.perInstruction(io.instructions);
     CpiStack oo_per = oo.stack.perInstruction(oo.instructions);

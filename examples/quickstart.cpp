@@ -1,14 +1,15 @@
 /**
  * @file
- * Quickstart: predict in-order performance for one benchmark and
- * validate the prediction against cycle-accurate simulation.
+ * Quickstart: predict in-order performance for one benchmark through
+ * the unified evaluation-backend API and validate the prediction
+ * against cycle-accurate simulation.
  *
- * Usage: quickstart [benchmark] [instructions]
- *   benchmark    profile name (default: sha; see workload/suites.hh)
- *   instructions trace length (default: 200000)
+ * The flow is the paper's: profile once (DseStudy), then evaluate the
+ * profile at a design point with any set of registered backends —
+ * here the analytical model ("model") plus the detailed reference
+ * pipeline ("sim"), selectable with --backend.
  */
 
-#include <cstdlib>
 #include <iostream>
 #include <string>
 
@@ -19,49 +20,59 @@ main(int argc, char **argv)
 {
     using namespace mech;
 
-    std::string bench_name = argc > 1 ? argv[1] : "sha";
-    InstCount n = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 200000;
+    std::string bench_name = "sha";
+    InstCount n = 200000;
+    std::string backend_csv = "model,sim";
+
+    cli::ArgParser parser("quickstart",
+                          "predict one benchmark and validate against "
+                          "the detailed simulator");
+    parser.addPositional("benchmark",
+                         "profile name (see workload/suites.hh)",
+                         &bench_name);
+    parser.addPositional("instructions", "trace length", &n);
+    parser.add("backend", "set",
+               "comma-separated evaluation backends", &backend_csv);
+    parser.parse(argc, argv);
 
     const BenchmarkProfile &bench = profileByName(bench_name);
     DesignPoint point = defaultDesignPoint();
+    const BackendSet backends = backendSet(backend_csv);
 
     std::cout << "benchmark: " << bench.name << "\n"
-              << "design:    " << point.label() << "\n\n";
+              << "design:    " << point.label() << "\n"
+              << "backends:  " << backend_csv << "\n\n";
 
-    // 1. Generate the synthetic workload trace.
-    Trace trace = generateTrace(bench, n);
+    // 1. Profile once: trace generation + the single profiling pass.
+    DseStudy study(bench, n);
 
-    // 2. Profile it once: program statistics + miss/branch statistics.
-    ProfilerConfig pcfg;
-    pcfg.hierarchy = hierarchyFor(point);
-    pcfg.predictors = {point.predictor};
-    WorkloadProfile prof = profileTrace(trace, pcfg);
+    // 2. Evaluate the design point with every requested backend.
+    PointEvaluation ev = study.evaluate(point, backends);
 
-    // 3. Evaluate the mechanistic model: instant CPI prediction.
-    MachineParams machine = machineFor(point);
-    ModelResult model =
-        evaluateInOrder(prof.program, prof.memory,
-                        prof.branchProfileFor(point.predictor), machine);
-
-    // 4. Validate against the cycle-accurate reference pipeline.
-    SimResult sim = simulateInOrder(trace, simConfigFor(point));
-
-    CpiStack per_instr = model.stack.perInstruction(prof.program.n);
-    TextTable stack_table({"component", "CPI contribution"});
-    for (std::size_t c = 0; c < kNumCpiComponents; ++c) {
-        auto comp = static_cast<CpiComponent>(c);
-        if (per_instr[comp] <= 0.0)
-            continue;
-        stack_table.addRow({std::string(cpiComponentName(comp)),
-                            TextTable::num(per_instr[comp], 4)});
+    // 3. Report the model's CPI stack, when the model backend ran.
+    if (const EvalResult *model = ev.find(kModelBackend)) {
+        CpiStack per_instr =
+            model->stack.perInstruction(model->instructions);
+        TextTable stack_table({"component", "CPI contribution"});
+        for (std::size_t c = 0; c < kNumCpiComponents; ++c) {
+            auto comp = static_cast<CpiComponent>(c);
+            if (per_instr[comp] <= 0.0)
+                continue;
+            stack_table.addRow({std::string(cpiComponentName(comp)),
+                                TextTable::num(per_instr[comp], 4)});
+        }
+        stack_table.print(std::cout);
     }
-    stack_table.print(std::cout);
 
-    double err = absRelativeError(model.cycles,
-                                  static_cast<double>(sim.cycles));
-    std::cout << "\nmodel CPI:     " << TextTable::num(model.cpi(), 4)
-              << "\nsimulated CPI: " << TextTable::num(sim.cpi(), 4)
-              << "\nprediction error: " << TextTable::num(err * 100.0, 2)
-              << "%\n";
+    // 4. One line per backend; the error line needs model + sim.
+    std::cout << '\n';
+    for (const EvalResult &res : ev.results) {
+        std::cout << res.backend << " CPI: "
+                  << TextTable::num(res.cpi(), 4) << "\n";
+    }
+    if (auto err = ev.cpiError()) {
+        std::cout << "prediction error: "
+                  << TextTable::num(*err * 100.0, 2) << "%\n";
+    }
     return 0;
 }

@@ -1,0 +1,354 @@
+/**
+ * @file
+ * Minimal shared command-line parser for the tools, benches and
+ * examples.
+ *
+ * Every executable in the repo takes a handful of `--name value`
+ * options and an optional positional or two; before this header each
+ * re-implemented its own argv loop.  ArgParser centralizes that:
+ * declare options bound to variables, call parse(), and `--help`
+ * prints a generated usage string.
+ *
+ * Behaviour:
+ *  - options accept `--name value` and `--name=value`;
+ *  - `--help` / `-h` prints usage to stdout and exits 0;
+ *  - unknown options or malformed values print the error and the
+ *    usage string to stderr and exit 2 (a user error, in the spirit
+ *    of fatal());
+ *  - remaining non-option arguments bind to declared positionals in
+ *    order; excess positionals are an error.
+ */
+
+#ifndef MECH_COMMON_CLI_HH
+#define MECH_COMMON_CLI_HH
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace mech::cli {
+
+/**
+ * Split a comma-separated list into space-trimmed tokens.
+ *
+ * Empty tokens (",," or a trailing comma, or an empty input) are
+ * kept as empty strings so callers can reject them with their own
+ * diagnostics.  Shared by every CSV-valued option in the repo
+ * (backend sets, benchmark lists) so their tolerance stays identical.
+ */
+inline std::vector<std::string>
+splitCsv(const std::string &csv)
+{
+    std::vector<std::string> tokens;
+    std::size_t pos = 0;
+    while (pos <= csv.size()) {
+        std::size_t comma = csv.find(',', pos);
+        if (comma == std::string::npos)
+            comma = csv.size();
+        std::string token = csv.substr(pos, comma - pos);
+        while (!token.empty() && token.front() == ' ')
+            token.erase(token.begin());
+        while (!token.empty() && token.back() == ' ')
+            token.pop_back();
+        tokens.push_back(std::move(token));
+        pos = comma + 1;
+    }
+    return tokens;
+}
+
+/** Declarative argv parser with generated --help. */
+class ArgParser
+{
+  public:
+    /**
+     * @param prog Program name shown in the usage line.
+     * @param description One-line description shown under it.
+     */
+    ArgParser(std::string prog, std::string description)
+        : progName(std::move(prog)), progDesc(std::move(description))
+    {
+    }
+
+    /** Declare a boolean flag (present = true). */
+    void
+    addFlag(const std::string &name, const std::string &help, bool *out)
+    {
+        options.push_back({name, "", help, true,
+                           [out](const std::string &) {
+                               *out = true;
+                               return true;
+                           }});
+    }
+
+    /** Declare a string option. */
+    void
+    add(const std::string &name, const std::string &value_name,
+        const std::string &help, std::string *out)
+    {
+        options.push_back({name, value_name, help, false,
+                           [out](const std::string &v) {
+                               *out = v;
+                               return true;
+                           }});
+    }
+
+    /** Declare an unsigned 64-bit option. */
+    void
+    add(const std::string &name, const std::string &value_name,
+        const std::string &help, std::uint64_t *out)
+    {
+        addParsed<std::uint64_t>(name, value_name, help, out);
+    }
+
+    /** Declare an unsigned option. */
+    void
+    add(const std::string &name, const std::string &value_name,
+        const std::string &help, unsigned *out)
+    {
+        addParsed<unsigned>(name, value_name, help, out);
+    }
+
+    /** Declare an int option. */
+    void
+    add(const std::string &name, const std::string &value_name,
+        const std::string &help, int *out)
+    {
+        addParsed<int>(name, value_name, help, out);
+    }
+
+    /** Declare a double option. */
+    void
+    add(const std::string &name, const std::string &value_name,
+        const std::string &help, double *out)
+    {
+        addParsed<double>(name, value_name, help, out);
+    }
+
+    /** Declare an optional positional argument (bound in order). */
+    void
+    addPositional(const std::string &name, const std::string &help,
+                  std::string *out)
+    {
+        positionals.push_back({name, help,
+                               [out](const std::string &v) {
+                                   *out = v;
+                                   return true;
+                               }});
+    }
+
+    /** Typed positionals: parsed and range-checked like options. */
+    void
+    addPositional(const std::string &name, const std::string &help,
+                  std::uint64_t *out)
+    {
+        addPositionalParsed<std::uint64_t>(name, help, out);
+    }
+
+    void
+    addPositional(const std::string &name, const std::string &help,
+                  unsigned *out)
+    {
+        addPositionalParsed<unsigned>(name, help, out);
+    }
+
+    void
+    addPositional(const std::string &name, const std::string &help,
+                  int *out)
+    {
+        addPositionalParsed<int>(name, help, out);
+    }
+
+    /** Generated usage text. */
+    std::string
+    usage() const
+    {
+        std::ostringstream os;
+        os << "usage: " << progName << " [options]";
+        for (const auto &p : positionals)
+            os << " [" << p.name << "]";
+        os << "\n  " << progDesc << "\n";
+        if (!positionals.empty()) {
+            os << "\npositional arguments:\n";
+            for (const auto &p : positionals)
+                os << "  " << pad(p.name) << p.help << "\n";
+        }
+        os << "\noptions:\n";
+        for (const auto &o : options) {
+            std::string left = "--" + o.name;
+            if (!o.valueName.empty())
+                left += " <" + o.valueName + ">";
+            os << "  " << pad(left) << o.help << "\n";
+        }
+        os << "  " << pad("--help") << "print this message and exit\n";
+        return os.str();
+    }
+
+    /**
+     * Parse @p argv.  Exits 0 after printing usage on --help; exits 2
+     * on any parse error.  On success every bound variable is set.
+     */
+    void
+    parse(int argc, char **argv)
+    {
+        std::size_t next_pos = 0;
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg == "--help" || arg == "-h") {
+                std::cout << usage();
+                std::exit(0);
+            }
+            if (arg.rfind("--", 0) == 0) {
+                std::string name = arg.substr(2);
+                std::string value;
+                bool has_value = false;
+                std::size_t eq = name.find('=');
+                if (eq != std::string::npos) {
+                    value = name.substr(eq + 1);
+                    name = name.substr(0, eq);
+                    has_value = true;
+                }
+                Option *opt = findOption(name);
+                if (!opt)
+                    fail("unknown option '--" + name + "'");
+                if (!opt->isFlag && !has_value) {
+                    if (i + 1 >= argc)
+                        fail("option '--" + name + "' needs a value");
+                    value = argv[++i];
+                }
+                if (opt->isFlag && has_value)
+                    fail("flag '--" + name + "' takes no value");
+                if (!opt->set(value)) {
+                    fail("invalid value '" + value + "' for '--" +
+                         name + "'");
+                }
+            } else {
+                if (next_pos >= positionals.size())
+                    fail("unexpected argument '" + arg + "'");
+                const Positional &pos = positionals[next_pos++];
+                if (!pos.set(arg)) {
+                    fail("invalid value '" + arg + "' for '" +
+                         pos.name + "'");
+                }
+            }
+        }
+    }
+
+  private:
+    struct Option
+    {
+        std::string name;
+        std::string valueName;
+        std::string help;
+        bool isFlag;
+        std::function<bool(const std::string &)> set;
+    };
+
+    struct Positional
+    {
+        std::string name;
+        std::string help;
+        std::function<bool(const std::string &)> set;
+    };
+
+    template <typename T>
+    void
+    addParsed(const std::string &name, const std::string &value_name,
+              const std::string &help, T *out)
+    {
+        options.push_back({name, value_name, help, false,
+                           [out](const std::string &v) {
+                               return parseNumber(v, out);
+                           }});
+    }
+
+    template <typename T>
+    void
+    addPositionalParsed(const std::string &name,
+                        const std::string &help, T *out)
+    {
+        positionals.push_back({name, help,
+                               [out](const std::string &v) {
+                                   return parseNumber(v, out);
+                               }});
+    }
+
+    template <typename T>
+    static bool
+    parseNumber(const std::string &v, T *out)
+    {
+        if (v.empty())
+            return false;
+        errno = 0;
+        char *end = nullptr;
+        if constexpr (std::is_floating_point_v<T>) {
+            double parsed = std::strtod(v.c_str(), &end);
+            if (errno || *end)
+                return false;
+            *out = static_cast<T>(parsed);
+        } else if constexpr (std::is_signed_v<T>) {
+            long long parsed = std::strtoll(v.c_str(), &end, 10);
+            if (errno || *end)
+                return false;
+            if (parsed < std::numeric_limits<T>::min() ||
+                parsed > std::numeric_limits<T>::max()) {
+                return false;
+            }
+            *out = static_cast<T>(parsed);
+        } else {
+            if (v.front() == '-')
+                return false;
+            unsigned long long parsed =
+                std::strtoull(v.c_str(), &end, 10);
+            if (errno || *end)
+                return false;
+            if (parsed > std::numeric_limits<T>::max())
+                return false;
+            *out = static_cast<T>(parsed);
+        }
+        return true;
+    }
+
+    Option *
+    findOption(const std::string &name)
+    {
+        for (auto &o : options) {
+            if (o.name == name)
+                return &o;
+        }
+        return nullptr;
+    }
+
+    [[noreturn]] void
+    fail(const std::string &message) const
+    {
+        std::cerr << progName << ": " << message << "\n\n" << usage();
+        std::exit(2);
+    }
+
+    static std::string
+    pad(std::string s)
+    {
+        constexpr std::size_t kCol = 26;
+        if (s.size() + 2 < kCol)
+            s.append(kCol - s.size(), ' ');
+        else
+            s += "  ";
+        return s;
+    }
+
+    std::string progName;
+    std::string progDesc;
+    std::vector<Option> options;
+    std::vector<Positional> positionals;
+};
+
+} // namespace mech::cli
+
+#endif // MECH_COMMON_CLI_HH

@@ -99,6 +99,9 @@ class Histogram
         totalCount = 0;
     }
 
+    /** Dense count storage, index = key (for serialization). */
+    const std::vector<std::uint64_t> &data() const { return counts; }
+
   private:
     std::vector<std::uint64_t> counts;
     std::uint64_t totalCount = 0;

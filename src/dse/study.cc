@@ -1,5 +1,7 @@
 #include "dse/study.hh"
 
+#include <filesystem>
+
 #include "workload/builder.hh"
 
 namespace mech {
@@ -33,6 +35,59 @@ DseStudy::DseStudy(const BenchmarkProfile &bench, InstCount trace_len,
     TraceExecutor exec(program, bench.seed ^ 0xabcdef1234567890ull);
     dynTrace = exec.run(trace_len);
     prof = profileTrace(dynTrace, studyProfilerConfig());
+}
+
+DseStudy::DseStudy(ProfileArtifact artifact)
+    : benchName(std::move(artifact.name)),
+      dynTrace(std::move(artifact.trace)),
+      prof(std::move(artifact.profile))
+{
+}
+
+ProfileArtifact
+DseStudy::artifact(bool include_trace) const
+{
+    ProfileArtifact out;
+    out.name = benchName;
+    out.profile = prof;
+    out.hasTrace = include_trace && !dynTrace.empty();
+    if (out.hasTrace)
+        out.trace = dynTrace;
+    return out;
+}
+
+void
+DseStudy::save(const std::string &path, bool include_trace) const
+{
+    saveProfileArtifact(artifact(include_trace), path);
+}
+
+DseStudy
+DseStudy::load(const std::string &path)
+{
+    return DseStudy(loadProfileArtifact(path));
+}
+
+DseStudy
+DseStudy::loadOrProfile(const std::string &dir,
+                        const BenchmarkProfile &bench,
+                        InstCount trace_len)
+{
+    if (!dir.empty()) {
+        std::string path = profileArtifactPath(dir, bench.name);
+        if (std::filesystem::exists(path)) {
+            try {
+                return load(path);
+            } catch (const ProfileIoError &e) {
+                // A damaged artifact is a user-input problem, not a
+                // library bug: report it cleanly instead of letting
+                // the exception escape (or terminate a worker).
+                fatal("cannot load profile artifact '", path,
+                      "': ", e.what());
+            }
+        }
+    }
+    return DseStudy(bench, trace_len);
 }
 
 const MemoryStats *
@@ -71,60 +126,41 @@ DseStudy::prepare(const std::vector<DesignPoint> &points)
         memoryFor(point);
 }
 
-ActivityCounts
-DseStudy::activityFor(const MemoryStats &mem, double cycles) const
-{
-    ActivityCounts a;
-    a.cycles = cycles;
-    a.instructions = static_cast<double>(prof.program.n);
-    a.l1iAccesses = a.instructions;
-    a.l1dAccesses =
-        static_cast<double>(prof.program.mix.of(OpClass::Load) +
-                            prof.program.mix.of(OpClass::Store));
-    a.l2Accesses = static_cast<double>(
-        mem.iFetchL2Hits + mem.iFetchMemory + mem.loadL2Hits +
-        mem.loadMemory + mem.storeL1Misses);
-    a.memAccesses =
-        static_cast<double>(mem.iFetchMemory + mem.loadMemory);
-    a.branches = static_cast<double>(prof.program.branches);
-    return a;
-}
-
 PointEvaluation
 DseStudy::evaluateWith(const MemoryStats &mem, const DesignPoint &point,
-                       bool run_sim) const
+                       const BackendSet &backends) const
 {
     PointEvaluation ev;
     ev.point = point;
+    ev.results.reserve(backends.size());
 
-    const BranchProfile &bp = prof.branchProfileFor(point.predictor);
-    MachineParams machine = machineFor(point);
+    EvalRequest req;
+    req.program = &prof.program;
+    req.memory = &mem;
+    req.branch = &prof.branchProfileFor(point.predictor);
+    req.trace = dynTrace.empty() ? nullptr : &dynTrace;
+    req.point = point;
 
-    ev.model = evaluateInOrder(prof.program, mem, bp, machine);
-
-    PowerModel power(machine, hierarchyFor(point), point.predictor);
-    ev.modelEdp = power.edp(activityFor(mem, ev.model.cycles));
-
-    if (run_sim) {
-        ev.sim = simulateInOrder(dynTrace, simConfigFor(point));
-        ev.simEdp = power.edp(
-            activityFor(mem, static_cast<double>(ev.sim->cycles)));
+    for (const EvalBackend *backend : backends) {
+        MECH_ASSERT(backend, "null backend in set");
+        ev.results.push_back(backend->evaluate(req));
     }
     return ev;
 }
 
 PointEvaluation
-DseStudy::evaluate(const DesignPoint &point, bool run_sim)
+DseStudy::evaluate(const DesignPoint &point, const BackendSet &backends)
 {
-    return evaluateWith(memoryFor(point), point, run_sim);
+    return evaluateWith(memoryFor(point), point, backends);
 }
 
 PointEvaluation
-DseStudy::evaluate(const DesignPoint &point, bool run_sim) const
+DseStudy::evaluate(const DesignPoint &point,
+                   const BackendSet &backends) const
 {
     if (const MemoryStats *memo = findMemo(point))
-        return evaluateWith(*memo, point, run_sim);
-    return evaluateWith(computeMemory(point), point, run_sim);
+        return evaluateWith(*memo, point, backends);
+    return evaluateWith(computeMemory(point), point, backends);
 }
 
 } // namespace mech

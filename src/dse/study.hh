@@ -5,9 +5,15 @@
  *
  * Per benchmark: one trace generation, one profiling pass (capturing
  * the L2 input stream and training both Table 2 predictors), then
- * model evaluation at any design point for microseconds each —
- * optionally backed by a detailed simulation of the same point for
- * validation and EDP comparison.
+ * evaluation at any design point through any set of registered
+ * EvalBackends — the analytical model at microseconds per point,
+ * optionally backed by the detailed simulator or the out-of-order
+ * interval model for the same point.
+ *
+ * A study is also a serializable artifact: save() persists the
+ * profile (and trace) as an `.mprof` file, and load() reconstitutes
+ * an equivalent study in another process, producing bit-identical
+ * model results (see profiler/profile_io.hh).
  */
 
 #ifndef MECH_DSE_STUDY_HH
@@ -18,45 +24,75 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "dse/design_space.hh"
-#include "model/inorder_model.hh"
-#include "power/power_model.hh"
+#include "eval/registry.hh"
+#include "profiler/profile_io.hh"
 #include "profiler/profiler.hh"
-#include "sim/inorder_sim.hh"
 #include "workload/executor.hh"
 #include "workload/profile.hh"
 #include "workload/program.hh"
 
 namespace mech {
 
-/** Outcome of evaluating one design point for one benchmark. */
+/**
+ * Outcome of evaluating one design point for one benchmark: one
+ * EvalResult per requested backend, in backend-set order.
+ */
 struct PointEvaluation
 {
     DesignPoint point;
 
-    /** Analytical model prediction. */
-    ModelResult model;
+    /** results[i] comes from the i-th backend of the requested set. */
+    std::vector<EvalResult> results;
 
-    /** Detailed simulation result (when requested). */
-    std::optional<SimResult> sim;
+    /** Result of backend @p backend, or null when it did not run. */
+    const EvalResult *
+    find(std::string_view backend) const
+    {
+        for (const auto &res : results) {
+            if (res.backend == backend)
+                return &res;
+        }
+        return nullptr;
+    }
 
-    /** Model-side energy-delay product (J*s). */
-    double modelEdp = 0.0;
+    /** True when backend @p backend ran. */
+    bool has(std::string_view backend) const { return find(backend); }
 
-    /** Simulation-side energy-delay product (J*s, when simulated). */
-    double simEdp = 0.0;
+    /** Result of backend @p backend; panics when it did not run. */
+    const EvalResult &
+    of(std::string_view backend) const
+    {
+        if (const EvalResult *res = find(backend))
+            return *res;
+        panic("no result from backend '", backend,
+              "' in this evaluation");
+    }
 
-    /** Absolute relative CPI error vs the simulation (if simulated). */
-    double
+    /** The analytical model's result; panics when "model" did not run. */
+    const EvalResult &model() const { return of(kModelBackend); }
+
+    /** The detailed simulation's result, or null when "sim" did not run. */
+    const EvalResult *sim() const { return find(kSimBackend); }
+
+    /**
+     * Absolute relative CPI error of the model vs the simulation.
+     *
+     * Empty unless both the "model" and "sim" backends ran — callers
+     * must not conflate "no simulation" with "perfect prediction".
+     */
+    std::optional<double>
     cpiError() const
     {
-        if (!sim || sim->cycles == 0)
-            return 0.0;
-        double s = static_cast<double>(sim->cycles);
-        return std::abs(model.cycles - s) / s;
+        const EvalResult *m = find(kModelBackend);
+        const EvalResult *s = sim();
+        if (!m || !s || s->cycles == 0.0)
+            return std::nullopt;
+        return std::abs(m->cycles - s->cycles) / s->cycles;
     }
 };
 
@@ -64,7 +100,8 @@ struct PointEvaluation
  * Per-benchmark design-space study.
  *
  * Holds the generated trace and the captured profile; evaluations of
- * individual points are cheap (model) or trace-replaying (simulator).
+ * individual points are cheap (model backends) or trace-replaying
+ * (simulator backends).
  */
 class DseStudy
 {
@@ -79,8 +116,26 @@ class DseStudy
     DseStudy(const BenchmarkProfile &bench, InstCount trace_len,
              const Program &program);
 
-    /** Evaluate one design point; simulate when @p run_sim. */
-    PointEvaluation evaluate(const DesignPoint &point, bool run_sim);
+    /** Reconstitute a study from a loaded profile artifact. */
+    explicit DseStudy(ProfileArtifact artifact);
+
+    /**
+     * Obtain a study for @p bench: loaded from its `.mprof` artifact
+     * under @p dir when one exists (a damaged artifact is a fatal()
+     * user error), otherwise profiled in-process at @p trace_len.
+     * An empty @p dir always profiles.
+     */
+    static DseStudy loadOrProfile(const std::string &dir,
+                                  const BenchmarkProfile &bench,
+                                  InstCount trace_len);
+
+    /**
+     * Evaluate one design point with every backend in @p backends
+     * (default: the analytical model only).
+     */
+    PointEvaluation
+    evaluate(const DesignPoint &point,
+             const BackendSet &backends = defaultBackends());
 
     /**
      * Thread-safe evaluation: identical results to the non-const
@@ -88,8 +143,9 @@ class DseStudy
      * prepare()d (or profiled) are served from the memo; others are
      * re-derived locally on the calling thread without being cached.
      */
-    PointEvaluation evaluate(const DesignPoint &point,
-                             bool run_sim) const;
+    PointEvaluation
+    evaluate(const DesignPoint &point,
+             const BackendSet &backends = defaultBackends()) const;
 
     /**
      * Memoize MemoryStats for every distinct L2 geometry in
@@ -98,11 +154,28 @@ class DseStudy
      */
     void prepare(const std::vector<DesignPoint> &points);
 
+    /**
+     * Snapshot the study as a serializable artifact.
+     *
+     * @param include_trace Also embed the dynamic trace so detailed
+     *        (trace-replaying) backends work on the loaded study.
+     */
+    ProfileArtifact artifact(bool include_trace = true) const;
+
+    /** Persist the study as a profile artifact at @p path. */
+    void save(const std::string &path, bool include_trace = true) const;
+
+    /** Load a study saved with save().  Throws ProfileIoError. */
+    static DseStudy load(const std::string &path);
+
     /** The workload profile (collected on the default hierarchy). */
     const WorkloadProfile &profile() const { return prof; }
 
-    /** The generated trace. */
+    /** The generated trace (empty for trace-less loaded artifacts). */
     const Trace &trace() const { return dynTrace; }
+
+    /** True when trace-replaying backends can run on this study. */
+    bool hasTrace() const { return !dynTrace.empty(); }
 
     /** Benchmark name. */
     const std::string &name() const { return benchName; }
@@ -120,11 +193,7 @@ class DseStudy
     /** Shared core of the mutable and const evaluate paths. */
     PointEvaluation evaluateWith(const MemoryStats &mem,
                                  const DesignPoint &point,
-                                 bool run_sim) const;
-
-    /** Activity counts shared by model- and sim-side EDP. */
-    ActivityCounts activityFor(const MemoryStats &mem,
-                               double cycles) const;
+                                 const BackendSet &backends) const;
 
     std::string benchName;
     Trace dynTrace;

@@ -10,12 +10,22 @@
 namespace mech {
 
 StudyRunner::StudyRunner(std::vector<BenchmarkProfile> benches,
-                         InstCount trace_len, bool run_sim)
-    : benches(std::move(benches)), traceLen(trace_len), runSim(run_sim)
+                         InstCount trace_len, BackendSet backends)
+    : benches(std::move(benches)), traceLen(trace_len),
+      backends_(std::move(backends))
 {
+    MECH_ASSERT(!backends_.empty(), "empty backend set");
 }
 
 StudyRunner::~StudyRunner() = default;
+
+void
+StudyRunner::useProfileDir(const std::string &dir)
+{
+    MECH_ASSERT(studies.empty(),
+                "useProfileDir must precede the first evaluateAll");
+    profileDir = dir;
+}
 
 const DseStudy &
 StudyRunner::study(std::size_t bench_idx) const
@@ -40,9 +50,11 @@ StudyRunner::evaluateAll(const std::vector<DesignPoint> &points,
     // this thread, in submission order — the strictly serial path.
     ThreadPool pool(nthreads <= 1 ? 0 : nthreads);
 
-    // Phase 1: profile each benchmark once (trace generation + the
-    // single profiling pass) and memoize every L2 geometry the sweep
-    // will touch.  After this phase the studies are only read.
+    // Phase 1: obtain each benchmark's study — loaded from its saved
+    // artifact when a profile directory supplies one, otherwise built
+    // in-process (trace generation + the single profiling pass) —
+    // and memoize every L2 geometry the sweep will touch.  After
+    // this phase the studies are only read.
     if (studies.size() != benches.size())
         studies.resize(benches.size());
     {
@@ -50,9 +62,11 @@ StudyRunner::evaluateAll(const std::vector<DesignPoint> &points,
         built.reserve(benches.size());
         for (std::size_t b = 0; b < benches.size(); ++b) {
             built.push_back(pool.submit([this, b, &points] {
-                if (!studies[b])
-                    studies[b] = std::make_unique<DseStudy>(benches[b],
-                                                            traceLen);
+                if (!studies[b]) {
+                    studies[b] = std::make_unique<DseStudy>(
+                        DseStudy::loadOrProfile(profileDir, benches[b],
+                                                traceLen));
+                }
                 studies[b]->prepare(points);
             }));
         }
@@ -68,12 +82,15 @@ StudyRunner::evaluateAll(const std::vector<DesignPoint> &points,
     // Granularity: a model-only evaluation is microseconds — well
     // under the queue/future cost of a task — so points are sharded
     // in chunks (~4 chunks per worker per benchmark).  Detailed
-    // simulations are orders of magnitude slower and shard per point
-    // for load balance.
+    // (trace-replaying) backends are orders of magnitude slower and
+    // shard per point for load balance.
+    const bool detailed =
+        std::any_of(backends_.begin(), backends_.end(),
+                    [](const EvalBackend *b) { return b->isDetailed(); });
     const std::size_t chunk =
-        runSim ? 1
-               : std::max<std::size_t>(
-                     1, points.size() / (std::max(nthreads, 1u) * 4));
+        detailed ? 1
+                 : std::max<std::size_t>(
+                       1, points.size() / (std::max(nthreads, 1u) * 4));
     for (std::size_t b = 0; b < benches.size(); ++b) {
         results[b].benchmark = benches[b].name;
         results[b].evals.resize(points.size());
@@ -84,11 +101,11 @@ StudyRunner::evaluateAll(const std::vector<DesignPoint> &points,
                 std::min(points.size(), start + chunk);
             PointEvaluation *slots = results[b].evals.data();
             const DesignPoint *pts = points.data();
-            bool sim = runSim;
+            const BackendSet *set = &backends_;
             done.push_back(
-                pool.submit([&study, slots, pts, start, end, sim] {
+                pool.submit([&study, slots, pts, start, end, set] {
                     for (std::size_t i = start; i < end; ++i)
-                        slots[i] = study.evaluate(pts[i], sim);
+                        slots[i] = study.evaluate(pts[i], *set);
                 }));
         }
     }

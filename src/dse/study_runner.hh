@@ -9,11 +9,17 @@
  * StudyRunner shards it across a ThreadPool:
  *
  *   phase 1  one task per benchmark builds its DseStudy (trace +
- *            single profiling pass) and prepare()s every L2 geometry
- *            in the requested point list;
- *   phase 2  one task per (benchmark, point) evaluates the model (and
- *            optionally the detailed simulator) against the now
- *            read-only study, writing into a preallocated slot.
+ *            single profiling pass — or a load from a saved .mprof
+ *            artifact when a profile directory is configured) and
+ *            prepare()s every L2 geometry in the requested point list;
+ *   phase 2  one task per (benchmark, point) evaluates the configured
+ *            backend set against the now read-only study, writing
+ *            into a preallocated slot.
+ *
+ * Which evaluation engines run is a registry-selected BackendSet
+ * (eval/registry.hh): `backendSet("model")` for the pure analytical
+ * sweep, `backendSet("model,sim")` to validate each point against the
+ * detailed simulator, any other combination for custom backends.
  *
  * Results are aggregated deterministically: slot (b, i) of the output
  * always holds benchmark b at points[i], independent of worker count
@@ -32,6 +38,7 @@
 
 #include "dse/design_space.hh"
 #include "dse/study.hh"
+#include "eval/registry.hh"
 #include "workload/profile.hh"
 
 namespace mech {
@@ -53,14 +60,25 @@ class StudyRunner
     /**
      * @param benches Benchmarks to study (profiled once each).
      * @param trace_len Dynamic instructions per benchmark trace.
-     * @param run_sim Also run the detailed simulation per point.
+     * @param backends Evaluation backends to run per point (default:
+     *        the analytical model only).
      */
     StudyRunner(std::vector<BenchmarkProfile> benches,
-                InstCount trace_len, bool run_sim = false);
+                InstCount trace_len,
+                BackendSet backends = defaultBackends());
     ~StudyRunner();
 
     StudyRunner(const StudyRunner &) = delete;
     StudyRunner &operator=(const StudyRunner &) = delete;
+
+    /**
+     * Load studies from `.mprof` artifacts under @p dir instead of
+     * re-profiling: a benchmark whose artifact exists is loaded, the
+     * rest are profiled in-process as usual.  Call before the first
+     * evaluateAll().  Artifacts are produced by tools/mech_profile or
+     * DseStudy::save().
+     */
+    void useProfileDir(const std::string &dir);
 
     /**
      * Evaluate every benchmark at every design point.
@@ -82,13 +100,17 @@ class StudyRunner
     /** Number of benchmarks under study. */
     std::size_t benchmarkCount() const { return benches.size(); }
 
+    /** The configured backend set. */
+    const BackendSet &backendSet() const { return backends_; }
+
     /** The per-benchmark study (built by evaluateAll), for drills. */
     const DseStudy &study(std::size_t bench_idx) const;
 
   private:
     std::vector<BenchmarkProfile> benches;
     InstCount traceLen;
-    bool runSim;
+    BackendSet backends_;
+    std::string profileDir;
 
     /** Built lazily by evaluateAll, then reused. */
     std::vector<std::unique_ptr<DseStudy>> studies;

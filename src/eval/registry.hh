@@ -1,0 +1,93 @@
+/**
+ * @file
+ * String-keyed registry of evaluation backends.
+ *
+ * Tools and batch drivers select evaluation engines by name
+ * (`--backend=model,sim`); the registry resolves those names to
+ * EvalBackend instances.  The global() registry comes pre-loaded with
+ * the built-in backends ("model", "sim", "ooo"); additional backends
+ * can be registered at startup before any evaluation begins.
+ */
+
+#ifndef MECH_EVAL_REGISTRY_HH
+#define MECH_EVAL_REGISTRY_HH
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "eval/backend.hh"
+
+namespace mech {
+
+/** Names of the built-in backends. */
+inline constexpr std::string_view kModelBackend = "model";
+inline constexpr std::string_view kSimBackend = "sim";
+inline constexpr std::string_view kOooBackend = "ooo";
+
+/**
+ * An ordered set of backends to evaluate a request against.
+ *
+ * Non-owning: the pointers reference registry-owned (or otherwise
+ * immortal) backends.  Order is preserved through evaluation — the
+ * i-th EvalResult of a PointEvaluation comes from the i-th backend.
+ */
+using BackendSet = std::vector<const EvalBackend *>;
+
+/** Registry mapping backend names to instances. */
+class BackendRegistry
+{
+  public:
+    /** An empty registry (built-ins are only in global()). */
+    BackendRegistry() = default;
+
+    BackendRegistry(const BackendRegistry &) = delete;
+    BackendRegistry &operator=(const BackendRegistry &) = delete;
+
+    /**
+     * The process-wide registry, pre-loaded with the built-in
+     * backends.  Construction is thread-safe; registering additional
+     * backends is not and must happen before concurrent use.
+     */
+    static BackendRegistry &global();
+
+    /**
+     * Register @p backend under its name().
+     *
+     * Calls fatal() on a duplicate name (user/configuration error).
+     */
+    void registerBackend(std::unique_ptr<EvalBackend> backend);
+
+    /** Look up a backend by name, or null when unknown. */
+    const EvalBackend *find(std::string_view name) const;
+
+    /**
+     * Look up a backend by name; calls fatal() listing the known
+     * names when @p name is unknown.
+     */
+    const EvalBackend &at(std::string_view name) const;
+
+    /** Registered names, in registration order. */
+    std::vector<std::string> names() const;
+
+    /**
+     * Resolve a comma-separated backend list ("model,sim") into an
+     * ordered BackendSet.  Whitespace around names is ignored; empty
+     * entries and unknown or duplicate names call fatal().
+     */
+    BackendSet parseSet(std::string_view csv) const;
+
+  private:
+    std::vector<std::unique_ptr<EvalBackend>> backends;
+};
+
+/** Resolve @p csv against the global registry ("model,sim"). */
+BackendSet backendSet(std::string_view csv);
+
+/** The default backend set: the analytical model only. */
+const BackendSet &defaultBackends();
+
+} // namespace mech
+
+#endif // MECH_EVAL_REGISTRY_HH

@@ -4,10 +4,14 @@
  *
  * Typical flow (see examples/quickstart.cpp):
  *   1. pick a BenchmarkProfile (workload/suites.hh) or build your own;
- *   2. generateTrace() it;
- *   3. profileTrace() to collect the model inputs;
- *   4. evaluateInOrder() for an instant prediction + CPI stack;
- *   5. optionally simulateInOrder() the same trace to validate.
+ *   2. DseStudy profiles it once (or DseStudy::load() reuses a saved
+ *      .mprof artifact — see profiler/profile_io.hh);
+ *   3. evaluate() any design point with a registry-selected backend
+ *      set: "model" for an instant prediction + CPI stack, "sim" for
+ *      the cycle-accurate reference, "ooo" for the out-of-order
+ *      comparator (eval/backend.hh, docs/api.md);
+ *   4. or drop to the closed-form entry points directly:
+ *      profileTrace() + evaluateInOrder() / simulateInOrder().
  */
 
 #ifndef MECH_MECH_HH
@@ -20,6 +24,7 @@
 #include "cache/miss_stream.hh"
 #include "cache/stack_sim.hh"
 #include "cache/tlb.hh"
+#include "common/cli.hh"
 #include "common/histogram.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
@@ -31,6 +36,8 @@
 #include "dse/design_space.hh"
 #include "dse/study.hh"
 #include "dse/study_runner.hh"
+#include "eval/backend.hh"
+#include "eval/registry.hh"
 #include "isa/machine_params.hh"
 #include "isa/op_class.hh"
 #include "isa/static_inst.hh"
@@ -38,6 +45,7 @@
 #include "model/inorder_model.hh"
 #include "ooo/ooo_model.hh"
 #include "power/power_model.hh"
+#include "profiler/profile_io.hh"
 #include "profiler/profiler.hh"
 #include "sim/inorder_sim.hh"
 #include "trace/trace.hh"

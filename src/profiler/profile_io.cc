@@ -1,0 +1,514 @@
+#include "profiler/profile_io.hh"
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <fstream>
+#include <limits>
+#include <ostream>
+
+#include "branch/predictor.hh"
+
+namespace mech {
+
+namespace {
+
+/** File magic: "MPRF". */
+constexpr std::array<char, 4> kMagic = {'M', 'P', 'R', 'F'};
+
+/** Trailing end marker: "MEND" (catches tail truncation). */
+constexpr std::array<char, 4> kEndMarker = {'M', 'E', 'N', 'D'};
+
+/** Artifact flag bits. */
+constexpr std::uint32_t kFlagHasTrace = 1u << 0;
+
+/**
+ * Upfront reservation cap for length-prefixed sections.  The length
+ * field of a corrupt file is untrusted: reserving all of it at once
+ * would turn a forged length into a multi-GiB allocation
+ * (std::bad_alloc) before any payload byte is read.  Reserving at
+ * most this many entries keeps honest files allocation-efficient
+ * while a forged length simply runs out of payload and raises the
+ * truncation error.
+ */
+constexpr std::uint64_t kReserveCap = 1u << 16;
+
+/** Little-endian byte writer over a std::ostream. */
+class Writer
+{
+  public:
+    explicit Writer(std::ostream &os) : os(os) {}
+
+    void
+    bytes(const void *data, std::size_t n)
+    {
+        os.write(static_cast<const char *>(data),
+                 static_cast<std::streamsize>(n));
+        if (!os)
+            throw ProfileIoError("profile write failed");
+    }
+
+    void u8(std::uint8_t v) { bytes(&v, 1); }
+
+    void
+    u16(std::uint16_t v)
+    {
+        std::array<std::uint8_t, 2> b = {
+            static_cast<std::uint8_t>(v),
+            static_cast<std::uint8_t>(v >> 8)};
+        bytes(b.data(), b.size());
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        std::array<std::uint8_t, 4> b = {
+            static_cast<std::uint8_t>(v),
+            static_cast<std::uint8_t>(v >> 8),
+            static_cast<std::uint8_t>(v >> 16),
+            static_cast<std::uint8_t>(v >> 24)};
+        bytes(b.data(), b.size());
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        std::array<std::uint8_t, 8> b;
+        for (std::size_t i = 0; i < 8; ++i)
+            b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+        bytes(b.data(), b.size());
+    }
+
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        if (!s.empty())
+            bytes(s.data(), s.size());
+    }
+
+  private:
+    std::ostream &os;
+};
+
+/** Little-endian byte reader with truncation detection. */
+class Reader
+{
+  public:
+    explicit Reader(std::istream &is) : is(is) {}
+
+    void
+    bytes(void *data, std::size_t n)
+    {
+        is.read(static_cast<char *>(data),
+                static_cast<std::streamsize>(n));
+        if (static_cast<std::size_t>(is.gcount()) != n)
+            throw ProfileIoError("truncated profile artifact");
+    }
+
+    std::uint8_t
+    u8()
+    {
+        std::uint8_t v;
+        bytes(&v, 1);
+        return v;
+    }
+
+    std::uint16_t
+    u16()
+    {
+        std::array<std::uint8_t, 2> b;
+        bytes(b.data(), b.size());
+        return static_cast<std::uint16_t>(
+            b[0] | static_cast<std::uint16_t>(b[1]) << 8);
+    }
+
+    std::uint32_t
+    u32()
+    {
+        std::array<std::uint8_t, 4> b;
+        bytes(b.data(), b.size());
+        return b[0] | static_cast<std::uint32_t>(b[1]) << 8 |
+               static_cast<std::uint32_t>(b[2]) << 16 |
+               static_cast<std::uint32_t>(b[3]) << 24;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        std::array<std::uint8_t, 8> b;
+        bytes(b.data(), b.size());
+        std::uint64_t v = 0;
+        for (std::size_t i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+        return v;
+    }
+
+    std::string
+    str()
+    {
+        std::uint64_t n = u64();
+        if (n > (1u << 20))
+            throw ProfileIoError("implausible string length");
+        std::string s(n, '\0');
+        if (n)
+            bytes(s.data(), n);
+        return s;
+    }
+
+  private:
+    std::istream &is;
+};
+
+void
+writeHistogram(Writer &w, const Histogram &h)
+{
+    const auto &counts = h.data();
+    w.u64(counts.size());
+    for (std::uint64_t c : counts)
+        w.u64(c);
+}
+
+Histogram
+readHistogram(Reader &r)
+{
+    Histogram h;
+    std::uint64_t size = r.u64();
+    if (size > (1u << 24))
+        throw ProfileIoError("implausible histogram size");
+    for (std::uint64_t k = 0; k < size; ++k) {
+        std::uint64_t c = r.u64();
+        if (c)
+            h.add(k, c);
+    }
+    return h;
+}
+
+void
+writeIdxVector(Writer &w, const std::vector<std::uint64_t> &v)
+{
+    w.u64(v.size());
+    for (std::uint64_t x : v)
+        w.u64(x);
+}
+
+std::vector<std::uint64_t>
+readIdxVector(Reader &r)
+{
+    std::uint64_t n = r.u64();
+    if (n > (1ull << 32))
+        throw ProfileIoError("implausible index-vector length");
+    std::vector<std::uint64_t> v;
+    v.reserve(std::min(n, kReserveCap));
+    for (std::uint64_t i = 0; i < n; ++i)
+        v.push_back(r.u64());
+    return v;
+}
+
+void
+writeMemoryStats(Writer &w, const MemoryStats &m)
+{
+    w.u64(m.iFetchL2Hits);
+    w.u64(m.iFetchMemory);
+    w.u64(m.loadL2Hits);
+    w.u64(m.loadMemory);
+    w.u64(m.storeL1Misses);
+    w.u64(m.itlbMisses);
+    w.u64(m.dtlbMisses);
+    writeIdxVector(w, m.loadMemoryIdx);
+    writeIdxVector(w, m.loadL2HitIdx);
+}
+
+MemoryStats
+readMemoryStats(Reader &r)
+{
+    MemoryStats m;
+    m.iFetchL2Hits = r.u64();
+    m.iFetchMemory = r.u64();
+    m.loadL2Hits = r.u64();
+    m.loadMemory = r.u64();
+    m.storeL1Misses = r.u64();
+    m.itlbMisses = r.u64();
+    m.dtlbMisses = r.u64();
+    m.loadMemoryIdx = readIdxVector(r);
+    m.loadL2HitIdx = readIdxVector(r);
+    return m;
+}
+
+void
+writeProgramStats(Writer &w, const ProgramStats &p)
+{
+    w.u64(p.n);
+    w.u32(static_cast<std::uint32_t>(kNumOpClasses));
+    for (InstCount c : p.mix.counts)
+        w.u64(c);
+    w.u64(p.mix.total);
+    for (std::size_t oc = 0; oc < kNumOpClasses; ++oc)
+        writeHistogram(w, p.deps.of(static_cast<OpClass>(oc)));
+    w.u64(p.branches);
+    w.u64(p.takenBranches);
+}
+
+ProgramStats
+readProgramStats(Reader &r)
+{
+    ProgramStats p;
+    p.n = r.u64();
+    if (r.u32() != kNumOpClasses)
+        throw ProfileIoError("op-class count mismatch");
+    for (InstCount &c : p.mix.counts)
+        c = r.u64();
+    p.mix.total = r.u64();
+    for (std::size_t oc = 0; oc < kNumOpClasses; ++oc)
+        p.deps.of(static_cast<OpClass>(oc)) = readHistogram(r);
+    p.branches = r.u64();
+    p.takenBranches = r.u64();
+    return p;
+}
+
+void
+writeBranchProfiles(Writer &w, const std::vector<BranchProfile> &bps)
+{
+    w.u32(static_cast<std::uint32_t>(bps.size()));
+    for (const BranchProfile &bp : bps) {
+        w.u8(static_cast<std::uint8_t>(bp.kind));
+        w.u64(bp.branches);
+        w.u64(bp.mispredicts);
+        w.u64(bp.predictedTaken);
+        w.u64(bp.predictedTakenCorrect);
+    }
+}
+
+std::vector<BranchProfile>
+readBranchProfiles(Reader &r)
+{
+    std::uint32_t n = r.u32();
+    if (n > 64)
+        throw ProfileIoError("implausible branch-profile count");
+    std::vector<BranchProfile> bps(n);
+    for (BranchProfile &bp : bps) {
+        std::uint8_t kind = r.u8();
+        if (kind > static_cast<std::uint8_t>(PredictorKind::Hybrid3K5))
+            throw ProfileIoError("unknown predictor kind in artifact");
+        bp.kind = static_cast<PredictorKind>(kind);
+        bp.branches = r.u64();
+        bp.mispredicts = r.u64();
+        bp.predictedTaken = r.u64();
+        bp.predictedTakenCorrect = r.u64();
+    }
+    return bps;
+}
+
+void
+writeL2Stream(Writer &w, const std::vector<L2Ref> &stream)
+{
+    w.u64(stream.size());
+    for (const L2Ref &ref : stream) {
+        w.u64(ref.addr);
+        w.u64(ref.instrIdx);
+        w.u8(static_cast<std::uint8_t>(ref.kind));
+    }
+}
+
+std::vector<L2Ref>
+readL2Stream(Reader &r)
+{
+    std::uint64_t n = r.u64();
+    if (n > (1ull << 32))
+        throw ProfileIoError("implausible L2-stream length");
+    std::vector<L2Ref> stream;
+    stream.reserve(std::min(n, kReserveCap));
+    for (std::uint64_t i = 0; i < n; ++i) {
+        L2Ref ref;
+        ref.addr = r.u64();
+        ref.instrIdx = r.u64();
+        std::uint8_t kind = r.u8();
+        if (kind > static_cast<std::uint8_t>(L2RefKind::Store))
+            throw ProfileIoError("unknown L2 reference kind");
+        ref.kind = static_cast<L2RefKind>(kind);
+        stream.push_back(ref);
+    }
+    return stream;
+}
+
+void
+writeTrace(Writer &w, const Trace &trace)
+{
+    w.u64(trace.size());
+    for (const DynInstr &di : trace) {
+        w.u64(di.pc);
+        w.u64(di.effAddr);
+        w.u64(di.targetPc);
+        w.u16(di.dst);
+        w.u16(di.src1);
+        w.u16(di.src2);
+        w.u8(static_cast<std::uint8_t>(di.op));
+        w.u8(di.taken ? 1 : 0);
+    }
+}
+
+Trace
+readTrace(Reader &r)
+{
+    std::uint64_t n = r.u64();
+    if (n > (1ull << 32))
+        throw ProfileIoError("implausible trace length");
+    Trace trace;
+    trace.reserve(std::min(n, kReserveCap));
+    for (std::uint64_t i = 0; i < n; ++i) {
+        DynInstr di;
+        di.pc = r.u64();
+        di.effAddr = r.u64();
+        di.targetPc = r.u64();
+        di.dst = r.u16();
+        di.src1 = r.u16();
+        di.src2 = r.u16();
+        std::uint8_t op = r.u8();
+        if (op >= kNumOpClasses)
+            throw ProfileIoError("unknown op class in trace");
+        di.op = static_cast<OpClass>(op);
+        di.taken = r.u8() != 0;
+        trace.push(di);
+    }
+    return trace;
+}
+
+} // namespace
+
+void
+writeProfileArtifact(const ProfileArtifact &artifact, std::ostream &os)
+{
+    Writer w(os);
+    w.bytes(kMagic.data(), kMagic.size());
+    w.u32(kProfileFormatVersion);
+    w.u32(artifact.hasTrace ? kFlagHasTrace : 0);
+    w.str(artifact.name);
+
+    writeProgramStats(w, artifact.profile.program);
+    writeMemoryStats(w, artifact.profile.memory);
+    writeBranchProfiles(w, artifact.profile.branchProfiles);
+    writeL2Stream(w, artifact.profile.l2Stream);
+
+    if (artifact.hasTrace)
+        writeTrace(w, artifact.trace);
+
+    w.bytes(kEndMarker.data(), kEndMarker.size());
+}
+
+ProfileArtifact
+readProfileArtifact(std::istream &is)
+{
+    Reader r(is);
+
+    std::array<char, 4> magic;
+    r.bytes(magic.data(), magic.size());
+    if (magic != kMagic)
+        throw ProfileIoError("not a profile artifact (bad magic)");
+
+    std::uint32_t version = r.u32();
+    if (version == 0 || version > kProfileFormatVersion) {
+        throw ProfileIoError(
+            "unsupported profile format version " +
+            std::to_string(version) + " (reader supports up to " +
+            std::to_string(kProfileFormatVersion) + ")");
+    }
+
+    std::uint32_t flags = r.u32();
+    ProfileArtifact artifact;
+    artifact.hasTrace = (flags & kFlagHasTrace) != 0;
+    artifact.name = r.str();
+
+    artifact.profile.program = readProgramStats(r);
+    artifact.profile.memory = readMemoryStats(r);
+    artifact.profile.branchProfiles = readBranchProfiles(r);
+    artifact.profile.l2Stream = readL2Stream(r);
+
+    if (artifact.hasTrace)
+        artifact.trace = readTrace(r);
+
+    std::array<char, 4> end;
+    r.bytes(end.data(), end.size());
+    if (end != kEndMarker)
+        throw ProfileIoError("corrupt profile artifact (bad end marker)");
+
+    return artifact;
+}
+
+void
+saveProfileArtifact(const ProfileArtifact &artifact,
+                    const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        throw ProfileIoError("cannot open '" + path + "' for writing");
+    writeProfileArtifact(artifact, os);
+    os.flush();
+    if (!os)
+        throw ProfileIoError("write to '" + path + "' failed");
+}
+
+ProfileArtifact
+loadProfileArtifact(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        throw ProfileIoError("cannot open '" + path + "' for reading");
+    return readProfileArtifact(is);
+}
+
+void
+writeProfileJson(const ProfileArtifact &artifact, std::ostream &os)
+{
+    const WorkloadProfile &p = artifact.profile;
+    os << "{\n"
+       << "  \"name\": \"" << artifact.name << "\",\n"
+       << "  \"format_version\": " << kProfileFormatVersion << ",\n"
+       << "  \"instructions\": " << p.program.n << ",\n"
+       << "  \"branches\": " << p.program.branches << ",\n"
+       << "  \"taken_branches\": " << p.program.takenBranches << ",\n"
+       << "  \"mix\": {";
+    bool first = true;
+    for (std::size_t oc = 0; oc < kNumOpClasses; ++oc) {
+        InstCount c = p.program.mix.counts[oc];
+        if (!c)
+            continue;
+        os << (first ? "" : ", ") << '"'
+           << opClassName(static_cast<OpClass>(oc)) << "\": " << c;
+        first = false;
+    }
+    os << "},\n"
+       << "  \"memory\": {\n"
+       << "    \"ifetch_l2_hits\": " << p.memory.iFetchL2Hits << ",\n"
+       << "    \"ifetch_memory\": " << p.memory.iFetchMemory << ",\n"
+       << "    \"load_l2_hits\": " << p.memory.loadL2Hits << ",\n"
+       << "    \"load_memory\": " << p.memory.loadMemory << ",\n"
+       << "    \"store_l1_misses\": " << p.memory.storeL1Misses << ",\n"
+       << "    \"itlb_misses\": " << p.memory.itlbMisses << ",\n"
+       << "    \"dtlb_misses\": " << p.memory.dtlbMisses << "\n"
+       << "  },\n"
+       << "  \"branch_profiles\": [";
+    for (std::size_t i = 0; i < p.branchProfiles.size(); ++i) {
+        const BranchProfile &bp = p.branchProfiles[i];
+        os << (i ? ", " : "") << "{\"kind\": \""
+           << predictorName(bp.kind)
+           << "\", \"branches\": " << bp.branches
+           << ", \"mispredicts\": " << bp.mispredicts << "}";
+    }
+    os << "],\n"
+       << "  \"l2_stream_refs\": " << p.l2Stream.size() << ",\n"
+       << "  \"has_trace\": " << (artifact.hasTrace ? "true" : "false")
+       << ",\n"
+       << "  \"trace_instructions\": " << artifact.trace.size() << "\n"
+       << "}\n";
+}
+
+std::string
+profileArtifactPath(const std::string &dir, const std::string &name)
+{
+    std::string path = dir;
+    if (!path.empty() && path.back() != '/')
+        path += '/';
+    return path + name + kProfileExtension;
+}
+
+} // namespace mech

@@ -114,19 +114,19 @@ const GoldenRow kGolden[] = {
       4491.125, 3024, 4685.9375, 0, 4289.0625}},
 };
 
-std::vector<std::pair<std::string, ModelResult>>
+std::vector<std::pair<std::string, EvalResult>>
 evaluateGoldenPoints()
 {
     DseStudy study(profileByName(kBench), kLen);
-    std::vector<std::pair<std::string, ModelResult>> out;
+    std::vector<std::pair<std::string, EvalResult>> out;
     for (const auto &[label, point] : goldenPoints())
-        out.emplace_back(label, study.evaluate(point, false).model);
+        out.emplace_back(label, study.evaluate(point).model());
     return out;
 }
 
 /** Print a replacement kGolden table from the current model. */
 void
-printRegen(const std::vector<std::pair<std::string, ModelResult>> &rows)
+printRegen(const std::vector<std::pair<std::string, EvalResult>> &rows)
 {
     std::printf("const GoldenRow kGolden[] = {\n");
     for (const auto &[label, model] : rows) {

@@ -26,8 +26,11 @@ errorFor(const std::string &bench, const DesignPoint &point,
          InstCount len = kTraceLen)
 {
     DseStudy study(profileByName(bench), len);
-    PointEvaluation ev = study.evaluate(point, true);
-    return ev.cpiError();
+    PointEvaluation ev =
+        study.evaluate(point, backendSet("model,sim"));
+    // Both backends ran, so the error must be present — value()
+    // throws (and fails the test) if the API contract regresses.
+    return ev.cpiError().value();
 }
 
 // ---- per-benchmark error bands on the default configuration ---------------------
@@ -94,7 +97,7 @@ TEST(FigureShapes, ShaScalesDijkstraSaturates)
         DseStudy study(profileByName(bench), 40000);
         DesignPoint p = defaultDesignPoint();
         p.width = w;
-        return study.evaluate(p, false).model.cpi();
+        return study.evaluate(p).model().cpi();
     };
     double sha_gain = cpi_at("sha", 1) / cpi_at("sha", 4);
     double dij_gain_late = cpi_at("dijkstra", 2) / cpi_at("dijkstra", 4);
@@ -109,8 +112,8 @@ TEST(FigureShapes, DependencyComponentGrowsWithWidth)
     w1.width = 1;
     DesignPoint w4 = defaultDesignPoint();
     w4.width = 4;
-    double d1 = study.evaluate(w1, false).model.stack.dependencies();
-    double d4 = study.evaluate(w4, false).model.stack.dependencies();
+    double d1 = study.evaluate(w1).model().stack.dependencies();
+    double d4 = study.evaluate(w4).model().stack.dependencies();
     EXPECT_GT(d4, d1);
 }
 
@@ -131,8 +134,8 @@ TEST(FigureShapes, SpecLikeIsMemoryBound)
     DseStudy mcf(profileByName("mcf"), 40000);
     DseStudy sha(profileByName("sha"), 40000);
     DesignPoint p = defaultDesignPoint();
-    double mcf_cpi = mcf.evaluate(p, false).model.cpi();
-    double sha_cpi = sha.evaluate(p, false).model.cpi();
+    double mcf_cpi = mcf.evaluate(p).model().cpi();
+    double sha_cpi = sha.evaluate(p).model().cpi();
     EXPECT_GT(mcf_cpi, 3.0 * sha_cpi);
 }
 
@@ -161,7 +164,7 @@ TEST(Workflow, OneProfileServesManyConfigurations)
 
     // Path A: capture-once study.
     DseStudy study(bench, kTraceLen);
-    double via_study = study.evaluate(alt, false).model.cycles;
+    double via_study = study.evaluate(alt).model().cycles;
 
     // Path B: direct profile at the alternative configuration.
     ProfilerConfig cfg;

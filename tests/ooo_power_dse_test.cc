@@ -271,23 +271,29 @@ TEST(DseStudy, ModelOnlyEvaluationIsCheapAndConsistent)
 {
     DseStudy study(profileByName("tiffdither"), 20000);
     DesignPoint p = defaultDesignPoint();
-    PointEvaluation ev = study.evaluate(p, false);
-    EXPECT_FALSE(ev.sim.has_value());
-    EXPECT_GT(ev.model.cycles, 0.0);
-    EXPECT_GT(ev.modelEdp, 0.0);
+    PointEvaluation ev = study.evaluate(p);
+    EXPECT_FALSE(ev.has(kSimBackend));
+    EXPECT_GT(ev.model().cycles, 0.0);
+    EXPECT_GT(ev.model().edp, 0.0);
+    // No simulation ran: the error must be absent, not "perfect".
+    EXPECT_FALSE(ev.cpiError().has_value());
     // Deterministic.
-    PointEvaluation ev2 = study.evaluate(p, false);
-    EXPECT_DOUBLE_EQ(ev2.model.cycles, ev.model.cycles);
+    PointEvaluation ev2 = study.evaluate(p);
+    EXPECT_DOUBLE_EQ(ev2.model().cycles, ev.model().cycles);
 }
 
 TEST(DseStudy, SimulationBackedEvaluation)
 {
     DseStudy study(profileByName("sha"), 20000);
-    PointEvaluation ev = study.evaluate(defaultDesignPoint(), true);
-    ASSERT_TRUE(ev.sim.has_value());
-    EXPECT_GT(ev.sim->cycles, 0u);
-    EXPECT_GT(ev.simEdp, 0.0);
-    EXPECT_LT(ev.cpiError(), 0.25);
+    PointEvaluation ev = study.evaluate(defaultDesignPoint(),
+                                        backendSet("model,sim"));
+    ASSERT_TRUE(ev.has(kSimBackend));
+    EXPECT_GT(ev.sim()->cycles, 0.0);
+    EXPECT_GT(ev.sim()->edp, 0.0);
+    ASSERT_TRUE(ev.sim()->detail.has_value());
+    EXPECT_GT(ev.sim()->detail->cycles, 0u);
+    ASSERT_TRUE(ev.cpiError().has_value());
+    EXPECT_LT(*ev.cpiError(), 0.25);
 }
 
 TEST(DseStudy, L2SweepChangesMemoryStats)
@@ -297,8 +303,8 @@ TEST(DseStudy, L2SweepChangesMemoryStats)
     big.l2KB = 1024;
     DesignPoint small = defaultDesignPoint();
     small.l2KB = 128;
-    double cyc_big = study.evaluate(big, false).model.cycles;
-    double cyc_small = study.evaluate(small, false).model.cycles;
+    double cyc_big = study.evaluate(big).model().cycles;
+    double cyc_small = study.evaluate(small).model().cycles;
     EXPECT_GE(cyc_small, cyc_big);
 }
 
@@ -308,8 +314,8 @@ TEST(DseStudy, PredictorSwapUsesItsProfile)
     DesignPoint gshare = defaultDesignPoint();
     DesignPoint hybrid = defaultDesignPoint();
     hybrid.predictor = PredictorKind::Hybrid3K5;
-    double cg = study.evaluate(gshare, false).model.cycles;
-    double ch = study.evaluate(hybrid, false).model.cycles;
+    double cg = study.evaluate(gshare).model().cycles;
+    double ch = study.evaluate(hybrid).model().cycles;
     EXPECT_NE(cg, ch); // the two predictors behave differently
 }
 

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Tests for the `.mprof` profile artifact codec: bit-identical model
+ * results across a save/load round trip over the full 192-point
+ * Table 2 space (the acceptance contract of the artifact workflow),
+ * lossless field-level round trips, and rejection of truncated files,
+ * bad magic, and future format versions.
+ */
+
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dse/design_space.hh"
+#include "dse/study.hh"
+#include "eval/registry.hh"
+#include "profiler/profile_io.hh"
+#include "workload/suites.hh"
+
+namespace {
+
+using namespace mech;
+
+constexpr InstCount kLen = 20000;
+
+/** One shared in-memory artifact encoding for the format tests. */
+const std::string &
+encodedArtifact()
+{
+    static const std::string encoded = [] {
+        DseStudy study(profileByName("patricia"), kLen);
+        ProfileArtifact artifact;
+        artifact.name = study.name();
+        artifact.profile = study.profile();
+        artifact.trace = study.trace();
+        artifact.hasTrace = true;
+        std::ostringstream os(std::ios::binary);
+        writeProfileArtifact(artifact, os);
+        return os.str();
+    }();
+    return encoded;
+}
+
+ProfileArtifact
+decode(const std::string &bytes)
+{
+    std::istringstream is(bytes, std::ios::binary);
+    return readProfileArtifact(is);
+}
+
+// ---- golden equality: artifact path vs in-process path --------------------------
+
+TEST(ProfileIo, ModelResultsBitIdenticalAcrossFullTable2Space)
+{
+    const std::string path =
+        testing::TempDir() + "profile_io_roundtrip.mprof";
+
+    DseStudy fresh(profileByName("tiffdither"), kLen);
+    fresh.save(path);
+    DseStudy loaded = DseStudy::load(path);
+
+    EXPECT_EQ(loaded.name(), fresh.name());
+    ASSERT_TRUE(loaded.hasTrace());
+
+    auto space = table2Space();
+    ASSERT_EQ(space.size(), 192u);
+    for (const auto &point : space) {
+        EvalResult a = fresh.evaluate(point).model();
+        EvalResult b = loaded.evaluate(point).model();
+        // Bitwise equality: the artifact round trip must be exact,
+        // not approximately equal.
+        ASSERT_EQ(a.cycles, b.cycles) << point.label();
+        ASSERT_EQ(a.instructions, b.instructions) << point.label();
+        ASSERT_EQ(a.edp, b.edp) << point.label();
+        for (std::size_t c = 0; c < kNumCpiComponents; ++c) {
+            auto comp = static_cast<CpiComponent>(c);
+            ASSERT_EQ(a.stack[comp], b.stack[comp])
+                << point.label() << " component "
+                << cpiComponentName(comp);
+        }
+    }
+}
+
+TEST(ProfileIo, SimulationBitIdenticalFromLoadedTrace)
+{
+    const std::string path =
+        testing::TempDir() + "profile_io_sim.mprof";
+
+    DseStudy fresh(profileByName("sha"), kLen);
+    fresh.save(path);
+    DseStudy loaded = DseStudy::load(path);
+
+    const BackendSet backends = backendSet("sim");
+    DesignPoint point = defaultDesignPoint();
+    EvalResult a = fresh.evaluate(point, backends).of(kSimBackend);
+    EvalResult b = loaded.evaluate(point, backends).of(kSimBackend);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.detail->cycles, b.detail->cycles);
+    EXPECT_EQ(a.detail->mispredicts, b.detail->mispredicts);
+    EXPECT_EQ(a.detail->dependencyStallCycles,
+              b.detail->dependencyStallCycles);
+}
+
+// ---- lossless field round trip ---------------------------------------------------
+
+TEST(ProfileIo, FieldsRoundTripLosslessly)
+{
+    ProfileArtifact artifact = decode(encodedArtifact());
+    ProfileArtifact again;
+    {
+        std::ostringstream os(std::ios::binary);
+        writeProfileArtifact(artifact, os);
+        ASSERT_EQ(os.str(), encodedArtifact())
+            << "re-encoding must be byte-identical";
+        again = decode(os.str());
+    }
+
+    const WorkloadProfile &p = artifact.profile;
+    const WorkloadProfile &q = again.profile;
+    EXPECT_EQ(artifact.name, again.name);
+    EXPECT_EQ(p.program.n, q.program.n);
+    EXPECT_EQ(p.program.branches, q.program.branches);
+    EXPECT_EQ(p.program.takenBranches, q.program.takenBranches);
+    for (std::size_t oc = 0; oc < kNumOpClasses; ++oc) {
+        EXPECT_EQ(p.program.mix.counts[oc], q.program.mix.counts[oc]);
+        const Histogram &ha =
+            p.program.deps.of(static_cast<OpClass>(oc));
+        const Histogram &hb =
+            q.program.deps.of(static_cast<OpClass>(oc));
+        EXPECT_EQ(ha.total(), hb.total());
+        EXPECT_EQ(ha.maxKey(), hb.maxKey());
+        for (std::uint64_t k = 0; k <= ha.maxKey(); ++k)
+            EXPECT_EQ(ha.at(k), hb.at(k));
+    }
+    EXPECT_EQ(p.memory.loadMemoryIdx, q.memory.loadMemoryIdx);
+    EXPECT_EQ(p.memory.loadL2HitIdx, q.memory.loadL2HitIdx);
+    EXPECT_EQ(p.l2Stream.size(), q.l2Stream.size());
+    ASSERT_EQ(p.branchProfiles.size(), q.branchProfiles.size());
+    for (std::size_t i = 0; i < p.branchProfiles.size(); ++i) {
+        EXPECT_EQ(p.branchProfiles[i].kind, q.branchProfiles[i].kind);
+        EXPECT_EQ(p.branchProfiles[i].mispredicts,
+                  q.branchProfiles[i].mispredicts);
+        EXPECT_EQ(p.branchProfiles[i].predictedTakenCorrect,
+                  q.branchProfiles[i].predictedTakenCorrect);
+    }
+    ASSERT_EQ(artifact.trace.size(), again.trace.size());
+    for (std::size_t i = 0; i < artifact.trace.size(); ++i) {
+        EXPECT_EQ(artifact.trace[i].pc, again.trace[i].pc);
+        EXPECT_EQ(artifact.trace[i].op, again.trace[i].op);
+        EXPECT_EQ(artifact.trace[i].taken, again.trace[i].taken);
+    }
+}
+
+TEST(ProfileIo, TracelessArtifactSupportsModelOnly)
+{
+    const std::string path =
+        testing::TempDir() + "profile_io_notrace.mprof";
+
+    DseStudy fresh(profileByName("qsort"), kLen);
+    fresh.save(path, /*include_trace=*/false);
+    DseStudy loaded = DseStudy::load(path);
+
+    EXPECT_FALSE(loaded.hasTrace());
+    EvalResult a = fresh.evaluate(defaultDesignPoint()).model();
+    EvalResult b = loaded.evaluate(defaultDesignPoint()).model();
+    EXPECT_EQ(a.cycles, b.cycles);
+}
+
+// ---- malformed input rejection ---------------------------------------------------
+
+TEST(ProfileIo, RejectsBadMagic)
+{
+    std::string bytes = encodedArtifact();
+    bytes[0] = 'X';
+    EXPECT_THROW(decode(bytes), ProfileIoError);
+}
+
+TEST(ProfileIo, RejectsFutureVersion)
+{
+    std::string bytes = encodedArtifact();
+    // The version is the little-endian u32 right after the magic.
+    bytes[4] = static_cast<char>(kProfileFormatVersion + 1);
+    EXPECT_THROW(decode(bytes), ProfileIoError);
+}
+
+TEST(ProfileIo, RejectsVersionZero)
+{
+    std::string bytes = encodedArtifact();
+    bytes[4] = 0;
+    EXPECT_THROW(decode(bytes), ProfileIoError);
+}
+
+TEST(ProfileIo, RejectsTruncation)
+{
+    const std::string &bytes = encodedArtifact();
+    // Cut everywhere interesting: inside the header, inside each
+    // section, and one byte short of complete.
+    for (std::size_t cut :
+         {std::size_t{0}, std::size_t{3}, std::size_t{6},
+          std::size_t{16}, bytes.size() / 4, bytes.size() / 2,
+          bytes.size() - 1}) {
+        ASSERT_LT(cut, bytes.size());
+        EXPECT_THROW(decode(bytes.substr(0, cut)), ProfileIoError)
+            << "cut at " << cut;
+    }
+}
+
+TEST(ProfileIo, RejectsTrailingCorruption)
+{
+    std::string bytes = encodedArtifact();
+    // Damage the end marker: everything parses but the file cannot
+    // be trusted.
+    bytes[bytes.size() - 1] = '?';
+    EXPECT_THROW(decode(bytes), ProfileIoError);
+}
+
+TEST(ProfileIo, MissingFileThrows)
+{
+    EXPECT_THROW(
+        loadProfileArtifact(testing::TempDir() +
+                            "profile_io_does_not_exist.mprof"),
+        ProfileIoError);
+}
+
+TEST(ProfileIo, ArtifactPathJoinsDirAndName)
+{
+    EXPECT_EQ(profileArtifactPath("profiles", "sha"),
+              "profiles/sha.mprof");
+    EXPECT_EQ(profileArtifactPath("profiles/", "sha"),
+              "profiles/sha.mprof");
+}
+
+} // namespace

@@ -214,11 +214,12 @@ TEST(Determinism, FullPipelineIsBitStable)
     DseStudy b(profileByName("susan_e"), 15000);
     DesignPoint p = defaultDesignPoint();
     p.width = 3;
-    PointEvaluation ea = a.evaluate(p, true);
-    PointEvaluation eb = b.evaluate(p, true);
-    EXPECT_DOUBLE_EQ(ea.model.cycles, eb.model.cycles);
-    EXPECT_EQ(ea.sim->cycles, eb.sim->cycles);
-    EXPECT_DOUBLE_EQ(ea.modelEdp, eb.modelEdp);
+    const BackendSet backends = backendSet("model,sim");
+    PointEvaluation ea = a.evaluate(p, backends);
+    PointEvaluation eb = b.evaluate(p, backends);
+    EXPECT_DOUBLE_EQ(ea.model().cycles, eb.model().cycles);
+    EXPECT_EQ(ea.sim()->detail->cycles, eb.sim()->detail->cycles);
+    EXPECT_DOUBLE_EQ(ea.model().edp, eb.model().edp);
 }
 
 } // namespace

@@ -2,8 +2,8 @@
  * @file
  * Tests for the parallel batch-evaluation engine: determinism of
  * evaluateAll across worker counts over the full 192-point Table 2
- * space, agreement with the plain serial DseStudy loop, ordering, and
- * profile reuse across calls.
+ * space, agreement with the plain serial DseStudy loop, ordering,
+ * profile reuse across calls, and registry-selected backend sets.
  */
 
 #include <cstddef>
@@ -14,6 +14,7 @@
 #include "dse/design_space.hh"
 #include "dse/study.hh"
 #include "dse/study_runner.hh"
+#include "eval/registry.hh"
 #include "model/cpi_stack.hh"
 #include "workload/suites.hh"
 
@@ -23,17 +24,26 @@ using namespace mech;
 
 constexpr InstCount kLen = 20000;
 
-/** Exact (bitwise) equality of two model results. */
+/** Exact (bitwise) equality of two backend results. */
 void
-expectSameModel(const ModelResult &a, const ModelResult &b,
-                const std::string &where)
+expectSameResult(const EvalResult &a, const EvalResult &b,
+                 const std::string &where)
 {
+    EXPECT_EQ(a.backend, b.backend) << where;
     EXPECT_EQ(a.cycles, b.cycles) << where;
     EXPECT_EQ(a.instructions, b.instructions) << where;
+    EXPECT_EQ(a.edp, b.edp) << where;
+    EXPECT_EQ(a.hasStack, b.hasStack) << where;
     for (std::size_t c = 0; c < kNumCpiComponents; ++c) {
         auto comp = static_cast<CpiComponent>(c);
         EXPECT_EQ(a.stack[comp], b.stack[comp])
             << where << " component " << cpiComponentName(comp);
+    }
+    EXPECT_EQ(a.detail.has_value(), b.detail.has_value()) << where;
+    if (a.detail && b.detail) {
+        EXPECT_EQ(a.detail->cycles, b.detail->cycles) << where;
+        EXPECT_EQ(a.detail->mispredicts, b.detail->mispredicts)
+            << where;
     }
 }
 
@@ -54,13 +64,9 @@ expectSameEvaluations(const std::vector<StudyResult> &a,
             // Ordering: both sides must hold the same design point in
             // the same slot.
             EXPECT_EQ(ea.point.label(), eb.point.label()) << where;
-            expectSameModel(ea.model, eb.model, where);
-            EXPECT_EQ(ea.modelEdp, eb.modelEdp) << where;
-            EXPECT_EQ(ea.sim.has_value(), eb.sim.has_value()) << where;
-            if (ea.sim && eb.sim) {
-                EXPECT_EQ(ea.sim->cycles, eb.sim->cycles) << where;
-                EXPECT_EQ(ea.simEdp, eb.simEdp) << where;
-            }
+            ASSERT_EQ(ea.results.size(), eb.results.size()) << where;
+            for (std::size_t k = 0; k < ea.results.size(); ++k)
+                expectSameResult(ea.results[k], eb.results[k], where);
         }
     }
 }
@@ -89,7 +95,7 @@ TEST(StudyRunner, MatchesThePlainSerialStudyLoop)
     std::vector<PointEvaluation> loop;
     loop.reserve(space.size());
     for (const auto &point : space)
-        loop.push_back(study.evaluate(point, false));
+        loop.push_back(study.evaluate(point));
 
     StudyRunner runner({bench}, kLen);
     auto batched = runner.evaluateAll(space, 4);
@@ -97,9 +103,8 @@ TEST(StudyRunner, MatchesThePlainSerialStudyLoop)
     ASSERT_EQ(batched.size(), 1u);
     ASSERT_EQ(batched[0].evals.size(), loop.size());
     for (std::size_t i = 0; i < loop.size(); ++i) {
-        expectSameModel(loop[i].model, batched[0].evals[i].model,
-                        "point " + std::to_string(i));
-        EXPECT_EQ(loop[i].modelEdp, batched[0].evals[i].modelEdp);
+        expectSameResult(loop[i].model(), batched[0].evals[i].model(),
+                         "point " + std::to_string(i));
     }
 }
 
@@ -145,15 +150,46 @@ TEST(StudyRunner, SimulationResultsAreDeterministicToo)
     std::vector<DesignPoint> points = {space.front(), space[95],
                                        space.back()};
 
-    StudyRunner serial({profileByName("qsort")}, kLen, true);
-    StudyRunner parallel({profileByName("qsort")}, kLen, true);
+    StudyRunner serial({profileByName("qsort")}, kLen,
+                       backendSet("model,sim"));
+    StudyRunner parallel({profileByName("qsort")}, kLen,
+                         backendSet("model,sim"));
 
     auto one = serial.evaluateAll(points, 1);
     auto many = parallel.evaluateAll(points, 4);
 
     ASSERT_EQ(many[0].evals.size(), 3u);
-    for (const auto &ev : many[0].evals)
-        EXPECT_TRUE(ev.sim.has_value());
+    for (const auto &ev : many[0].evals) {
+        EXPECT_TRUE(ev.has(kSimBackend));
+        EXPECT_TRUE(ev.sim()->detail.has_value());
+        EXPECT_TRUE(ev.cpiError().has_value());
+    }
+    expectSameEvaluations(one, many);
+}
+
+TEST(StudyRunner, RegistrySelectedBackendSetIsDeterministic)
+{
+    // Any registry-selected combination must shard deterministically:
+    // here both mechanistic models ("model,ooo") over a slice of the
+    // space, 1 vs N threads.
+    auto space = table2Space();
+    std::vector<DesignPoint> points(space.begin(), space.begin() + 16);
+
+    StudyRunner serial({profileByName("tiffdither")}, kLen,
+                       backendSet("model,ooo"));
+    StudyRunner parallel({profileByName("tiffdither")}, kLen,
+                         backendSet("model,ooo"));
+
+    auto one = serial.evaluateAll(points, 1);
+    auto many = parallel.evaluateAll(points, 8);
+
+    // Result order mirrors backend-set order.
+    ASSERT_EQ(one[0].evals[0].results.size(), 2u);
+    EXPECT_EQ(one[0].evals[0].results[0].backend, kModelBackend);
+    EXPECT_EQ(one[0].evals[0].results[1].backend, kOooBackend);
+    EXPECT_TRUE(one[0].evals[0].results[1].hasStack);
+    // No sim ran, so the model/sim error must be absent, not 0.
+    EXPECT_FALSE(one[0].evals[0].cpiError().has_value());
     expectSameEvaluations(one, many);
 }
 

@@ -5,13 +5,16 @@
  * Prints each model penalty component next to the simulator's stall
  * diagnostics so systematic modeling bias can be localized.  Not part
  * of the library API; a developer tool.
+ *
+ * With --profile-dir, benchmarks whose `.mprof` artifacts exist there
+ * (written by mech_profile) are loaded instead of re-profiled.
  */
 
 #include <algorithm>
 #include <cstddef>
-#include <cstdlib>
 #include <iostream>
 #include <iterator>
+#include <string>
 #include <vector>
 
 #include "mech/mech.hh"
@@ -21,24 +24,43 @@ main(int argc, char **argv)
 {
     using namespace mech;
 
-    InstCount n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 200000;
+    InstCount n = 200000;
+    unsigned width = 0;
+    unsigned nthreads = ThreadPool::defaultWorkerCount();
+    std::string profile_dir;
+
+    cli::ArgParser parser(
+        "calibrate",
+        "per-benchmark model-vs-simulator penalty breakdown");
+    parser.add("instructions", "N", "dynamic instructions per trace",
+               &n);
+    parser.add("width", "W", "override the superscalar width",
+               &width);
+    parser.add("threads", "N", "worker threads", &nthreads);
+    parser.add("profile-dir", "dir",
+               "load .mprof artifacts from this directory instead of "
+               "re-profiling",
+               &profile_dir);
+    parser.parse(argc, argv);
+    nthreads = ThreadPool::sanitizeWorkerCount(
+        static_cast<long long>(nthreads));
+
     DesignPoint point = defaultDesignPoint();
-    if (argc > 2)
-        point.width = static_cast<std::uint32_t>(std::atoi(argv[2]));
-    unsigned nthreads =
-        argc > 3 ? ThreadPool::sanitizeWorkerCount(std::atoll(argv[3]))
-                 : ThreadPool::defaultWorkerCount();
+    if (width)
+        point.width = width;
 
     TextTable table({"bench", "mCPI", "sCPI", "err%", "m.deps", "s.deps",
                      "m.taken", "s.taken", "m.miss", "s.fetchmiss",
                      "m.bpred", "s.bpredstall", "m.LL+l2"});
 
-    // Batch: every benchmark profiled and (model + sim) evaluated at
-    // the chosen point, sharded across the pool.  Groups of nthreads
-    // benchmarks bound peak memory: each study pins its full trace
-    // (and captured L2 stream), and one point per benchmark gains
-    // nothing from keeping profiles cached beyond its group.
+    // Batch: every benchmark profiled (or loaded) and evaluated by
+    // the model and detailed-simulation backends at the chosen point,
+    // sharded across the pool.  Groups of nthreads benchmarks bound
+    // peak memory: each study pins its full trace (and captured L2
+    // stream), and one point per benchmark gains nothing from keeping
+    // profiles cached beyond its group.
     const auto &suite = mibenchSuite();
+    const BackendSet backends = backendSet("model,sim");
     const std::size_t group_size = std::max(1u, nthreads);
     std::vector<StudyResult> results;
     for (std::size_t at = 0; at < suite.size(); at += group_size) {
@@ -48,7 +70,9 @@ main(int argc, char **argv)
                 std::min(suite.size(), at + group_size));
         StudyRunner runner(
             {suite.begin() + static_cast<std::ptrdiff_t>(at), last}, n,
-            true);
+            backends);
+        if (!profile_dir.empty())
+            runner.useProfileDir(profile_dir);
         auto group = runner.evaluateAll({point}, nthreads);
         results.insert(results.end(),
                        std::make_move_iterator(group.begin()),
@@ -57,17 +81,20 @@ main(int argc, char **argv)
 
     for (const auto &result : results) {
         const PointEvaluation &ev = result.evals.at(0);
-        const auto &st = ev.model.stack;
-        const SimResult &sim = *ev.sim;
-        double N = static_cast<double>(ev.model.instructions);
+        const EvalResult &model = ev.model();
+        const auto &st = model.stack;
+        const SimResult &sim = *ev.sim()->detail;
+        double N = static_cast<double>(model.instructions);
 
         auto cpi = [N](double cycles) { return cycles / N; };
 
         table.addRow({
             result.benchmark,
-            TextTable::num(ev.model.cpi(), 3),
-            TextTable::num(sim.cpi(), 3),
-            TextTable::num(ev.cpiError() * 100.0, 1),
+            TextTable::num(model.cpi(), 3),
+            TextTable::num(ev.sim()->cpi(), 3),
+            // Both backends ran, so the error is always present;
+            // value() keeps "no sim" loudly distinct from 0% error.
+            TextTable::num(ev.cpiError().value() * 100.0, 1),
             TextTable::num(cpi(st.dependencies()), 3),
             TextTable::num(cpi(static_cast<double>(
                 sim.dependencyStallCycles)), 3),
