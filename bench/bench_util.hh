@@ -12,8 +12,11 @@
 #define MECH_BENCH_BENCH_UTIL_HH
 
 #include <cstdlib>
+#include <functional>
+#include <iostream>
 #include <string>
 
+#include "harness.hh"
 #include "mech/mech.hh"
 
 namespace mech::bench {
@@ -29,6 +32,9 @@ struct Args
 
     /** Directory of .mprof artifacts ("" = profile in-process). */
     std::string profileDir;
+
+    /** Path for the machine-readable JSON artifact ("" = none). */
+    std::string jsonPath;
 };
 
 /**
@@ -42,13 +48,16 @@ struct Args
  * Only advertise what the bench consumes: @p with_threads /
  * @p with_profile_dir drop those options from the parser so a
  * serial or artifact-incompatible bench rejects them loudly instead
- * of accepting and silently ignoring them.
+ * of accepting and silently ignoring them.  A driver with options of
+ * its own registers them through @p extra_options rather than
+ * re-implementing this env/default/sanitize pipeline.
  */
 inline Args
 parseArgs(int argc, char **argv, const std::string &prog,
           const std::string &description,
           InstCount fallback_instructions, bool with_threads = true,
-          bool with_profile_dir = true)
+          bool with_profile_dir = true,
+          const std::function<void(cli::ArgParser &)> &extra_options = {})
 {
     Args args;
     args.instructions = fallback_instructions;
@@ -74,6 +83,12 @@ parseArgs(int argc, char **argv, const std::string &prog,
                    "of re-profiling (see tools/mech_profile)",
                    &args.profileDir);
     }
+    parser.add("json", "path",
+               "also write the run's headline numbers as a "
+               "schema-versioned JSON artifact (docs/benchmarking.md)",
+               &args.jsonPath);
+    if (extra_options)
+        extra_options(parser);
     parser.parse(argc, argv);
     args.threads = ThreadPool::sanitizeWorkerCount(
         static_cast<long long>(args.threads));
@@ -97,6 +112,25 @@ applyProfileDir(StudyRunner &runner, const Args &args)
 {
     if (!args.profileDir.empty())
         runner.useProfileDir(args.profileDir);
+}
+
+/**
+ * Write @p report to args.jsonPath when --json was given.
+ *
+ * Every figure/table driver calls this last, so each reproduction
+ * doubles as a machine-readable artifact producer on demand.
+ */
+inline void
+maybeWriteReport(const Args &args, const BenchReport &report)
+{
+    if (args.jsonPath.empty())
+        return;
+    try {
+        saveReport(report, args.jsonPath);
+        std::cout << "\nwrote " << args.jsonPath << "\n";
+    } catch (const BenchIoError &e) {
+        fatal(e.what());
+    }
 }
 
 /** Paper-style coarse stack groups used by Figs. 4 and 8. */

@@ -25,6 +25,9 @@ main(int argc, char **argv)
               << "config: " << point.label() << ", " << args.instructions
               << " instructions per benchmark\n\n";
 
+    bench::BenchReport report = bench::makeReport("fig3_validation");
+    const double t0 = bench::monotonicSeconds();
+
     TextTable table({"benchmark", "model CPI", "detailed CPI", "error%"});
     SummaryStats err;
     for (const auto &bench : mibenchSuite()) {
@@ -35,10 +38,21 @@ main(int argc, char **argv)
         table.addRow({bench.name, TextTable::num(ev.model().cpi(), 3),
                       TextTable::num(ev.sim()->cpi(), 3),
                       TextTable::num(e * 100.0, 1)});
+        report.add("fig3", bench.name, "model_cpi", ev.model().cpi(),
+                   "CPI");
+        report.add("fig3", bench.name, "sim_cpi", ev.sim()->cpi(),
+                   "CPI");
+        report.add("fig3", bench.name, "error", e * 100.0, "%");
     }
     table.print(std::cout);
     std::cout << "\naverage error: " << TextTable::num(err.mean(), 1)
               << "%   max error: " << TextTable::num(err.max(), 1)
               << "%   (paper: avg 3.1%, max 8.4%)\n";
+
+    report.add("fig3", "suite", "error_avg", err.mean(), "%");
+    report.add("fig3", "suite", "error_max", err.max(), "%");
+    report.add("fig3", "suite", "wall_seconds",
+               bench::monotonicSeconds() - t0, "s");
+    bench::maybeWriteReport(args, report);
     return 0;
 }

@@ -26,6 +26,9 @@ main(int argc, char **argv)
     std::cout << "=== Figure 4: CPI stacks vs superscalar width ===\n"
               << args.instructions << " instructions per benchmark\n\n";
 
+    bench::BenchReport report = bench::makeReport("fig4_width_stacks");
+    const double t0 = bench::monotonicSeconds();
+
     for (const char *name : {"sha", "tiffdither", "dijkstra"}) {
         DseStudy study = bench::makeStudy(profileByName(name), args);
         std::cout << "--- " << name << " ---\n";
@@ -50,11 +53,20 @@ main(int argc, char **argv)
                           TextTable::num(c.ifetch, 3),
                           TextTable::num(model.cpi(), 3),
                           TextTable::num(ev.sim()->cpi(), 3)});
+            const std::string id =
+                std::string(name) + "/w" + std::to_string(w);
+            report.add("fig4", id, "model_cpi", model.cpi(), "CPI");
+            report.add("fig4", id, "sim_cpi", ev.sim()->cpi(), "CPI");
+            report.add("fig4", id, "deps_cpi", c.deps, "CPI");
         }
         table.print(std::cout);
         std::cout << '\n';
     }
     std::cout << "paper shape: sha scales with W; dijkstra saturates "
                  "beyond W=2 as the dependency component grows.\n";
+
+    report.add("fig4", "suite", "wall_seconds",
+               bench::monotonicSeconds() - t0, "s");
+    bench::maybeWriteReport(args, report);
     return 0;
 }

@@ -34,6 +34,7 @@ main(int argc, char **argv)
               << " benchmarks, " << args.instructions
               << " instructions each\n\n";
 
+    bench::BenchReport report = bench::makeReport("fig5_error_cdf");
     std::vector<double> errors;
     double sim_seconds = 0.0, model_seconds = 0.0, profile_seconds = 0.0;
 
@@ -93,5 +94,17 @@ main(int argc, char **argv)
                                 0)
               << "x   (paper: ~3 orders of magnitude; profiling "
                  "dominates the model-side cost)\n";
+
+    report.add("fig5", "space", "error_avg", stats.mean(), "%");
+    report.add("fig5", "space", "error_p90",
+               percentile(errors, 90.0), "%");
+    report.add("fig5", "space", "error_max", stats.max(), "%");
+    report.add("fig5", "space", "sim_seconds", sim_seconds, "s");
+    report.add("fig5", "space", "profile_seconds", profile_seconds,
+               "s");
+    report.add("fig5", "space", "model_seconds", model_seconds, "s");
+    report.add("fig5", "space", "sim_over_model",
+               sim_seconds / std::max(1e-9, model_seconds), "speedup");
+    bench::maybeWriteReport(args, report);
     return 0;
 }

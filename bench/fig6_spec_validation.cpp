@@ -27,6 +27,9 @@ main(int argc, char **argv)
               << "config: " << point.label() << ", " << args.instructions
               << " instructions per benchmark\n\n";
 
+    bench::BenchReport report = bench::makeReport("fig6_spec_validation");
+    const double t0 = bench::monotonicSeconds();
+
     TextTable table({"benchmark", "model CPI", "detailed CPI",
                      "error%", "l2-miss share"});
     SummaryStats err;
@@ -42,10 +45,23 @@ main(int argc, char **argv)
                       TextTable::num(ev.sim()->cpi(), 3),
                       TextTable::num(e * 100.0, 1),
                       TextTable::num(miss_share, 2)});
+        report.add("fig6", bench.name, "model_cpi", model.cpi(),
+                   "CPI");
+        report.add("fig6", bench.name, "sim_cpi", ev.sim()->cpi(),
+                   "CPI");
+        report.add("fig6", bench.name, "error", e * 100.0, "%");
+        report.add("fig6", bench.name, "l2_miss_share", miss_share,
+                   "fraction");
     }
     table.print(std::cout);
     std::cout << "\naverage error: " << TextTable::num(err.mean(), 1)
               << "%   max error: " << TextTable::num(err.max(), 1)
               << "%   (paper: avg 4.1%, max 10.7%)\n";
+
+    report.add("fig6", "suite", "error_avg", err.mean(), "%");
+    report.add("fig6", "suite", "error_max", err.max(), "%");
+    report.add("fig6", "suite", "wall_seconds",
+               bench::monotonicSeconds() - t0, "s");
+    bench::maybeWriteReport(args, report);
     return 0;
 }

@@ -41,9 +41,16 @@ main(int argc, char **argv)
                      "dl1(l2 acc)", "dl2(mem)", "bpred miss", "deps",
                      "CPI"});
 
+    bench::BenchReport report = bench::makeReport("fig7_inorder_vs_ooo");
+    const double t0 = bench::monotonicSeconds();
+
     for (const char *name : benchmarks) {
         DseStudy study = bench::makeStudy(profileByName(name), args);
         PointEvaluation ev = study.evaluate(point, backends);
+        report.add("fig7", name, "inorder_cpi",
+                   ev.of(kModelBackend).cpi(), "CPI");
+        report.add("fig7", name, "ooo_cpi", ev.of(kOooBackend).cpi(),
+                   "CPI");
 
         auto add_row = [&](const char *core, const EvalResult &res) {
             auto per = res.stack.perInstruction(res.instructions);
@@ -65,5 +72,9 @@ main(int argc, char **argv)
     std::cout << "\npaper checks: deps/mul-div ~0 for OoO; OoO bpred "
                  "penalty larger per miss; OoO dl2 smaller (MLP); "
                  "il1+il2 identical.\n";
+
+    report.add("fig7", "suite", "wall_seconds",
+               bench::monotonicSeconds() - t0, "s");
+    bench::maybeWriteReport(args, report);
     return 0;
 }

@@ -66,6 +66,9 @@ main(int argc, char **argv)
                                 "susan_s", "tiffdither"};
     const char *variants[] = {"nosched", "O3", "unroll"};
 
+    bench::BenchReport report = bench::makeReport("fig8_compiler_stacks");
+    const double t0 = bench::monotonicSeconds();
+
     for (const char *name : benchmarks) {
         const BenchmarkProfile &bench = profileByName(name);
         std::cout << "--- " << name << " ---\n";
@@ -108,6 +111,11 @@ main(int argc, char **argv)
                           norm(row.stack.deps),
                           TextTable::num(row.cycles, 0),
                           norm(row.cycles)});
+            const std::string id =
+                std::string(name) + "/" + row.variant;
+            report.add("fig8", id, "cycles", row.cycles, "cycles");
+            report.add("fig8", id, "normalized_cycles",
+                       row.cycles / o3_cycles, "x");
         }
         table.print(std::cout);
         std::cout << '\n';
@@ -116,5 +124,9 @@ main(int argc, char **argv)
     std::cout << "paper checks: scheduling shrinks deps (sometimes "
                  "grows base via spills); unrolling shrinks base and "
                  "taken-branch penalties and helps deps further.\n";
+
+    report.add("fig8", "suite", "wall_seconds",
+               bench::monotonicSeconds() - t0, "s");
+    bench::maybeWriteReport(args, report);
     return 0;
 }

@@ -32,11 +32,16 @@ main(int argc, char **argv)
 
     // One batched run: 4 benchmarks x 192 points x (model + detailed
     // sim), sharded across the pool.
+    bench::BenchReport report = bench::makeReport("fig9_edp_dse");
+    const double t0 = bench::monotonicSeconds();
+
     StudyRunner runner({profileByName("adpcm_d"), profileByName("gsm_c"),
                         profileByName("lame"), profileByName("patricia")},
                        args.instructions, backendSet("model,sim"));
     bench::applyProfileDir(runner, args);
     auto results = runner.evaluateAll(space, args.threads);
+    report.add("fig9", "sweep", "wall_seconds",
+               bench::monotonicSeconds() - t0, "s");
 
     for (auto &result : results) {
         const std::string &name = result.benchmark;
@@ -89,6 +94,13 @@ main(int argc, char **argv)
                   << "\n  EDP excess of the model's pick: "
                   << TextTable::num(edp_gap * 100.0, 2)
                   << "%  (paper tolerance: < 5%)\n\n";
+        report.add("fig9", name, "edp_gap", edp_gap * 100.0, "%");
+        report.add("fig9", name, "sim_best_edp",
+                   sim_edp(*sim_best) * 1e6, "uJ*s");
+        report.add("fig9", name, "model_pick_edp",
+                   sim_edp(*model_best) * 1e6, "uJ*s");
     }
+
+    bench::maybeWriteReport(args, report);
     return 0;
 }

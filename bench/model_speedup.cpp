@@ -1,18 +1,23 @@
 /**
  * @file
- * Section 5 speedup claim, as a google-benchmark microbenchmark:
+ * Section 5 speedup claim, measured with the in-repo harness:
  * evaluating the analytical model for a design point vs detailed
- * simulation of the same point, plus the one-off profiling cost.
+ * simulation of the same point, plus the one-off trace-generation and
+ * profiling costs, each with warmup + min-of-N repetition selection
+ * (src/common/bench.hh).
  *
  * Paper: simulating the 192-point space takes 290 days; the model
  * takes 4.5 hours, dominated by profiling — model evaluation itself
  * is "a few seconds" for the whole space.
+ *
+ * Like every driver, --json emits the measurements in the shared
+ * schema-versioned artifact format (docs/benchmarking.md).
  */
 
 #include <chrono>
 #include <iostream>
-
-#include <benchmark/benchmark.h>
+#include <string>
+#include <vector>
 
 #include "bench_util.hh"
 
@@ -20,116 +25,33 @@ namespace {
 
 using namespace mech;
 
-constexpr InstCount kLen = 50000;
+constexpr const char *kSuite = "model_speedup";
 
-/** Shared fixture state: one profiled study per benchmark run. */
-DseStudy &
-sharedStudy()
+/** One throughput row: measure, print, record. */
+template <typename F>
+double
+timed(const char *name, F &&body, double items, const char *unit,
+      const bench::MeasureOptions &opts, bench::BenchReport &report)
 {
-    static DseStudy study(profileByName("tiffdither"), kLen);
-    return study;
+    bench::Measurement m = bench::measure(std::forward<F>(body), opts);
+    double rate = m.rate(items);
+    std::cout << "  " << name << ": "
+              << TextTable::num(m.secondsPerIter * 1e3, 3)
+              << " ms/iter  (" << TextTable::num(rate, 0) << " " << unit
+              << ", min of " << m.repSecondsPerIter.size() << " x "
+              << m.itersPerRep << " iters)\n";
+    report.add(kSuite, name, "throughput", rate, unit);
+    return m.secondsPerIter;
 }
-
-void
-BM_TraceGeneration(benchmark::State &state)
-{
-    const BenchmarkProfile &bench = profileByName("tiffdither");
-    for (auto _ : state) {
-        Trace tr = generateTrace(bench, kLen);
-        benchmark::DoNotOptimize(tr.size());
-    }
-    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                            static_cast<std::int64_t>(kLen));
-}
-
-void
-BM_Profiling(benchmark::State &state)
-{
-    Trace tr = generateTrace(profileByName("tiffdither"), kLen);
-    ProfilerConfig cfg;
-    cfg.hierarchy = hierarchyFor(defaultDesignPoint());
-    cfg.predictors = {PredictorKind::Gshare1K, PredictorKind::Hybrid3K5};
-    cfg.captureL2Stream = true;
-    for (auto _ : state) {
-        WorkloadProfile p = profileTrace(tr, cfg);
-        benchmark::DoNotOptimize(p.program.n);
-    }
-    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                            static_cast<std::int64_t>(kLen));
-}
-
-void
-BM_ModelEvaluation(benchmark::State &state)
-{
-    DseStudy &study = sharedStudy();
-    DesignPoint point = defaultDesignPoint();
-    point.l2KB = 256; // off-default so the L2 resweep cost shows once
-    for (auto _ : state) {
-        PointEvaluation ev = study.evaluate(point);
-        benchmark::DoNotOptimize(ev.model().cycles);
-    }
-}
-
-void
-BM_DetailedSimulation(benchmark::State &state)
-{
-    DseStudy &study = sharedStudy();
-    DesignPoint point = defaultDesignPoint();
-    for (auto _ : state) {
-        SimResult res =
-            simulateInOrder(study.trace(), simConfigFor(point));
-        benchmark::DoNotOptimize(res.cycles);
-    }
-    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                            static_cast<std::int64_t>(kLen));
-}
-
-/**
- * The batched engine over the full Table 2 space, threads as the
- * benchmark argument (profiles prebuilt, so this times the sharded
- * point-evaluation phase the paper's speedup claim is about).
- */
-void
-BM_BatchEvaluateAll(benchmark::State &state)
-{
-    static std::vector<BenchmarkProfile> benches = {
-        profileByName("tiffdither"), profileByName("sha"),
-        profileByName("patricia"), profileByName("jpeg_c")};
-    static StudyRunner runner(benches, kLen);
-    static auto space = table2Space();
-    // Warm the per-benchmark profiles outside the timed region.
-    static auto warm = runner.evaluateAll(space, 1);
-    benchmark::DoNotOptimize(warm.size());
-
-    auto nthreads = static_cast<unsigned>(state.range(0));
-    for (auto _ : state) {
-        auto results = runner.evaluateAll(space, nthreads);
-        benchmark::DoNotOptimize(results[0].evals[0].model().cycles);
-    }
-    state.SetItemsProcessed(
-        static_cast<std::int64_t>(state.iterations()) *
-        static_cast<std::int64_t>(benches.size() * space.size()));
-}
-
-BENCHMARK(BM_TraceGeneration)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Profiling)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_ModelEvaluation)->Unit(benchmark::kMicrosecond);
-BENCHMARK(BM_DetailedSimulation)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_BatchEvaluateAll)
-    ->Unit(benchmark::kMillisecond)
-    ->Arg(1)
-    ->Arg(2)
-    ->Arg(4)
-    ->Arg(static_cast<int>(ThreadPool::defaultWorkerCount()));
 
 /**
  * Serial-vs-parallel wall-clock comparison of the complete
  * profile-once / predict-everywhere workflow (trace generation +
- * profiling + 192-point model sweep for 8 benchmarks), printed after
- * the microbenchmarks.
+ * profiling + 192-point model sweep for 8 benchmarks).
  */
 void
-reportBatchSpeedup()
+reportBatchSpeedup(InstCount len, unsigned nthreads,
+                   bench::BenchReport &report)
 {
     using clock = std::chrono::steady_clock;
 
@@ -139,29 +61,33 @@ reportBatchSpeedup()
         profileByName("adpcm_d"),    profileByName("gsm_c"),
         profileByName("lame"),       profileByName("dijkstra")};
     const auto space = table2Space();
-    const unsigned nthreads = ThreadPool::defaultWorkerCount();
 
     auto timeRun = [&](unsigned threads) {
-        StudyRunner runner(benches, kLen); // fresh: includes profiling
+        StudyRunner runner(benches, len); // fresh: includes profiling
         auto t0 = clock::now();
         auto results = runner.evaluateAll(space, threads);
         auto t1 = clock::now();
-        benchmark::DoNotOptimize(
-            results.back().evals.back().model().cycles);
+        bench::doNotOptimize(results.back().evals.back().model().cycles);
         return std::chrono::duration<double>(t1 - t0).count();
     };
 
     double serial_s = timeRun(1);
     double parallel_s = timeRun(nthreads);
+    double speedup = serial_s / parallel_s;
 
     std::cout << "\n--- batched design-space sweep, " << benches.size()
-              << " benchmarks x " << space.size() << " points ("
-              << kLen << " instructions each) ---\n"
+              << " benchmarks x " << space.size() << " points (" << len
+              << " instructions each) ---\n"
               << "serial   (1 thread):   " << serial_s * 1e3 << " ms\n"
               << "parallel (" << nthreads
               << " threads):  " << parallel_s * 1e3 << " ms\n"
-              << "parallel speedup: " << serial_s / parallel_s
+              << "parallel speedup: " << speedup
               << "x (hardware threads: " << nthreads << ")\n";
+    report.add(kSuite, "batch_sweep", "serial_seconds", serial_s, "s");
+    report.add(kSuite, "batch_sweep", "parallel_seconds", parallel_s,
+               "s");
+    report.add(kSuite, "batch_sweep", "parallel_speedup", speedup,
+               "speedup");
 }
 
 } // namespace
@@ -169,23 +95,86 @@ reportBatchSpeedup()
 int
 main(int argc, char **argv)
 {
-    // The wall-clock comparison is for full default runs; skip it
-    // when the caller is listing or filtering microbenchmarks.
-    bool selective = false;
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        if (arg.rfind("--benchmark_list_tests", 0) == 0 ||
-            arg.rfind("--benchmark_filter", 0) == 0) {
-            selective = true;
-        }
-    }
+    using namespace mech;
 
-    benchmark::Initialize(&argc, argv);
-    if (benchmark::ReportUnrecognizedArguments(argc, argv))
-        return 1;
-    benchmark::RunSpecifiedBenchmarks();
-    benchmark::Shutdown();
-    if (!selective)
-        reportBatchSpeedup();
+    unsigned repetitions = 5;
+    double min_time_ms = 50.0;
+    // This bench times fresh profiling runs per measurement, so
+    // saved artifacts cannot apply (hence no --profile-dir).
+    bench::Args args = bench::parseArgs(
+        argc, argv, "model_speedup",
+        "model-vs-simulation speedup measurement (paper section 5)",
+        50000, /*with_threads=*/true, /*with_profile_dir=*/false,
+        [&](cli::ArgParser &parser) {
+            parser.add("repetitions", "N",
+                       "timed repetitions per measurement (min-of-N)",
+                       &repetitions);
+            parser.add("min-time-ms", "ms",
+                       "minimum duration of one repetition",
+                       &min_time_ms);
+        });
+    if (repetitions < 1)
+        fatal("--repetitions must be at least 1");
+
+    const InstCount len = args.instructions;
+    bench::MeasureOptions opts;
+    opts.repetitions = repetitions;
+    opts.minSeconds = min_time_ms / 1e3;
+
+    bench::BenchReport report = bench::makeReport("model_speedup");
+    std::cout << "=== model vs simulation speedup (" << len
+              << " instructions, min-of-" << repetitions << ") ===\n\n";
+
+    const BenchmarkProfile &bench_profile = profileByName("tiffdither");
+
+    timed("trace_gen",
+          [&] {
+              Trace tr = generateTrace(bench_profile, len);
+              bench::doNotOptimize(tr.size());
+          },
+          static_cast<double>(len), "insns/s", opts, report);
+
+    Trace tr = generateTrace(bench_profile, len);
+    ProfilerConfig pcfg;
+    pcfg.hierarchy = hierarchyFor(defaultDesignPoint());
+    pcfg.captureL2Stream = true;
+    timed("profiling",
+          [&] {
+              WorkloadProfile p = profileTrace(tr, pcfg);
+              bench::doNotOptimize(p.program.n);
+          },
+          static_cast<double>(len), "insns/s", opts, report);
+
+    DseStudy study(bench_profile, len);
+    DesignPoint off_default = defaultDesignPoint();
+    off_default.l2KB = 256; // off-default so the L2 resweep shows once
+    study.prepare({off_default});
+    double model_spi =
+        timed("model_eval",
+              [&] {
+                  PointEvaluation ev = study.evaluate(off_default);
+                  bench::doNotOptimize(ev.model().cycles);
+              },
+              1.0, "evals/s", opts, report);
+
+    SimConfig scfg = simConfigFor(defaultDesignPoint());
+    double sim_spi = timed("detailed_sim",
+                           [&] {
+                               SimResult res =
+                                   simulateInOrder(study.trace(), scfg);
+                               bench::doNotOptimize(res.cycles);
+                           },
+                           static_cast<double>(len), "insns/s", opts,
+                           report);
+
+    double point_speedup = sim_spi / model_spi;
+    std::cout << "  one-point speedup (detailed sim / model eval): "
+              << TextTable::num(point_speedup, 0) << "x\n";
+    report.add(kSuite, "one_point", "sim_over_model", point_speedup,
+               "speedup");
+
+    reportBatchSpeedup(len, args.threads, report);
+
+    bench::maybeWriteReport(args, report);
     return 0;
 }

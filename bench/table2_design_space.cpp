@@ -74,11 +74,15 @@ main(int argc, char **argv)
     p.predictor = PredictorKind::Hybrid3K5;
     probe("hybrid 3.5KB predictor", p);
 
+    bench::BenchReport report = bench::makeReport("table2_design_space");
+    const double t0 = bench::monotonicSeconds();
+
     StudyRunner runner({profileByName(bench)}, args.instructions);
     bench::applyProfileDir(runner, args);
     auto evals = runner.evaluateAll(probes, args.threads);
     const std::vector<PointEvaluation> &points = evals.at(0).evals;
     double base_cpi = points.at(0).model().cpi();
+    report.add("table2", "default", "model_cpi", base_cpi, "CPI");
 
     std::cout << "model sensitivity around the default (" << bench
               << ", CPI " << TextTable::num(base_cpi, 3) << "):\n\n";
@@ -88,11 +92,18 @@ main(int argc, char **argv)
         double delta = (cpi / base_cpi - 1.0) * 100.0;
         sens.addRow({labels[i], TextTable::num(cpi, 3),
                      TextTable::num(delta, 1) + "%"});
+        report.add("table2", labels[i], "model_cpi", cpi, "CPI");
+        report.add("table2", labels[i], "delta_vs_default", delta,
+                   "%");
     }
     sens.print(std::cout);
 
     std::cout << "\n(CPI comparisons only; the depth/frequency rows "
                  "trade cycles for clock period, which the EDP study "
                  "in fig9_edp_dse weighs properly.)\n";
+
+    report.add("table2", "suite", "wall_seconds",
+               bench::monotonicSeconds() - t0, "s");
+    bench::maybeWriteReport(args, report);
     return 0;
 }

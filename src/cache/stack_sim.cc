@@ -1,9 +1,16 @@
 #include "cache/stack_sim.hh"
 
-#include <algorithm>
 #include <bit>
+#include <utility>
 
 namespace mech {
+
+namespace {
+
+/** Initial map capacity (slots; power of two). */
+constexpr std::size_t kInitialTableSize = 256;
+
+} // namespace
 
 StackDistanceSimulator::StackDistanceSimulator(std::uint64_t num_sets,
                                                std::uint32_t block_bytes,
@@ -17,33 +24,108 @@ StackDistanceSimulator::StackDistanceSimulator(std::uint64_t num_sets,
               "of two");
     }
     MECH_ASSERT(maxAssoc >= 1, "need at least one tracked way");
+    blockShift = static_cast<std::uint32_t>(
+        std::countr_zero(static_cast<std::uint64_t>(blockBytes)));
     stacks.resize(numSets);
+    table.resize(kInitialTableSize);
+    tableShift = static_cast<std::uint32_t>(
+        64 - std::countr_zero(kInitialTableSize));
 }
 
 void
-StackDistanceSimulator::access(Addr addr)
+StackDistanceSimulator::mapInsert(std::uint64_t block,
+                                  std::uint32_t node)
 {
-    std::uint64_t block = addr / blockBytes;
-    std::uint64_t set = block & (numSets - 1);
-    Addr tag = block / numSets;
-    auto &stack = stacks[set];
+    constexpr std::size_t no_slot = static_cast<std::size_t>(-1);
+    const std::size_t mask = table.size() - 1;
+    std::size_t pos = hashBlock(block) >> tableShift;
+    std::size_t tomb = no_slot;
+    for (;; pos = (pos + 1) & mask) {
+        MapSlot &slot = table[pos];
+        if (slot.node == kEmpty) {
+            if (tomb != no_slot) {
+                pos = tomb;
+            } else {
+                ++tableUsed;
+            }
+            break;
+        }
+        if (slot.node == kTomb && tomb == no_slot)
+            tomb = pos;
+    }
+    table[pos] = {block, node};
+    ++tableOccupied;
+    // Keep probe runs short: rebuild once 3/4 of the slots carry an
+    // entry or a tombstone.
+    if (tableUsed * 4 >= table.size() * 3)
+        rehash();
+}
 
-    ++total;
+void
+StackDistanceSimulator::mapErase(std::uint64_t block)
+{
+    std::size_t pos = findSlot(block);
+    MECH_ASSERT(table[pos].node != kEmpty, "erasing absent block");
+    table[pos].node = kTomb;
+    --tableOccupied;
+}
 
-    auto it = std::find(stack.begin(), stack.end(), tag);
-    if (it == stack.end()) {
-        // Cold or beyond the tracked depth: a miss at every tracked
-        // associativity.  Key 0 marks "deeper than tracked".
-        distances.add(0);
+void
+StackDistanceSimulator::rehash()
+{
+    std::size_t new_size = table.size();
+    while (tableOccupied * 3 >= new_size)
+        new_size *= 2;
+
+    std::vector<MapSlot> old = std::move(table);
+    table.assign(new_size, MapSlot{});
+    tableShift = static_cast<std::uint32_t>(
+        64 - std::countr_zero(new_size));
+    tableUsed = tableOccupied;
+
+    const std::size_t mask = new_size - 1;
+    for (const MapSlot &slot : old) {
+        if (slot.node == kEmpty || slot.node == kTomb)
+            continue;
+        std::size_t pos = hashBlock(slot.block) >> tableShift;
+        while (table[pos].node != kEmpty)
+            pos = (pos + 1) & mask;
+        table[pos] = slot;
+    }
+}
+
+void
+StackDistanceSimulator::insertCold(SetList &s, std::uint64_t block)
+{
+    std::uint32_t idx;
+    if (s.nodes.size() < maxAssoc) {
+        idx = static_cast<std::uint32_t>(s.nodes.size());
+        s.nodes.push_back({block, kNil, kNil});
     } else {
-        auto depth = static_cast<std::uint64_t>(it - stack.begin()) + 1;
-        distances.add(depth);
-        stack.erase(it);
+        // Set full: recycle the LRU node's slot for the new block.
+        idx = s.tail;
+        Node &victim = s.nodes[idx];
+        mapErase(victim.block);
+        s.tail = victim.prev;
+        if (s.tail != kNil)
+            s.nodes[s.tail].next = kNil;
+        else
+            s.head = kNil;
+        victim.block = block;
     }
 
-    stack.insert(stack.begin(), tag);
-    if (stack.size() > maxAssoc)
-        stack.pop_back();
+    Node &n = s.nodes[idx];
+    n.prev = kNil;
+    n.next = s.head;
+    if (s.head != kNil)
+        s.nodes[s.head].prev = idx;
+    s.head = idx;
+    if (s.tail == kNil)
+        s.tail = idx;
+    // The insert re-probes rather than reusing the access-time slot:
+    // the eviction above may have tombstoned an earlier slot of this
+    // very probe run, and the insert should prefer it.
+    mapInsert(block, idx);
 }
 
 std::uint64_t

@@ -79,18 +79,30 @@ StudyRunner::evaluateAll(const std::vector<DesignPoint> &points,
     // slots, so aggregation is deterministic in design-space order
     // regardless of worker count or scheduling.
     //
-    // Granularity: a model-only evaluation is microseconds — well
-    // under the queue/future cost of a task — so points are sharded
-    // in chunks (~4 chunks per worker per benchmark).  Detailed
-    // (trace-replaying) backends are orders of magnitude slower and
-    // shard per point for load balance.
+    // Granularity adapts to the size of the whole matrix rather than
+    // a fixed per-benchmark scheme: a model-only evaluation is
+    // microseconds — well under the queue/future cost of a task — so
+    // the point count is chunked to yield ~8 tasks per worker across
+    // all benchmarks together (enough slack for load balance, few
+    // enough that task overhead stays negligible for small sweeps).
+    // Detailed (trace-replaying) backends are orders of magnitude
+    // slower per point and shard per point; the serial path takes
+    // one task per benchmark since slicing buys nothing inline.
     const bool detailed =
         std::any_of(backends_.begin(), backends_.end(),
                     [](const EvalBackend *b) { return b->isDetailed(); });
-    const std::size_t chunk =
-        detailed ? 1
-                 : std::max<std::size_t>(
-                       1, points.size() / (std::max(nthreads, 1u) * 4));
+    std::size_t chunk;
+    if (detailed) {
+        chunk = 1;
+    } else if (nthreads <= 1) {
+        chunk = std::max<std::size_t>(1, points.size());
+    } else {
+        const std::size_t matrix = benches.size() * points.size();
+        const std::size_t target_tasks =
+            static_cast<std::size_t>(nthreads) * 8;
+        chunk = std::max<std::size_t>(1, matrix / target_tasks);
+        chunk = std::min(chunk, std::max<std::size_t>(1, points.size()));
+    }
     for (std::size_t b = 0; b < benches.size(); ++b) {
         results[b].benchmark = benches[b].name;
         results[b].evals.resize(points.size());

@@ -24,6 +24,7 @@
 #include "cache/miss_stream.hh"
 #include "cache/stack_sim.hh"
 #include "cache/tlb.hh"
+#include "common/bench.hh"
 #include "common/cli.hh"
 #include "common/histogram.hh"
 #include "common/logging.hh"

@@ -6,6 +6,8 @@
  * simulation exactly — the key Mattson inclusion property).
  */
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "cache/cache.hh"
@@ -248,6 +250,126 @@ INSTANTIATE_TEST_SUITE_P(
                       StackEquivParam{64, 4, 4096, 13},
                       StackEquivParam{8, 16, 512, 17},
                       StackEquivParam{256, 8, 16384, 19}));
+
+// ---- Golden: optimized simulator == seed algorithm --------------------------------
+//
+// The hash-map + intrusive-list StackDistanceSimulator must be
+// bit-identical to the original vector-of-tags formulation it
+// replaced.  ReferenceStackSim below IS that seed implementation,
+// kept verbatim as the oracle; the golden test streams randomized
+// address mixes through both and compares hit counts for every
+// associativity 1..64 plus the full distance histogram.
+
+/** The seed linear-scan stack-distance algorithm (the oracle). */
+class ReferenceStackSim
+{
+  public:
+    ReferenceStackSim(std::uint64_t num_sets, std::uint32_t block_bytes,
+                      std::uint32_t max_tracked_assoc)
+        : numSets(num_sets), blockBytes(block_bytes),
+          maxAssoc(max_tracked_assoc)
+    {
+        stacks.resize(numSets);
+    }
+
+    void
+    access(Addr addr)
+    {
+        std::uint64_t block = addr / blockBytes;
+        std::uint64_t set = block & (numSets - 1);
+        Addr tag = block / numSets;
+        auto &stack = stacks[set];
+
+        ++total;
+
+        auto it = std::find(stack.begin(), stack.end(), tag);
+        if (it == stack.end()) {
+            distances.add(0);
+        } else {
+            auto depth =
+                static_cast<std::uint64_t>(it - stack.begin()) + 1;
+            distances.add(depth);
+            stack.erase(it);
+        }
+
+        stack.insert(stack.begin(), tag);
+        if (stack.size() > maxAssoc)
+            stack.pop_back();
+    }
+
+    std::uint64_t
+    hitsForAssoc(std::uint32_t assoc) const
+    {
+        return distances.sumRange(1, assoc);
+    }
+
+    const Histogram &distanceHistogram() const { return distances; }
+
+  private:
+    std::uint64_t numSets;
+    std::uint32_t blockBytes;
+    std::uint32_t maxAssoc;
+    std::vector<std::vector<Addr>> stacks;
+    Histogram distances;
+    std::uint64_t total = 0;
+};
+
+struct StackGoldenParam
+{
+    std::uint64_t numSets;
+    std::uint64_t addrSpaceBlocks;
+    std::uint64_t seed;
+};
+
+class StackGolden : public ::testing::TestWithParam<StackGoldenParam>
+{
+};
+
+TEST_P(StackGolden, BitIdenticalToSeedAcrossAssoc1To64)
+{
+    const auto &p = GetParam();
+    constexpr std::uint32_t kMaxAssoc = 64;
+    StackDistanceSimulator opt(p.numSets, 64, kMaxAssoc);
+    ReferenceStackSim ref(p.numSets, 64, kMaxAssoc);
+
+    Rng rng(p.seed);
+    for (int i = 0; i < 50000; ++i) {
+        // Mix of streaming, strided, and random references so hits
+        // land at every depth, including past the tracked cap.
+        Addr addr;
+        if (rng.chance(0.4))
+            addr = static_cast<Addr>(i % p.addrSpaceBlocks) * 64;
+        else if (rng.chance(0.5))
+            addr = static_cast<Addr>((i * 17) % p.addrSpaceBlocks) * 64;
+        else
+            addr = rng.below(p.addrSpaceBlocks) * 64;
+        opt.access(addr);
+        ref.access(addr);
+    }
+
+    for (std::uint32_t a = 1; a <= kMaxAssoc; ++a)
+        ASSERT_EQ(opt.hitsForAssoc(a), ref.hitsForAssoc(a))
+            << "hit counts diverge at associativity " << a;
+
+    const Histogram &oh = opt.distanceHistogram();
+    const Histogram &rh = ref.distanceHistogram();
+    EXPECT_EQ(oh.total(), rh.total());
+    for (std::uint64_t d = 0; d <= kMaxAssoc; ++d)
+        ASSERT_EQ(oh.at(d), rh.at(d))
+            << "distance histogram diverges at depth " << d;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Streams, StackGolden,
+    ::testing::Values(
+        // Footprint below capacity (no evictions) ...
+        StackGoldenParam{64, 1024, 23},
+        // ... around capacity (heavy eviction/tombstone churn) ...
+        StackGoldenParam{16, 1024, 29},
+        StackGoldenParam{4, 256, 31},
+        // ... and far beyond capacity with one deep set.
+        StackGoldenParam{1, 512, 37},
+        StackGoldenParam{128, 65536, 41}));
 
 } // namespace
 } // namespace mech

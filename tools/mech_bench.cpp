@@ -1,0 +1,372 @@
+/**
+ * @file
+ * mech_bench: the repo's named micro/macro benchmarks behind the CI
+ * perf gate.
+ *
+ * Covers every throughput the paper's speedup story rests on:
+ *
+ *   profiler           profiling pass throughput        insns/s
+ *   stack_distance     StackDistanceSimulator::access   accesses/s
+ *   inorder_sim        detailed in-order simulation     cycles/s
+ *   model_eval         analytical model evaluations     evals/s
+ *   profile_roundtrip  .mprof save + load round trip    roundtrips/s
+ *   dse_scaling        parallel DSE sweep @1/2/4/8 thr  evals/s
+ *
+ * Each benchmark is measured with warmup + adaptive iteration count +
+ * min-of-N repetitions (src/common/bench.hh) and lands in a
+ * schema-versioned JSON artifact (--json).  With --baseline the run
+ * is compared against a checked-in artifact and the process exits
+ * nonzero on any slowdown beyond --max-slowdown — the CI perf gate.
+ */
+
+#include <functional>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/bench.hh"
+#include "harness.hh"
+#include "mech/mech.hh"
+
+namespace {
+
+using namespace mech;
+
+constexpr const char *kSuite = "mech_bench";
+constexpr const char *kBenchName = "jpeg_c";
+
+struct Options
+{
+    InstCount instructions = 60000;
+    unsigned repetitions = 5;
+    double minTimeMs = 50.0;
+    double maxSlowdown = 2.0;
+    std::string jsonPath;
+    std::string baselinePath;
+    std::string filter;
+    bool list = false;
+};
+
+/**
+ * Shared lazily-built inputs so benchmarks reuse one trace/study.
+ * Everything derives deterministically from (benchmark, length).
+ */
+class Fixture
+{
+  public:
+    explicit Fixture(InstCount n) : n_(n) {}
+
+    InstCount instructions() const { return n_; }
+
+    const Trace &
+    trace()
+    {
+        if (trace_.empty())
+            trace_ = generateTrace(profileByName(kBenchName), n_);
+        return trace_;
+    }
+
+    DseStudy &
+    study()
+    {
+        if (!study_) {
+            study_ = std::make_unique<DseStudy>(
+                profileByName(kBenchName), n_);
+            study_->prepare({defaultDesignPoint()});
+        }
+        return *study_;
+    }
+
+    /**
+     * Address stream for the stack-distance benchmark: the data
+     * addresses the profiled trace actually touches, so hit depths
+     * follow real workload locality rather than a synthetic pattern.
+     */
+    const std::vector<Addr> &
+    addressStream()
+    {
+        if (addrs_.empty()) {
+            for (const DynInstr &di : trace()) {
+                if (isMem(di.op))
+                    addrs_.push_back(di.effAddr);
+            }
+        }
+        return addrs_;
+    }
+
+  private:
+    InstCount n_;
+    Trace trace_;
+    std::unique_ptr<DseStudy> study_;
+    std::vector<Addr> addrs_;
+};
+
+using RunFn = std::function<void(Fixture &, const bench::MeasureOptions &,
+                                 bench::BenchReport &)>;
+
+struct NamedBenchmark
+{
+    std::string name;
+    std::string description;
+    RunFn run;
+};
+
+void
+runProfiler(Fixture &fx, const bench::MeasureOptions &opts,
+            bench::BenchReport &report)
+{
+    const Trace &tr = fx.trace();
+    ProfilerConfig cfg;
+    cfg.hierarchy = hierarchyFor(defaultDesignPoint());
+    cfg.captureL2Stream = true;
+    auto m = bench::measure(
+        [&] {
+            WorkloadProfile p = profileTrace(tr, cfg);
+            bench::doNotOptimize(p.program.n);
+        },
+        opts);
+    report.add(kSuite, "profiler", "throughput",
+               m.rate(static_cast<double>(tr.size())), "insns/s");
+}
+
+void
+runStackDistance(Fixture &fx, const bench::MeasureOptions &opts,
+                 bench::BenchReport &report)
+{
+    const std::vector<Addr> &addrs = fx.addressStream();
+    // L2-flavoured geometry: few sets keep the per-set stacks deep,
+    // which is exactly where the recency-scan cost lives.
+    StackDistanceSimulator sim(64, 64, 64);
+    auto m = bench::measure(
+        [&] {
+            for (Addr a : addrs)
+                sim.access(a);
+            bench::doNotOptimize(sim.accesses());
+        },
+        opts);
+    report.add(kSuite, "stack_distance", "throughput",
+               m.rate(static_cast<double>(addrs.size())), "accesses/s");
+}
+
+void
+runInorderSim(Fixture &fx, const bench::MeasureOptions &opts,
+              bench::BenchReport &report)
+{
+    const Trace &tr = fx.trace();
+    SimConfig cfg = simConfigFor(defaultDesignPoint());
+    SimResult once = simulateInOrder(tr, cfg);
+    auto m = bench::measure(
+        [&] {
+            SimResult res = simulateInOrder(tr, cfg);
+            bench::doNotOptimize(res.cycles);
+        },
+        opts);
+    report.add(kSuite, "inorder_sim", "throughput",
+               m.rate(static_cast<double>(once.cycles)), "cycles/s");
+}
+
+void
+runModelEval(Fixture &fx, const bench::MeasureOptions &opts,
+             bench::BenchReport &report)
+{
+    const DseStudy &study = fx.study();
+    const DesignPoint point = defaultDesignPoint();
+    auto m = bench::measure(
+        [&] {
+            PointEvaluation ev = study.evaluate(point);
+            bench::doNotOptimize(ev.model().cycles);
+        },
+        opts);
+    report.add(kSuite, "model_eval", "throughput", m.rate(1.0),
+               "evals/s");
+}
+
+void
+runProfileRoundtrip(Fixture &fx, const bench::MeasureOptions &opts,
+                    bench::BenchReport &report)
+{
+    ProfileArtifact artifact = fx.study().artifact(true);
+    auto m = bench::measure(
+        [&] {
+            std::stringstream ss;
+            writeProfileArtifact(artifact, ss);
+            ProfileArtifact loaded = readProfileArtifact(ss);
+            bench::doNotOptimize(loaded.profile.program.n);
+        },
+        opts);
+    report.add(kSuite, "profile_roundtrip", "throughput", m.rate(1.0),
+               "roundtrips/s");
+}
+
+void
+runDseScaling(Fixture &fx, const bench::MeasureOptions &opts,
+              bench::BenchReport &report)
+{
+    StudyRunner runner({profileByName(kBenchName), profileByName("sha")},
+                       fx.instructions());
+    // Replicate the 192-point space so one sweep carries several
+    // milliseconds of evaluation work: with the bare space a sweep
+    // is ~100 us of microsecond-scale model evals and the timing
+    // would mostly measure pool startup, not the sharded evaluation
+    // phase this benchmark is about.
+    auto base_space = table2Space();
+    std::vector<DesignPoint> space;
+    space.reserve(base_space.size() * 16);
+    for (int rep = 0; rep < 16; ++rep)
+        space.insert(space.end(), base_space.begin(), base_space.end());
+    // Build the studies outside the timed region so every thread
+    // count measures only the sharded evaluation phase.
+    auto warm = runner.evaluateAll(space, 1);
+    bench::doNotOptimize(warm.size());
+    const double evals_per_run =
+        static_cast<double>(runner.benchmarkCount() * space.size());
+
+    for (unsigned threads : {1u, 2u, 4u, 8u}) {
+        auto m = bench::measure(
+            [&] {
+                auto results = runner.evaluateAll(space, threads);
+                bench::doNotOptimize(
+                    results[0].evals[0].model().cycles);
+            },
+            opts);
+        report.add(kSuite, "dse_scaling",
+                   "threads_" + std::to_string(threads),
+                   m.rate(evals_per_run), "evals/s");
+    }
+}
+
+std::vector<NamedBenchmark>
+allBenchmarks()
+{
+    return {
+        {"profiler", "profiling-pass throughput (insns/s)",
+         runProfiler},
+        {"stack_distance",
+         "StackDistanceSimulator::access throughput (accesses/s)",
+         runStackDistance},
+        {"inorder_sim",
+         "detailed in-order simulation throughput (cycles/s)",
+         runInorderSim},
+        {"model_eval", "analytical-model evaluations per second",
+         runModelEval},
+        {"profile_roundtrip",
+         ".mprof artifact save+load round trips per second",
+         runProfileRoundtrip},
+        {"dse_scaling",
+         "parallel DSE sweep throughput at 1/2/4/8 threads",
+         runDseScaling},
+    };
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace mech;
+
+    Options opt;
+    cli::ArgParser parser(
+        "mech_bench",
+        "named throughput benchmarks with JSON artifacts and "
+        "baseline gating");
+    parser.add("instructions", "N",
+               "dynamic instructions for the benchmark trace",
+               &opt.instructions);
+    parser.add("repetitions", "N",
+               "timed repetitions per benchmark (min-of-N)",
+               &opt.repetitions);
+    parser.add("min-time-ms", "ms",
+               "minimum duration of one repetition", &opt.minTimeMs);
+    parser.add("json", "path", "write the JSON artifact here",
+               &opt.jsonPath);
+    parser.add("baseline", "path",
+               "compare against this baseline artifact and exit "
+               "nonzero on regression",
+               &opt.baselinePath);
+    parser.add("max-slowdown", "ratio",
+               "slowdown ratio that fails the baseline gate",
+               &opt.maxSlowdown);
+    parser.add("filter", "substr",
+               "only run benchmarks whose name contains this",
+               &opt.filter);
+    parser.addFlag("list", "list benchmark names and exit", &opt.list);
+    parser.parse(argc, argv);
+
+    if (opt.repetitions < 1)
+        fatal("--repetitions must be at least 1");
+    if (opt.maxSlowdown <= 0.0)
+        fatal("--max-slowdown must be positive");
+    if (opt.instructions < 1000)
+        fatal("--instructions too small for meaningful measurement");
+
+    auto benchmarks = allBenchmarks();
+    if (opt.list) {
+        for (const auto &b : benchmarks)
+            std::cout << b.name << "  " << b.description << "\n";
+        return 0;
+    }
+
+    bench::MeasureOptions mopts;
+    mopts.repetitions = opt.repetitions;
+    mopts.minSeconds = opt.minTimeMs / 1e3;
+
+    Fixture fx(opt.instructions);
+    bench::BenchReport report = bench::makeReport("mech_bench");
+
+    std::cout << "mech_bench: " << opt.instructions
+              << " instructions, min-of-" << opt.repetitions
+              << " repetitions, >=" << opt.minTimeMs
+              << " ms per repetition\n"
+              << "build: " << report.compiler << ", "
+              << report.buildType << ", git " << report.gitSha
+              << "\n\n";
+
+    bool ran_any = false;
+    for (const auto &b : benchmarks) {
+        if (!opt.filter.empty() &&
+            b.name.find(opt.filter) == std::string::npos) {
+            continue;
+        }
+        ran_any = true;
+        std::size_t before = report.results.size();
+        b.run(fx, mopts, report);
+        for (std::size_t i = before; i < report.results.size(); ++i) {
+            const bench::BenchRecord &r = report.results[i];
+            std::cout << "  " << r.benchmark << "/" << r.metric << ": "
+                      << r.value << " " << r.unit << "\n";
+        }
+    }
+    if (!ran_any)
+        fatal("--filter '", opt.filter, "' matched no benchmarks");
+
+    if (!opt.jsonPath.empty()) {
+        try {
+            bench::saveReport(report, opt.jsonPath);
+            std::cout << "\nwrote " << opt.jsonPath << "\n";
+        } catch (const bench::BenchIoError &e) {
+            fatal(e.what());
+        }
+    }
+
+    if (!opt.baselinePath.empty()) {
+        bench::BenchReport baseline;
+        try {
+            baseline = bench::loadReport(opt.baselinePath);
+        } catch (const bench::BenchIoError &e) {
+            fatal(e.what());
+        }
+        auto cmp =
+            bench::compareToBaseline(report, baseline, opt.maxSlowdown);
+        std::cout << "\n";
+        bench::printComparison(cmp, opt.maxSlowdown, std::cout);
+        if (cmp.anyRegression()) {
+            std::cerr << "mech_bench: performance regression vs "
+                      << opt.baselinePath << "\n";
+            return 1;
+        }
+        std::cout << "baseline gate passed\n";
+    }
+    return 0;
+}
