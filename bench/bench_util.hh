@@ -74,7 +74,9 @@ parseArgs(int argc, char **argv, const std::string &prog,
                "dynamic instructions per benchmark trace",
                &args.instructions);
     if (with_threads) {
-        parser.add("threads", "N", "worker threads for batched sweeps",
+        parser.add("threads", "N",
+                   "worker threads for batched sweeps (0 = all "
+                   "hardware threads)",
                    &args.threads);
     }
     if (with_profile_dir) {

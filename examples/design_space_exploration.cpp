@@ -25,13 +25,15 @@ main(int argc, char **argv)
 
     std::string bench_name = "gsm_c";
     InstCount n = 150000;
-    unsigned nthreads = ThreadPool::defaultWorkerCount();
+    unsigned nthreads = 0;
     cli::ArgParser parser("design_space_exploration",
                           "rank the Table 2 space by model-estimated "
                           "EDP for one benchmark");
     parser.addPositional("benchmark", "profile name", &bench_name);
     parser.addPositional("instructions", "trace length", &n);
-    parser.addPositional("threads", "worker threads", &nthreads);
+    parser.addPositional("threads",
+                         "worker threads (0 = all hardware threads)",
+                         &nthreads);
     parser.parse(argc, argv);
     nthreads = ThreadPool::sanitizeWorkerCount(
         static_cast<long long>(nthreads));

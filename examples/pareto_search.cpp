@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Example: multi-objective Pareto search over a generated space.
+ *
+ * Walks the full search-subsystem API end to end:
+ *
+ *   1. describe a ~12.5k-point design space declaratively
+ *      (SpaceSpec::wide() — far beyond the 192-point Table 2 grid);
+ *   2. pick two competing objectives, energy and delay, so the
+ *      answer is a Pareto frontier instead of a single winner;
+ *   3. run the NSGA-style genetic optimizer under a fresh-evaluation
+ *      budget, with every revisited point served by the memoized
+ *      cache for free;
+ *   4. cross-check the heuristic frontier against exhaustive search
+ *      over a small sub-space, where ground truth is affordable.
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "mech/mech.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mech;
+
+    std::string bench_name = "gsm_c";
+    InstCount n = 100000;
+    unsigned nthreads = 0;
+    cli::ArgParser parser(
+        "pareto_search",
+        "energy/delay Pareto search over a generated design space");
+    parser.addPositional("benchmark", "profile name", &bench_name);
+    parser.addPositional("instructions", "trace length", &n);
+    parser.addPositional("threads",
+                         "worker threads (0 = all hardware threads)",
+                         &nthreads);
+    parser.parse(argc, argv);
+
+    SearchOptions opts;
+    opts.seed = 42;
+    opts.budget = 1500;
+    opts.threads = ThreadPool::sanitizeWorkerCount(
+        static_cast<long long>(nthreads));
+
+    // Two objectives that pull in opposite directions: minimum
+    // energy wants narrow/slow points, minimum delay wants wide/fast
+    // ones.  The frontier is the trade-off curve between them.
+    SearchEvaluator evaluator({profileByName(bench_name)}, n,
+                              parseObjectives("energy,delay"));
+
+    SpaceSpec space = SpaceSpec::wide();
+    std::cout << "=== genetic search: " << space.size()
+              << "-point space, " << bench_name << ", budget "
+              << opts.budget << " evaluations ===\n\n";
+    SearchResult genetic =
+        runSearch(space, "genetic", evaluator, opts);
+    printSearchResult(genetic, std::cout, 12);
+
+    // Ground truth on a space small enough to enumerate: the same
+    // axes, coarsened.  Exhaustive search shares the evaluator (and
+    // its profiled studies), so this costs only model evaluations.
+    SpaceSpec coarse = SpaceSpec::parse(
+        "l2kb=128:1024:*2;assoc=8;depth=5@0.6,9@1.0;width=1:4;"
+        "pred=gshare1k,hybrid3k5");
+    SearchOptions all = opts;
+    all.budget = 0; // unlimited: visit every point
+    std::cout << "\n=== exhaustive ground truth: " << coarse.size()
+              << "-point sub-space ===\n\n";
+    SearchResult exact =
+        runSearch(coarse, "exhaustive", evaluator, all);
+    printSearchResult(exact, std::cout, 12);
+
+    std::cout << "\nThe genetic frontier spans the same energy/delay "
+                 "trade-off at a\nfraction of the evaluations a full "
+                 "sweep of the wide space would need\n("
+              << genetic.stats.misses << " fresh evaluations for "
+              << genetic.spaceSize << " points; "
+              << genetic.stats.hits
+              << " revisits were free cache hits).\n";
+    return 0;
+}

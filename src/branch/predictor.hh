@@ -22,7 +22,9 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "common/types.hh"
 
@@ -40,6 +42,22 @@ enum class PredictorKind : std::uint8_t {
 
 /** Name of a predictor kind for reports. */
 std::string predictorName(PredictorKind kind);
+
+/**
+ * Stable short key of a predictor kind ("gshare1k", "hybrid3k5").
+ *
+ * Unlike predictorName() this form is round-trippable: it is the
+ * token DesignPoint::toKey() emits and the design-space spec grammar
+ * accepts, so it must never change for an existing kind.
+ */
+std::string_view predictorKey(PredictorKind kind);
+
+/**
+ * Parse a predictor from its key or its display name.
+ *
+ * Returns nullopt for unknown spellings (callers own the diagnostic).
+ */
+std::optional<PredictorKind> predictorFromKey(std::string_view key);
 
 /** Hardware budget of a predictor kind in bytes (for power model). */
 std::uint64_t predictorBytes(PredictorKind kind);

@@ -248,6 +248,35 @@ predictorName(PredictorKind kind)
     return "?";
 }
 
+std::string_view
+predictorKey(PredictorKind kind)
+{
+    switch (kind) {
+      case PredictorKind::NotTaken: return "nottaken";
+      case PredictorKind::Taken: return "taken";
+      case PredictorKind::Bimodal: return "bimodal";
+      case PredictorKind::Gshare1K: return "gshare1k";
+      case PredictorKind::Local: return "local";
+      case PredictorKind::Hybrid3K5: return "hybrid3k5";
+    }
+    return "?";
+}
+
+std::optional<PredictorKind>
+predictorFromKey(std::string_view key)
+{
+    static constexpr PredictorKind kAll[] = {
+        PredictorKind::NotTaken, PredictorKind::Taken,
+        PredictorKind::Bimodal,  PredictorKind::Gshare1K,
+        PredictorKind::Local,    PredictorKind::Hybrid3K5,
+    };
+    for (PredictorKind kind : kAll) {
+        if (key == predictorKey(kind) || key == predictorName(kind))
+            return kind;
+    }
+    return std::nullopt;
+}
+
 std::uint64_t
 predictorBytes(PredictorKind kind)
 {

@@ -15,19 +15,28 @@
  *  - unknown options or malformed values print the error and the
  *    usage string to stderr and exit 2 (a user error, in the spirit
  *    of fatal());
+ *  - any other argument starting with '-' (a single-dash token like
+ *    `-threads`, or a lone `-`) is rejected as an unknown option
+ *    rather than silently binding to a positional — a mistyped flag
+ *    must fail loudly, never be ignored;
  *  - remaining non-option arguments bind to declared positionals in
  *    order; excess positionals are an error.
+ *
+ * tryParse() is the same parser without the exit(2): it returns the
+ * error message instead, so tests can assert on rejection behaviour.
  */
 
 #ifndef MECH_COMMON_CLI_HH
 #define MECH_COMMON_CLI_HH
 
+#include <cctype>
 #include <cerrno>
 #include <cstdint>
 #include <cstdlib>
 #include <functional>
 #include <iostream>
 #include <limits>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <type_traits>
@@ -197,6 +206,20 @@ class ArgParser
     void
     parse(int argc, char **argv)
     {
+        if (auto error = tryParse(argc, argv))
+            fail(*error);
+    }
+
+    /**
+     * parse() without the exit(2): returns nullopt on success, the
+     * error message on rejection (bound variables may be partially
+     * set).  --help still prints usage and exits 0.  Exists so the
+     * rejection behaviour — unknown flags in particular — stays
+     * regression-testable.
+     */
+    std::optional<std::string>
+    tryParse(int argc, char **argv)
+    {
         std::size_t next_pos = 0;
         for (int i = 1; i < argc; ++i) {
             std::string arg = argv[i];
@@ -216,28 +239,37 @@ class ArgParser
                 }
                 Option *opt = findOption(name);
                 if (!opt)
-                    fail("unknown option '--" + name + "'");
+                    return "unknown option '--" + name + "'";
                 if (!opt->isFlag && !has_value) {
-                    if (i + 1 >= argc)
-                        fail("option '--" + name + "' needs a value");
+                    if (i + 1 >= argc) {
+                        return "option '--" + name +
+                               "' needs a value";
+                    }
                     value = argv[++i];
                 }
                 if (opt->isFlag && has_value)
-                    fail("flag '--" + name + "' takes no value");
+                    return "flag '--" + name + "' takes no value";
                 if (!opt->set(value)) {
-                    fail("invalid value '" + value + "' for '--" +
-                         name + "'");
+                    return "invalid value '" + value + "' for '--" +
+                           name + "'";
                 }
+            } else if (looksLikeOption(arg)) {
+                // `-threads`, `-x`, a bare `-`: a mistyped flag, not
+                // a positional.  Binding it silently would make the
+                // typo vanish; reject it loudly instead.  Negative
+                // numbers ("-3", "-0.5") stay valid positionals.
+                return "unknown option '" + arg + "'";
             } else {
                 if (next_pos >= positionals.size())
-                    fail("unexpected argument '" + arg + "'");
+                    return "unexpected argument '" + arg + "'";
                 const Positional &pos = positionals[next_pos++];
                 if (!pos.set(arg)) {
-                    fail("invalid value '" + arg + "' for '" +
-                         pos.name + "'");
+                    return "invalid value '" + arg + "' for '" +
+                           pos.name + "'";
                 }
             }
         }
+        return std::nullopt;
     }
 
   private:
@@ -313,6 +345,18 @@ class ArgParser
             *out = static_cast<T>(parsed);
         }
         return true;
+    }
+
+    /** True when @p arg is dash-led but not a negative number. */
+    static bool
+    looksLikeOption(const std::string &arg)
+    {
+        if (arg.empty() || arg[0] != '-')
+            return false;
+        if (arg.size() == 1)
+            return true; // a bare "-"
+        return !(std::isdigit(static_cast<unsigned char>(arg[1])) ||
+                 arg[1] == '.');
     }
 
     Option *

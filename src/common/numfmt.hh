@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Numeric formatting and strict parsing shared by the
+ * round-trippable string codecs (DesignPoint::toKey()/fromKey(),
+ * SpaceSpec::describe()/tryParse()).
+ *
+ * Both sides of every round-trip pair must use these one
+ * definitions: a second hand-rolled copy is exactly how silent
+ * truncation and formatting drift creep in.
+ */
+
+#ifndef MECH_COMMON_NUMFMT_HH
+#define MECH_COMMON_NUMFMT_HH
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace mech {
+
+/**
+ * Shortest decimal form of @p value that parses back bit-identically.
+ *
+ * %.17g always round-trips an IEEE double but prints
+ * "0.80000000000000004"-style noise for values with short exact
+ * forms; trying increasing precision keeps keys readable
+ * ("freq=0.8") without giving up exact recovery.
+ */
+inline std::string
+exactDouble(double value)
+{
+    char buf[40];
+    for (int prec = 1; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, value);
+        if (std::strtod(buf, nullptr) == value)
+            break;
+    }
+    return buf;
+}
+
+/**
+ * Parse a non-negative decimal integer; false unless the input is
+ * digits from the very first character (no sign, no leading
+ * whitespace — strtoull would skip it and wrap a negative to a huge
+ * value) through the last, without overflow.
+ */
+inline bool
+parseU64(const std::string &text, std::uint64_t *out)
+{
+    if (text.empty() || text.front() < '0' || text.front() > '9')
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    std::uint64_t v = std::strtoull(text.c_str(), &end, 10);
+    if (errno || *end)
+        return false;
+    *out = v;
+    return true;
+}
+
+/** parseU64 plus a range check into 32 bits. */
+inline bool
+parseU32(const std::string &text, std::uint32_t *out)
+{
+    std::uint64_t v = 0;
+    if (!parseU64(text, &v) || v > UINT32_MAX)
+        return false;
+    *out = static_cast<std::uint32_t>(v);
+    return true;
+}
+
+/** Checked uint64 -> uint32 narrowing. */
+inline bool
+narrowU32(std::uint64_t value, std::uint32_t *out)
+{
+    if (value > UINT32_MAX)
+        return false;
+    *out = static_cast<std::uint32_t>(value);
+    return true;
+}
+
+/** Parse a double; false on empty input or trailing garbage. */
+inline bool
+parseF64(const std::string &text, double *out)
+{
+    if (text.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(text.c_str(), &end);
+    if (errno || *end)
+        return false;
+    *out = v;
+    return true;
+}
+
+} // namespace mech
+
+#endif // MECH_COMMON_NUMFMT_HH

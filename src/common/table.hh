@@ -48,6 +48,15 @@ class TextTable
         return oss.str();
     }
 
+    /** Format a double in scientific notation (cell helper). */
+    static std::string
+    sci(double v, int precision = 3)
+    {
+        std::ostringstream oss;
+        oss << std::scientific << std::setprecision(precision) << v;
+        return oss.str();
+    }
+
     /** Render the table, header underlined with dashes. */
     void
     print(std::ostream &os) const

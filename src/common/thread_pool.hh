@@ -106,13 +106,18 @@ class ThreadPool
     static constexpr unsigned kMaxWorkers = 256;
 
     /**
-     * Clamp an untrusted (CLI/env) worker count: negatives fall back
-     * to defaultWorkerCount(), oversized requests cap at kMaxWorkers.
+     * Clamp an untrusted (CLI/env) worker count.
+     *
+     * Zero and negatives mean "use the whole machine" and resolve to
+     * defaultWorkerCount() — every tool's `--threads 0` (and omitted
+     * default) goes through here, so the convention stays uniform
+     * across mech_bench, calibrate, mech_search and the benches.
+     * Oversized requests cap at kMaxWorkers.
      */
     static unsigned
     sanitizeWorkerCount(long long requested)
     {
-        if (requested < 0)
+        if (requested <= 0)
             return defaultWorkerCount();
         if (requested > static_cast<long long>(kMaxWorkers))
             return kMaxWorkers;

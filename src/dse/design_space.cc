@@ -1,9 +1,12 @@
 #include "dse/design_space.hh"
 
 #include <cmath>
+#include <cstring>
 #include <sstream>
 
+#include "common/cli.hh"
 #include "common/logging.hh"
+#include "common/numfmt.hh"
 
 namespace mech {
 
@@ -41,6 +44,97 @@ DesignPoint::label() const
         << freqGHz << "GHz W" << width << " "
         << predictorName(predictor);
     return oss.str();
+}
+
+std::string
+DesignPoint::toKey() const
+{
+    std::ostringstream oss;
+    oss << "l2kb=" << l2KB << ",assoc=" << l2Assoc
+        << ",depth=" << depth << ",freq=" << exactDouble(freqGHz)
+        << ",width=" << width << ",pred=" << predictorKey(predictor);
+    return oss.str();
+}
+
+std::optional<DesignPoint>
+DesignPoint::fromKey(std::string_view key)
+{
+    DesignPoint p;
+    bool seen[6] = {};
+    for (const std::string &field : cli::splitCsv(std::string(key))) {
+        std::size_t eq = field.find('=');
+        if (eq == std::string::npos)
+            return std::nullopt;
+        std::string name = field.substr(0, eq);
+        std::string value = field.substr(eq + 1);
+        if (value.empty())
+            return std::nullopt;
+        // A repeated field is malformed, not a last-one-wins update.
+        static const char *const kFields[6] = {"l2kb", "assoc",
+                                               "depth", "freq",
+                                               "width", "pred"};
+        for (std::size_t f = 0; f < 6; ++f) {
+            if (name == kFields[f] && seen[f])
+                return std::nullopt;
+        }
+        bool ok;
+        if (name == "pred") {
+            auto kind = predictorFromKey(value);
+            ok = kind.has_value();
+            if (ok)
+                p.predictor = *kind;
+            seen[5] = true;
+        } else if (name == "freq") {
+            ok = parseF64(value, &p.freqGHz) &&
+                 std::isfinite(p.freqGHz) && p.freqGHz > 0.0;
+            seen[3] = true;
+        } else if (name == "l2kb") {
+            ok = parseU64(value, &p.l2KB);
+            seen[0] = true;
+        } else if (name == "assoc") {
+            ok = parseU32(value, &p.l2Assoc);
+            seen[1] = true;
+        } else if (name == "depth") {
+            ok = parseU32(value, &p.depth);
+            seen[2] = true;
+        } else if (name == "width") {
+            ok = parseU32(value, &p.width);
+            seen[4] = true;
+        } else {
+            ok = false;
+        }
+        if (!ok)
+            return std::nullopt;
+    }
+    for (bool s : seen) {
+        if (!s)
+            return std::nullopt;
+    }
+    return p;
+}
+
+std::uint64_t
+DesignPoint::hash() const
+{
+    // FNV-1a, 64-bit; every field is widened to 8 little-endian-style
+    // bytes so the encoding never depends on host integer widths.
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](std::uint64_t v) {
+        for (int byte = 0; byte < 8; ++byte) {
+            h ^= (v >> (byte * 8)) & 0xffu;
+            h *= 0x100000001b3ull;
+        }
+    };
+    std::uint64_t freq_bits;
+    static_assert(sizeof(freq_bits) == sizeof(freqGHz));
+    std::memcpy(&freq_bits, &freqGHz, sizeof(freq_bits));
+    mix(l2KB);
+    mix(l2Assoc);
+    mix(depth);
+    mix(freq_bits);
+    mix(width);
+    mix(static_cast<std::uint64_t>(predictor));
+    return h;
 }
 
 std::vector<DesignPoint>

@@ -13,8 +13,11 @@
 #ifndef MECH_DSE_DESIGN_SPACE_HH
 #define MECH_DSE_DESIGN_SPACE_HH
 
+#include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "branch/predictor.hh"
@@ -47,6 +50,43 @@ struct DesignPoint
 
     /** Compact human-readable label. */
     std::string label() const;
+
+    /**
+     * Round-trippable string identity, e.g.
+     * "l2kb=512,assoc=8,depth=9,freq=1,width=4,pred=gshare1k".
+     *
+     * Unlike label() (a lossy display string), toKey() encodes every
+     * field exactly — the frequency with full double precision — so
+     * fromKey(toKey()) == *this always holds.  Used by the search
+     * subsystem's JSON artifacts and the evaluation cache diagnostics.
+     */
+    std::string toKey() const;
+
+    /** Parse a toKey() string; nullopt on any malformed input. */
+    static std::optional<DesignPoint> fromKey(std::string_view key);
+
+    /**
+     * Stable FNV-1a content hash over every field.
+     *
+     * Deterministic across runs, processes and platforms (the
+     * frequency hashes by IEEE-754 bit pattern), so it can key
+     * persistent artifacts as well as in-memory caches.  Equal points
+     * hash equal; the full Table 2 grid is collision-free (tested).
+     */
+    std::uint64_t hash() const;
+
+    /** Exact field-wise equality (the identity hash() agrees with). */
+    bool operator==(const DesignPoint &other) const = default;
+};
+
+/** Hasher for unordered containers keyed by DesignPoint. */
+struct DesignPointHash
+{
+    std::size_t
+    operator()(const DesignPoint &point) const
+    {
+        return static_cast<std::size_t>(point.hash());
+    }
 };
 
 /** Nanosecond latency specifications shared across the space. */

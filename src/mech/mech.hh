@@ -28,6 +28,7 @@
 #include "common/cli.hh"
 #include "common/histogram.hh"
 #include "common/logging.hh"
+#include "common/numfmt.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
@@ -48,6 +49,13 @@
 #include "power/power_model.hh"
 #include "profiler/profile_io.hh"
 #include "profiler/profiler.hh"
+#include "search/eval_cache.hh"
+#include "search/evaluator.hh"
+#include "search/objective.hh"
+#include "search/pareto.hh"
+#include "search/report.hh"
+#include "search/space_spec.hh"
+#include "search/strategy.hh"
 #include "sim/inorder_sim.hh"
 #include "trace/trace.hh"
 #include "workload/builder.hh"

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Memoized evaluation cache keyed by DesignPoint content identity.
+ *
+ * Iterative strategies (hill-climbing, genetic populations) revisit
+ * design points constantly; the cache makes every revisit cost zero
+ * model evaluations.  Keys use DesignPoint::hash()/operator== — the
+ * stable content identity added alongside this subsystem — and
+ * entries live in a deque so pointers handed out stay valid for the
+ * cache's lifetime, letting strategies pass results around without
+ * copying.
+ *
+ * Thread safety: find() and insert() take an internal mutex, so the
+ * cache may be probed from pool workers.  Determinism is preserved
+ * by the SearchEvaluator calling insert() only from the coordinating
+ * thread in request order, which makes entry order (SearchEval::
+ * firstIndex) independent of worker count.
+ */
+
+#ifndef MECH_SEARCH_EVAL_CACHE_HH
+#define MECH_SEARCH_EVAL_CACHE_HH
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.hh"
+#include "dse/design_space.hh"
+
+namespace mech {
+
+/** One cached search evaluation of one design point. */
+struct SearchEval
+{
+    /** The evaluated point. */
+    DesignPoint point;
+
+    /**
+     * Aggregate objective values (arithmetic mean across the
+     * evaluator's benchmarks), in objective order.  Raw values — the
+     * optimization direction is applied by Objective::normalized().
+     */
+    std::vector<double> aggregate;
+
+    /** Per-benchmark raw values, flattened [bench * objectives + k]. */
+    std::vector<double> perBench;
+
+    /** Insertion index: deterministic first-evaluation order. */
+    std::uint64_t firstIndex = 0;
+};
+
+/** Thread-safe memo of SearchEvals with stable entry pointers. */
+class EvalCache
+{
+  public:
+    EvalCache() = default;
+    EvalCache(const EvalCache &) = delete;
+    EvalCache &operator=(const EvalCache &) = delete;
+
+    /** The cached evaluation of @p point, or null on a miss. */
+    const SearchEval *
+    find(const DesignPoint &point) const
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        auto it = index.find(point);
+        return it == index.end() ? nullptr : it->second;
+    }
+
+    /**
+     * Insert a freshly computed evaluation; @p eval.firstIndex is
+     * assigned here.  Inserting a point twice is a logic error.
+     */
+    const SearchEval &
+    insert(SearchEval eval)
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        MECH_ASSERT(!index.count(eval.point),
+                    "design point evaluated twice");
+        eval.firstIndex = store.size();
+        store.push_back(std::move(eval));
+        const SearchEval &stored = store.back();
+        index.emplace(stored.point, &stored);
+        return stored;
+    }
+
+    /** Number of cached points. */
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        return store.size();
+    }
+
+    /** Every entry, in first-evaluation (firstIndex) order. */
+    std::vector<const SearchEval *>
+    entries() const
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        std::vector<const SearchEval *> out;
+        out.reserve(store.size());
+        for (const SearchEval &eval : store)
+            out.push_back(&eval);
+        return out;
+    }
+
+  private:
+    mutable std::mutex mtx;
+    std::deque<SearchEval> store;
+    std::unordered_map<DesignPoint, const SearchEval *, DesignPointHash>
+        index;
+};
+
+} // namespace mech
+
+#endif // MECH_SEARCH_EVAL_CACHE_HH

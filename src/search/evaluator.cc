@@ -1,0 +1,190 @@
+#include "search/evaluator.hh"
+
+#include <algorithm>
+#include <future>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace mech {
+
+SearchEvaluator::SearchEvaluator(std::vector<BenchmarkProfile> benches,
+                                 InstCount trace_len,
+                                 std::vector<Objective> objectives,
+                                 BackendSet backends)
+    : benches(std::move(benches)), traceLen(trace_len),
+      objs(std::move(objectives)), backends_(std::move(backends))
+{
+    MECH_ASSERT(!this->benches.empty(), "no benchmarks to search over");
+    MECH_ASSERT(!objs.empty(), "no objectives");
+    MECH_ASSERT(!backends_.empty(), "empty backend set");
+    // Only the first backend's result can feed the objectives;
+    // evaluating the rest of a set would be paid-for, discarded
+    // work (a "model,sim" set would run a silent simulation
+    // campaign).  Reject it loudly instead.
+    if (backends_.size() != 1) {
+        fatal("search evaluation uses exactly one backend (got ",
+              backends_.size(),
+              "); validate winners against other backends "
+              "afterwards");
+    }
+}
+
+SearchEvaluator::~SearchEvaluator() = default;
+
+void
+SearchEvaluator::useProfileDir(const std::string &dir)
+{
+    MECH_ASSERT(studies.empty(),
+                "useProfileDir must precede the first prepare()");
+    profileDir = dir;
+}
+
+void
+SearchEvaluator::prepare(const SpaceSpec &spec, ThreadPool &pool)
+{
+    if (studies.size() != benches.size()) {
+        studies.resize(benches.size());
+        std::vector<std::future<void>> built;
+        built.reserve(benches.size());
+        for (std::size_t b = 0; b < benches.size(); ++b) {
+            built.push_back(pool.submit([this, b] {
+                studies[b] = std::make_unique<DseStudy>(
+                    DseStudy::loadOrProfile(profileDir, benches[b],
+                                            traceLen));
+            }));
+        }
+        for (auto &f : built)
+            f.get();
+    }
+
+    // A predictor outside the profiled set would panic() deep inside
+    // a worker; turn it into an actionable configuration error here.
+    for (PredictorKind kind : spec.predictor) {
+        bool profiled = false;
+        for (const auto &bp : studies[0]->profile().branchProfiles)
+            profiled |= bp.kind == kind;
+        if (!profiled) {
+            fatal("predictor '", predictorKey(kind),
+                  "' is not in the profiled set (the study profiles "
+                  "gshare1k and hybrid3k5; see dse/study.cc)");
+        }
+    }
+
+    // Memoize every L2 geometry the spec can produce; one task per
+    // benchmark, since the geometries of one study must be computed
+    // sequentially into its memo.
+    const std::vector<DesignPoint> reps = spec.l2Geometries();
+    std::vector<std::future<void>> prepared;
+    prepared.reserve(studies.size());
+    for (auto &study : studies) {
+        DseStudy *s = study.get();
+        prepared.push_back(
+            pool.submit([s, &reps] { s->prepare(reps); }));
+    }
+    for (auto &f : prepared)
+        f.get();
+}
+
+SearchEval
+SearchEvaluator::compute(const DesignPoint &point) const
+{
+    const std::size_t k_objs = objs.size();
+    SearchEval eval;
+    eval.point = point;
+    eval.aggregate.assign(k_objs, 0.0);
+    eval.perBench.resize(benches.size() * k_objs);
+
+    for (std::size_t b = 0; b < studies.size(); ++b) {
+        const DseStudy &study = *studies[b];
+        PointEvaluation ev = study.evaluate(point, backends_);
+        const EvalResult &res = ev.results.front();
+        for (std::size_t k = 0; k < k_objs; ++k) {
+            double v = objs[k].value(res, point);
+            eval.perBench[b * k_objs + k] = v;
+            eval.aggregate[k] += v;
+        }
+    }
+    const double n = static_cast<double>(benches.size());
+    for (double &v : eval.aggregate)
+        v /= n;
+    return eval;
+}
+
+std::vector<const SearchEval *>
+SearchEvaluator::evaluateBatch(const std::vector<DesignPoint> &points,
+                               EvalCache &cache, ThreadPool &pool,
+                               SearchStats &stats) const
+{
+    MECH_ASSERT(!studies.empty() && studies[0],
+                "prepare() must run before evaluateBatch()");
+    ++stats.batches;
+
+    // Phase 1 (coordinating thread): classify hits, intra-batch
+    // duplicates and fresh misses, counting in request order.
+    std::vector<const SearchEval *> out(points.size(), nullptr);
+    std::vector<std::size_t> missIdx;
+    std::unordered_map<DesignPoint, std::size_t, DesignPointHash>
+        fresh_pos;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        ++stats.requested;
+        if (const SearchEval *hit = cache.find(points[i])) {
+            out[i] = hit;
+            ++stats.hits;
+        } else if (fresh_pos.count(points[i])) {
+            ++stats.hits; // duplicate within this batch
+        } else {
+            fresh_pos.emplace(points[i], missIdx.size());
+            missIdx.push_back(i);
+            ++stats.misses;
+        }
+    }
+
+    // Phase 2 (pool): evaluate the misses against the read-only
+    // studies.  Chunked like StudyRunner so model-speed evaluations
+    // amortize task overhead; the inline pool takes one chunk.
+    std::vector<SearchEval> computed(missIdx.size());
+    if (!missIdx.empty()) {
+        std::size_t chunk = missIdx.size();
+        if (pool.workerCount() > 0) {
+            chunk = std::max<std::size_t>(
+                1, missIdx.size() / (pool.workerCount() * 8));
+        }
+        std::vector<std::future<void>> done;
+        for (std::size_t start = 0; start < missIdx.size();
+             start += chunk) {
+            const std::size_t end =
+                std::min(missIdx.size(), start + chunk);
+            done.push_back(pool.submit([this, &points, &missIdx,
+                                        &computed, start, end] {
+                for (std::size_t j = start; j < end; ++j)
+                    computed[j] = compute(points[missIdx[j]]);
+            }));
+        }
+        for (auto &f : done)
+            f.get();
+    }
+
+    // Phase 3 (coordinating thread): publish in request order.
+    for (SearchEval &eval : computed)
+        cache.insert(std::move(eval));
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (!out[i]) {
+            out[i] = cache.find(points[i]);
+            MECH_ASSERT(out[i], "fresh evaluation missing from cache");
+        }
+    }
+    return out;
+}
+
+std::vector<std::string>
+SearchEvaluator::benchmarkNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(benches.size());
+    for (const auto &bench : benches)
+        names.push_back(bench.name);
+    return names;
+}
+
+} // namespace mech

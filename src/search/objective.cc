@@ -1,0 +1,109 @@
+#include "search/objective.hh"
+
+#include "common/cli.hh"
+#include "common/logging.hh"
+
+namespace mech {
+
+namespace {
+
+double
+objCpi(const EvalResult &res, const DesignPoint &)
+{
+    return res.cpi();
+}
+
+double
+objCycles(const EvalResult &res, const DesignPoint &)
+{
+    return res.cycles;
+}
+
+double
+objDelay(const EvalResult &res, const DesignPoint &point)
+{
+    return res.seconds(point.freqGHz);
+}
+
+double
+objBips(const EvalResult &res, const DesignPoint &point)
+{
+    double seconds = res.seconds(point.freqGHz);
+    if (seconds <= 0.0)
+        return 0.0;
+    return static_cast<double>(res.instructions) / seconds / 1e9;
+}
+
+double
+objEnergy(const EvalResult &res, const DesignPoint &)
+{
+    return res.energy.totalJ();
+}
+
+double
+objEdp(const EvalResult &res, const DesignPoint &)
+{
+    return res.edp;
+}
+
+double
+objEd2p(const EvalResult &res, const DesignPoint &point)
+{
+    double seconds = res.seconds(point.freqGHz);
+    return res.energy.totalJ() * seconds * seconds;
+}
+
+} // namespace
+
+const std::vector<Objective> &
+allObjectives()
+{
+    static const std::vector<Objective> objectives = {
+        {"cpi", "cycles/insn", false, objCpi},
+        {"cycles", "cycles", false, objCycles},
+        {"delay", "s", false, objDelay},
+        {"bips", "Ginsns/s", true, objBips},
+        {"energy", "J", false, objEnergy},
+        {"edp", "J*s", false, objEdp},
+        {"ed2p", "J*s^2", false, objEd2p},
+    };
+    return objectives;
+}
+
+std::optional<Objective>
+objectiveByName(std::string_view name)
+{
+    for (const Objective &obj : allObjectives()) {
+        if (obj.name == name)
+            return obj;
+    }
+    return std::nullopt;
+}
+
+std::vector<Objective>
+parseObjectives(const std::string &csv)
+{
+    std::vector<Objective> objectives;
+    for (const std::string &token : cli::splitCsv(csv)) {
+        if (token.empty())
+            fatal("empty objective name in '", csv, "'");
+        auto obj = objectiveByName(token);
+        if (!obj) {
+            std::string known;
+            for (const Objective &o : allObjectives())
+                known += (known.empty() ? "" : ", ") + o.name;
+            fatal("unknown objective '", token, "' (known: ", known,
+                  ")");
+        }
+        for (const Objective &seen : objectives) {
+            if (seen.name == obj->name)
+                fatal("duplicate objective '", token, "'");
+        }
+        objectives.push_back(std::move(*obj));
+    }
+    if (objectives.empty())
+        fatal("no objectives in '", csv, "'");
+    return objectives;
+}
+
+} // namespace mech

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Pluggable search objectives over backend evaluation results.
+ *
+ * Every objective maps one EvalResult (plus its design point, for
+ * frequency-dependent quantities) to a scalar.  The built-ins cover
+ * the paper's §6.3 exploration axes: performance (cpi, bips, delay,
+ * cycles), energy, and the combined energy-delay products (edp, the
+ * Fig. 9 metric, and ed2p) through the existing power model.
+ *
+ * Objectives carry their optimization direction; normalized() folds
+ * it away so Pareto machinery and strategies can treat every
+ * objective uniformly as "lower is better".
+ */
+
+#ifndef MECH_SEARCH_OBJECTIVE_HH
+#define MECH_SEARCH_OBJECTIVE_HH
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "eval/backend.hh"
+
+namespace mech {
+
+/** One named scalar objective with an optimization direction. */
+struct Objective
+{
+    /** Registry name ("edp"). */
+    std::string name;
+
+    /** Unit for reports ("J*s"). */
+    std::string unit;
+
+    /** True when larger values are better (bips). */
+    bool maximize = false;
+
+    /** Extract the raw objective value from one backend result. */
+    double (*fn)(const EvalResult &res, const DesignPoint &point) =
+        nullptr;
+
+    /** Raw objective value of @p res at @p point. */
+    double
+    value(const EvalResult &res, const DesignPoint &point) const
+    {
+        return fn(res, point);
+    }
+
+    /** Fold the direction away: lower normalized() is always better. */
+    double
+    normalized(double raw) const
+    {
+        return maximize ? -raw : raw;
+    }
+};
+
+/** All built-in objectives, in a stable listing order. */
+const std::vector<Objective> &allObjectives();
+
+/** Look up a built-in objective; nullopt when unknown. */
+std::optional<Objective> objectiveByName(std::string_view name);
+
+/**
+ * Resolve a comma-separated objective list ("edp" or "energy,delay")
+ * into an ordered set.  The first entry is the scalar objective
+ * single-objective strategies optimize; the full list spans the
+ * Pareto frontier.  Empty, unknown or duplicate names call fatal().
+ */
+std::vector<Objective> parseObjectives(const std::string &csv);
+
+} // namespace mech
+
+#endif // MECH_SEARCH_OBJECTIVE_HH

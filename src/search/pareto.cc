@@ -1,0 +1,131 @@
+#include "search/pareto.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace mech {
+
+bool
+dominates(const std::vector<double> &a, const std::vector<double> &b)
+{
+    MECH_ASSERT(a.size() == b.size(), "objective counts differ");
+    bool strictly = false;
+    for (std::size_t k = 0; k < a.size(); ++k) {
+        if (a[k] > b[k])
+            return false;
+        if (a[k] < b[k])
+            strictly = true;
+    }
+    return strictly;
+}
+
+std::vector<std::size_t>
+paretoFrontier(const std::vector<std::vector<double>> &costs)
+{
+    // Incremental skyline: keep the running frontier, skip rows a
+    // member dominates, evict members a new row dominates.  Equal
+    // rows coexist (neither dominates), so duplicates all survive.
+    std::vector<std::size_t> frontier;
+    for (std::size_t i = 0; i < costs.size(); ++i) {
+        bool dominated = false;
+        for (std::size_t j : frontier) {
+            if (dominates(costs[j], costs[i])) {
+                dominated = true;
+                break;
+            }
+        }
+        if (dominated)
+            continue;
+        std::size_t keep = 0;
+        for (std::size_t j : frontier) {
+            if (!dominates(costs[i], costs[j]))
+                frontier[keep++] = j;
+        }
+        frontier.resize(keep);
+        frontier.push_back(i);
+    }
+    std::sort(frontier.begin(), frontier.end());
+    return frontier;
+}
+
+std::vector<std::vector<std::size_t>>
+nonDominatedSort(const std::vector<std::vector<double>> &costs)
+{
+    const std::size_t n = costs.size();
+    std::vector<std::size_t> domCount(n, 0);
+    std::vector<std::vector<std::size_t>> dominatesList(n);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+            if (dominates(costs[i], costs[j])) {
+                dominatesList[i].push_back(j);
+                ++domCount[j];
+            } else if (dominates(costs[j], costs[i])) {
+                dominatesList[j].push_back(i);
+                ++domCount[i];
+            }
+        }
+    }
+
+    std::vector<std::vector<std::size_t>> fronts;
+    std::vector<std::size_t> current;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (domCount[i] == 0)
+            current.push_back(i);
+    }
+    while (!current.empty()) {
+        fronts.push_back(current);
+        std::vector<std::size_t> next;
+        for (std::size_t i : current) {
+            for (std::size_t j : dominatesList[i]) {
+                if (--domCount[j] == 0)
+                    next.push_back(j);
+            }
+        }
+        std::sort(next.begin(), next.end());
+        current = std::move(next);
+    }
+    return fronts;
+}
+
+std::vector<double>
+crowdingDistances(const std::vector<std::vector<double>> &costs,
+                  const std::vector<std::size_t> &front)
+{
+    const double inf = std::numeric_limits<double>::infinity();
+    const std::size_t n = front.size();
+    std::vector<double> distance(n, 0.0);
+    if (n == 0)
+        return distance;
+    const std::size_t k_objs = costs[front[0]].size();
+
+    std::vector<std::size_t> order(n);
+    for (std::size_t k = 0; k < k_objs; ++k) {
+        for (std::size_t i = 0; i < n; ++i)
+            order[i] = i;
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::size_t a, std::size_t b) {
+                             double ca = costs[front[a]][k];
+                             double cb = costs[front[b]][k];
+                             if (ca != cb)
+                                 return ca < cb;
+                             return front[a] < front[b];
+                         });
+        double lo = costs[front[order.front()]][k];
+        double hi = costs[front[order.back()]][k];
+        distance[order.front()] = inf;
+        distance[order.back()] = inf;
+        if (hi == lo)
+            continue; // all equal on this objective: no spread
+        for (std::size_t i = 1; i + 1 < n; ++i) {
+            double below = costs[front[order[i - 1]]][k];
+            double above = costs[front[order[i + 1]]][k];
+            distance[order[i]] += (above - below) / (hi - lo);
+        }
+    }
+    return distance;
+}
+
+} // namespace mech

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Pareto machinery: dominance, frontier extraction, non-dominated
+ * sorting and crowding distances.
+ *
+ * All functions take cost rows already on the "lower is better"
+ * scale (Objective::normalized()); each row is one candidate's cost
+ * per objective, every row the same length.  Outputs are index-based
+ * and deterministic: ties never reorder, results always come back
+ * sorted by input index, so search results are bit-reproducible
+ * regardless of how the rows were produced.
+ */
+
+#ifndef MECH_SEARCH_PARETO_HH
+#define MECH_SEARCH_PARETO_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace mech {
+
+/**
+ * True when cost row @p a dominates @p b: no worse on every
+ * objective and strictly better on at least one.
+ */
+bool dominates(const std::vector<double> &a,
+               const std::vector<double> &b);
+
+/**
+ * Indices of the non-dominated rows of @p costs, ascending.
+ *
+ * Duplicate cost rows do not dominate each other, so every copy of a
+ * frontier point is reported.  Runs in O(n * f) for a frontier of
+ * size f — near-linear for the shallow frontiers real spaces
+ * produce, never worse than the naive O(n^2).
+ */
+std::vector<std::size_t>
+paretoFrontier(const std::vector<std::vector<double>> &costs);
+
+/**
+ * Fast non-dominated sort: fronts[0] is the Pareto frontier,
+ * fronts[k] the frontier after removing fronts[0..k-1].  Every index
+ * appears exactly once; each front is sorted ascending.
+ */
+std::vector<std::vector<std::size_t>>
+nonDominatedSort(const std::vector<std::vector<double>> &costs);
+
+/**
+ * NSGA-II crowding distances for the rows selected by @p front
+ * (indices into @p costs).  Boundary rows of each objective get an
+ * infinite distance; interior rows the usual normalized side-gap sum.
+ * Ties on an objective are ordered by index, keeping the result
+ * deterministic.  Returned in @p front order.
+ */
+std::vector<double>
+crowdingDistances(const std::vector<std::vector<double>> &costs,
+                  const std::vector<std::size_t> &front);
+
+} // namespace mech
+
+#endif // MECH_SEARCH_PARETO_HH

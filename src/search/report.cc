@@ -1,0 +1,180 @@
+#include "search/report.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/numfmt.hh"
+#include "common/table.hh"
+
+namespace mech {
+
+namespace {
+
+/** Minimal JSON string escape (keys here are all tame ASCII). */
+void
+jsonString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          default: os << c;
+        }
+    }
+    os << '"';
+}
+
+/** Round-trip-exact double (shared shortest-form encoder). */
+void
+jsonNumber(std::ostream &os, double v)
+{
+    os << exactDouble(v);
+}
+
+/** One frontier/best entry. */
+void
+writeEntry(std::ostream &os, const SearchResult &result,
+           const SearchEval &eval, bool per_benchmark,
+           const std::string &indent)
+{
+    const std::size_t k_objs = result.objectiveNames.size();
+    os << "{ \"point\": ";
+    jsonString(os, eval.point.toKey());
+    os << ", \"label\": ";
+    jsonString(os, eval.point.label());
+    os << ",\n" << indent << "  \"objectives\": { ";
+    for (std::size_t k = 0; k < k_objs; ++k) {
+        if (k)
+            os << ", ";
+        jsonString(os, result.objectiveNames[k]);
+        os << ": ";
+        jsonNumber(os, eval.aggregate[k]);
+    }
+    os << " }";
+    if (per_benchmark) {
+        os << ",\n" << indent << "  \"per_benchmark\": { ";
+        for (std::size_t b = 0; b < result.benchmarks.size(); ++b) {
+            if (b)
+                os << ", ";
+            jsonString(os, result.benchmarks[b]);
+            os << ": { ";
+            for (std::size_t k = 0; k < k_objs; ++k) {
+                if (k)
+                    os << ", ";
+                jsonString(os, result.objectiveNames[k]);
+                os << ": ";
+                jsonNumber(os, eval.perBench[b * k_objs + k]);
+            }
+            os << " }";
+        }
+        os << " }";
+    }
+    os << " }";
+}
+
+} // namespace
+
+void
+writeSearchResultJson(const SearchResult &result, std::ostream &os)
+{
+    os << "{\n";
+    os << "  \"schema_version\": " << kSearchSchemaVersion << ",\n";
+    os << "  \"generator\": \"mech_search\",\n";
+    os << "  \"space\": ";
+    jsonString(os, result.space);
+    os << ",\n  \"space_size\": " << result.spaceSize;
+    os << ",\n  \"strategy\": ";
+    jsonString(os, result.strategy);
+    os << ",\n  \"objectives\": [";
+    for (std::size_t k = 0; k < result.objectiveNames.size(); ++k) {
+        if (k)
+            os << ", ";
+        jsonString(os, result.objectiveNames[k]);
+    }
+    os << "],\n  \"benchmarks\": [";
+    for (std::size_t b = 0; b < result.benchmarks.size(); ++b) {
+        if (b)
+            os << ", ";
+        jsonString(os, result.benchmarks[b]);
+    }
+    os << "],\n  \"seed\": " << result.seed;
+    os << ",\n  \"budget\": " << result.budget;
+    os << ",\n  \"evaluations\": " << result.evaluated.size();
+    os << ",\n  \"cache\": { \"requested\": " << result.stats.requested
+       << ", \"hits\": " << result.stats.hits
+       << ", \"misses\": " << result.stats.misses << " },\n";
+    os << "  \"best\": ";
+    writeEntry(os, result, result.best(), false, "  ");
+    os << ",\n  \"frontier\": [";
+    for (std::size_t i = 0; i < result.frontier.size(); ++i) {
+        os << (i ? "," : "") << "\n    ";
+        writeEntry(os, result, *result.evaluated[result.frontier[i]],
+                   true, "    ");
+    }
+    os << (result.frontier.empty() ? "]\n" : "\n  ]\n") << "}\n";
+}
+
+void
+saveSearchResult(const SearchResult &result, const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot open '", path, "' for writing");
+    writeSearchResultJson(result, os);
+    os.flush();
+    if (!os)
+        fatal("write to '", path, "' failed");
+}
+
+void
+printSearchResult(const SearchResult &result, std::ostream &os,
+                  std::size_t max_rows)
+{
+    os << "space: " << result.space << "\n"
+       << "  " << result.spaceSize << " points, strategy "
+       << result.strategy << ", seed " << result.seed << ", budget "
+       << (result.budget ? std::to_string(result.budget)
+                         : std::string("unlimited"))
+       << "\n"
+       << "evaluations: " << result.evaluated.size()
+       << " (cache: " << result.stats.requested << " requested, "
+       << result.stats.hits << " hits, " << result.stats.misses
+       << " misses)\n\n";
+
+    const std::size_t k_objs = result.objectiveNames.size();
+    std::vector<std::string> header = {"configuration"};
+    for (const std::string &name : result.objectiveNames)
+        header.push_back(name);
+    TextTable table(header);
+    const std::size_t rows =
+        std::min(result.frontier.size(), max_rows);
+    for (std::size_t i = 0; i < rows; ++i) {
+        const SearchEval &eval =
+            *result.evaluated[result.frontier[i]];
+        std::vector<std::string> row = {eval.point.label()};
+        for (std::size_t k = 0; k < k_objs; ++k)
+            row.push_back(TextTable::sci(eval.aggregate[k], 4));
+        table.addRow(row);
+    }
+    os << "Pareto frontier (" << result.frontier.size() << " point"
+       << (result.frontier.size() == 1 ? "" : "s");
+    if (rows < result.frontier.size())
+        os << ", first " << rows << " shown";
+    os << "):\n";
+    table.print(os);
+
+    const SearchEval &best = result.best();
+    os << "\nbest by " << result.objectiveNames.front() << ": "
+       << best.point.label() << "  ("
+       << TextTable::sci(best.aggregate[0], 4) << " "
+       << result.objectiveNames.front() << ")\n";
+}
+
+} // namespace mech

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Search-result reporting: schema-versioned JSON artifacts and a
+ * human-readable frontier table.
+ *
+ * Schema (version 1):
+ *
+ *   {
+ *     "schema_version": 1,
+ *     "generator": "mech_search",
+ *     "space": "l2kb=...;assoc=...;...",
+ *     "space_size": 12544,
+ *     "strategy": "genetic",
+ *     "objectives": ["edp"],
+ *     "benchmarks": ["jpeg_c", "sha"],
+ *     "seed": 7,
+ *     "budget": 2000,
+ *     "evaluations": 1984,
+ *     "cache": { "requested": 2520, "hits": 536, "misses": 1984 },
+ *     "best": { "point": "...", "label": "...",
+ *               "objectives": { "edp": 1.23e-06 } },
+ *     "frontier": [
+ *       { "point": "...", "label": "...",
+ *         "objectives": { "edp": 1.23e-06 },
+ *         "per_benchmark": { "jpeg_c": { "edp": 1.1e-06 } } }
+ *     ]
+ *   }
+ *
+ * The artifact deliberately excludes the thread count and any
+ * wall-clock data: a search's JSON is bit-identical for any
+ * --threads, which is the determinism contract CI and the tests
+ * assert (doubles print with round-trip precision).  Frontier
+ * entries appear in first-evaluation order.
+ */
+
+#ifndef MECH_SEARCH_REPORT_HH
+#define MECH_SEARCH_REPORT_HH
+
+#include <iosfwd>
+
+#include "search/strategy.hh"
+
+namespace mech {
+
+/** Current search-artifact schema version. */
+inline constexpr int kSearchSchemaVersion = 1;
+
+/** Serialize @p result as schema-versioned JSON. */
+void writeSearchResultJson(const SearchResult &result,
+                           std::ostream &os);
+
+/** Write the JSON artifact to @p path; calls fatal() on I/O errors. */
+void saveSearchResult(const SearchResult &result,
+                      const std::string &path);
+
+/**
+ * Human-readable summary: traffic counters, the scalar best, and the
+ * frontier as a table (truncated to @p max_rows rows).
+ */
+void printSearchResult(const SearchResult &result, std::ostream &os,
+                       std::size_t max_rows = 20);
+
+} // namespace mech
+
+#endif // MECH_SEARCH_REPORT_HH

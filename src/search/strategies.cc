@@ -1,0 +1,413 @@
+#include "search/strategy.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "search/pareto.hh"
+
+namespace mech {
+
+namespace {
+
+/** Random mixed-radix digits, one per axis. */
+std::vector<std::uint32_t>
+randomDigits(const SpaceSpec &spec, Rng &rng)
+{
+    std::vector<std::uint32_t> digits(SpaceSpec::kAxes);
+    for (std::size_t axis = 0; axis < SpaceSpec::kAxes; ++axis) {
+        digits[axis] =
+            static_cast<std::uint32_t>(rng.below(spec.axisSize(axis)));
+    }
+    return digits;
+}
+
+/** Normalized ("lower is better") cost row of one evaluation. */
+std::vector<double>
+costRow(const SearchContext &ctx, const SearchEval &eval)
+{
+    const auto &objs = ctx.eval.objectives();
+    std::vector<double> row(objs.size());
+    for (std::size_t k = 0; k < objs.size(); ++k)
+        row[k] = objs[k].normalized(eval.aggregate[k]);
+    return row;
+}
+
+/** The seed's exhaustive sweep, as one strategy among several. */
+class ExhaustiveSearch : public SearchStrategy
+{
+  public:
+    std::string_view name() const override { return "exhaustive"; }
+
+    std::string_view
+    description() const override
+    {
+        return "every point in enumeration order (budget 0 = all)";
+    }
+
+    bool supportsUnlimitedBudget() const override { return true; }
+
+    void
+    run(SearchContext &ctx) const override
+    {
+        std::uint64_t limit = ctx.spec.size();
+        if (ctx.opts.budget != 0)
+            limit = std::min(limit, ctx.opts.budget);
+        const std::uint64_t chunk =
+            std::max<std::uint64_t>(1, ctx.opts.batchSize);
+        for (std::uint64_t start = 0; start < limit; start += chunk) {
+            const std::uint64_t end = std::min(limit, start + chunk);
+            std::vector<DesignPoint> points;
+            points.reserve(end - start);
+            for (std::uint64_t i = start; i < end; ++i)
+                points.push_back(ctx.spec.at(i));
+            ctx.evaluate(points);
+        }
+    }
+};
+
+/** Uniform sampling with replacement (the unbiased baseline). */
+class RandomSearch : public SearchStrategy
+{
+  public:
+    std::string_view name() const override { return "random"; }
+
+    std::string_view
+    description() const override
+    {
+        return "uniform random sampling of the space";
+    }
+
+    void
+    run(SearchContext &ctx) const override
+    {
+        Rng rng(ctx.opts.seed);
+        const std::uint64_t space = ctx.spec.size();
+        while (!ctx.budgetExhausted() && !ctx.spaceExhausted()) {
+            // Capping the batch at the remaining budget means the
+            // budget is never overshot: hits cost nothing and every
+            // miss in the batch is one budgeted evaluation.
+            std::uint64_t chunk =
+                std::max<std::uint64_t>(1, ctx.opts.batchSize);
+            chunk = std::min(chunk,
+                             ctx.opts.budget - ctx.stats.misses);
+            std::vector<DesignPoint> points;
+            points.reserve(chunk);
+            for (std::uint64_t i = 0; i < chunk; ++i)
+                points.push_back(ctx.spec.at(rng.below(space)));
+            ctx.evaluate(points);
+        }
+    }
+};
+
+/** Axis-step local search with random restarts (scalar objective). */
+class HillClimbSearch : public SearchStrategy
+{
+  public:
+    std::string_view name() const override { return "hillclimb"; }
+
+    std::string_view
+    description() const override
+    {
+        return "local axis-step search with random restarts";
+    }
+
+    void
+    run(SearchContext &ctx) const override
+    {
+        Rng rng(ctx.opts.seed);
+        // Stop after this many consecutive restarts that discovered
+        // nothing new: the reachable neighbourhood is explored and
+        // further restarts would spin on cache hits forever.
+        constexpr int kMaxStaleRestarts = 50;
+        int stale = 0;
+        while (!ctx.budgetExhausted() && !ctx.spaceExhausted() &&
+               stale < kMaxStaleRestarts) {
+            const std::uint64_t misses_before = ctx.stats.misses;
+            climb(ctx, rng);
+            stale = ctx.stats.misses == misses_before ? stale + 1 : 0;
+        }
+    }
+
+  private:
+    void
+    climb(SearchContext &ctx, Rng &rng) const
+    {
+        std::vector<std::uint32_t> digits =
+            randomDigits(ctx.spec, rng);
+        const SearchEval *cur =
+            ctx.evaluate({ctx.spec.fromDigits(digits)}).front();
+        double cur_cost = ctx.scalarCost(*cur);
+
+        while (!ctx.budgetExhausted()) {
+            std::vector<std::vector<std::uint32_t>> neighbours;
+            std::vector<DesignPoint> points;
+            for (std::size_t axis = 0; axis < SpaceSpec::kAxes;
+                 ++axis) {
+                for (int delta : {-1, +1}) {
+                    if (delta < 0 && digits[axis] == 0)
+                        continue;
+                    if (delta > 0 &&
+                        digits[axis] + 1 >= ctx.spec.axisSize(axis)) {
+                        continue;
+                    }
+                    std::vector<std::uint32_t> nd = digits;
+                    nd[axis] = static_cast<std::uint32_t>(
+                        static_cast<int>(nd[axis]) + delta);
+                    points.push_back(ctx.spec.fromDigits(nd));
+                    neighbours.push_back(std::move(nd));
+                }
+            }
+            auto evals = ctx.evaluate(points);
+
+            // Strict improvement only; ties keep the earlier
+            // neighbour so the walk is deterministic.
+            std::size_t best = points.size();
+            double best_cost = cur_cost;
+            for (std::size_t i = 0; i < evals.size(); ++i) {
+                double cost = ctx.scalarCost(*evals[i]);
+                if (cost < best_cost) {
+                    best_cost = cost;
+                    best = i;
+                }
+            }
+            if (best == points.size())
+                return; // local optimum: restart
+            digits = neighbours[best];
+            cur_cost = best_cost;
+        }
+    }
+};
+
+/** NSGA-II-style multi-objective genetic optimizer. */
+class GeneticSearch : public SearchStrategy
+{
+  public:
+    std::string_view name() const override { return "genetic"; }
+
+    std::string_view
+    description() const override
+    {
+        return "NSGA-II-style multi-objective genetic search";
+    }
+
+    void
+    run(SearchContext &ctx) const override
+    {
+        Rng rng(ctx.opts.seed);
+        const unsigned pop_size = std::max(4u, ctx.opts.population);
+        const double mutation =
+            ctx.opts.mutationRate >= 0.0
+                ? ctx.opts.mutationRate
+                : 1.0 / static_cast<double>(SpaceSpec::kAxes);
+
+        struct Individual
+        {
+            std::vector<std::uint32_t> digits;
+            const SearchEval *eval = nullptr;
+            std::size_t rank = 0;
+            double crowding = 0.0;
+        };
+
+        // Initial population.
+        std::vector<Individual> pop(pop_size);
+        {
+            std::vector<DesignPoint> points;
+            points.reserve(pop_size);
+            for (Individual &ind : pop) {
+                ind.digits = randomDigits(ctx.spec, rng);
+                points.push_back(ctx.spec.fromDigits(ind.digits));
+            }
+            auto evals = ctx.evaluate(points);
+            for (std::size_t i = 0; i < pop.size(); ++i)
+                pop[i].eval = evals[i];
+            rankPopulation(ctx, pop);
+        }
+
+        // Stop once the budget is spent, the space is fully
+        // explored, or several generations in a row produced nothing
+        // new (the population has converged onto cached points).
+        constexpr int kMaxStaleGenerations = 4;
+        int stale = 0;
+        while (!ctx.budgetExhausted() && !ctx.spaceExhausted() &&
+               stale < kMaxStaleGenerations) {
+            const std::uint64_t misses_before = ctx.stats.misses;
+
+            // Offspring: tournament parents, uniform crossover,
+            // per-axis mutation.
+            std::vector<Individual> offspring(pop_size);
+            std::vector<DesignPoint> points;
+            points.reserve(pop_size);
+            for (Individual &child : offspring) {
+                const Individual &a = tournament(pop, rng);
+                const Individual &b = tournament(pop, rng);
+                child.digits.resize(SpaceSpec::kAxes);
+                for (std::size_t axis = 0; axis < SpaceSpec::kAxes;
+                     ++axis) {
+                    child.digits[axis] = rng.chance(0.5)
+                                             ? a.digits[axis]
+                                             : b.digits[axis];
+                    if (rng.chance(mutation)) {
+                        child.digits[axis] = static_cast<std::uint32_t>(
+                            rng.below(ctx.spec.axisSize(axis)));
+                    }
+                }
+                points.push_back(ctx.spec.fromDigits(child.digits));
+            }
+            auto evals = ctx.evaluate(points);
+            for (std::size_t i = 0; i < offspring.size(); ++i)
+                offspring[i].eval = evals[i];
+
+            // Environmental selection over parents + offspring,
+            // deduplicated by cache entry (same point, same entry).
+            std::vector<Individual> combined;
+            combined.reserve(pop.size() + offspring.size());
+            for (auto &src : {&pop, &offspring}) {
+                for (Individual &ind : *src) {
+                    bool seen = false;
+                    for (const Individual &kept : combined)
+                        seen |= kept.eval == ind.eval;
+                    if (!seen)
+                        combined.push_back(std::move(ind));
+                }
+            }
+            rankPopulation(ctx, combined);
+            std::stable_sort(
+                combined.begin(), combined.end(),
+                [](const Individual &x, const Individual &y) {
+                    if (x.rank != y.rank)
+                        return x.rank < y.rank;
+                    if (x.crowding != y.crowding)
+                        return x.crowding > y.crowding;
+                    return x.eval->firstIndex < y.eval->firstIndex;
+                });
+            if (combined.size() > pop_size)
+                combined.resize(pop_size);
+            pop = std::move(combined);
+
+            stale = ctx.stats.misses == misses_before ? stale + 1 : 0;
+        }
+    }
+
+  private:
+    template <typename Individual>
+    static void
+    rankPopulation(const SearchContext &ctx,
+                   std::vector<Individual> &pop)
+    {
+        std::vector<std::vector<double>> costs;
+        costs.reserve(pop.size());
+        for (const Individual &ind : pop)
+            costs.push_back(costRow(ctx, *ind.eval));
+        auto fronts = nonDominatedSort(costs);
+        for (std::size_t f = 0; f < fronts.size(); ++f) {
+            auto crowd = crowdingDistances(costs, fronts[f]);
+            for (std::size_t i = 0; i < fronts[f].size(); ++i) {
+                pop[fronts[f][i]].rank = f;
+                pop[fronts[f][i]].crowding = crowd[i];
+            }
+        }
+    }
+
+    template <typename Individual>
+    static const Individual &
+    tournament(const std::vector<Individual> &pop, Rng &rng)
+    {
+        const Individual &a = pop[rng.below(pop.size())];
+        const Individual &b = pop[rng.below(pop.size())];
+        if (a.rank != b.rank)
+            return a.rank < b.rank ? a : b;
+        if (a.crowding != b.crowding)
+            return a.crowding > b.crowding ? a : b;
+        return a.eval->firstIndex <= b.eval->firstIndex ? a : b;
+    }
+};
+
+} // namespace
+
+std::vector<std::string>
+strategyNames()
+{
+    return {"exhaustive", "random", "hillclimb", "genetic"};
+}
+
+std::unique_ptr<SearchStrategy>
+makeStrategy(std::string_view name)
+{
+    if (name == "exhaustive")
+        return std::make_unique<ExhaustiveSearch>();
+    if (name == "random")
+        return std::make_unique<RandomSearch>();
+    if (name == "hillclimb")
+        return std::make_unique<HillClimbSearch>();
+    if (name == "genetic")
+        return std::make_unique<GeneticSearch>();
+    std::string known;
+    for (const std::string &s : strategyNames())
+        known += (known.empty() ? "" : ", ") + s;
+    fatal("unknown search strategy '", std::string(name),
+          "' (known: ", known, ")");
+}
+
+std::string
+strategyDescription(const std::string &name)
+{
+    return std::string(makeStrategy(name)->description());
+}
+
+SearchResult
+runSearch(const SpaceSpec &spec, std::string_view strategy,
+          SearchEvaluator &evaluator, const SearchOptions &opts)
+{
+    spec.validate();
+    auto strat = makeStrategy(strategy);
+    if (opts.budget == 0 && !strat->supportsUnlimitedBudget()) {
+        fatal("strategy '", std::string(strategy),
+              "' needs a positive --budget (0 = unlimited is only "
+              "meaningful for exhaustive search)");
+    }
+
+    // opts.threads <= 1: the zero-worker pool runs every task inline
+    // on this thread — the strictly serial path, same code.
+    ThreadPool pool(opts.threads <= 1 ? 0 : opts.threads);
+    evaluator.prepare(spec, pool);
+
+    SearchResult res;
+    res.cacheKeepAlive = std::make_shared<EvalCache>();
+    SearchContext ctx{spec, evaluator, *res.cacheKeepAlive,
+                      pool, opts,      SearchStats{}};
+    strat->run(ctx);
+
+    res.strategy = strat->name();
+    res.space = spec.describe();
+    res.spaceSize = spec.size();
+    for (const Objective &obj : evaluator.objectives())
+        res.objectiveNames.push_back(obj.name);
+    res.benchmarks = evaluator.benchmarkNames();
+    res.seed = opts.seed;
+    res.budget = opts.budget;
+    res.stats = ctx.stats;
+    res.evaluated = res.cacheKeepAlive->entries();
+    MECH_ASSERT(!res.evaluated.empty(),
+                "search evaluated no points");
+
+    std::vector<std::vector<double>> costs;
+    costs.reserve(res.evaluated.size());
+    for (const SearchEval *eval : res.evaluated)
+        costs.push_back(costRow(ctx, *eval));
+    res.frontier = paretoFrontier(costs);
+
+    res.bestIndex = 0;
+    double best_cost = ctx.scalarCost(*res.evaluated[0]);
+    for (std::size_t i = 1; i < res.evaluated.size(); ++i) {
+        double cost = ctx.scalarCost(*res.evaluated[i]);
+        if (cost < best_cost) {
+            best_cost = cost;
+            res.bestIndex = i;
+        }
+    }
+    return res;
+}
+
+} // namespace mech

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Search strategies over generative design spaces.
+ *
+ * A SearchStrategy decides *which* points to evaluate; everything
+ * else — evaluation, memoization, parallelism, frontier extraction —
+ * is shared machinery.  Four built-ins cover the classic trade-off
+ * curve:
+ *
+ *   exhaustive  every point in enumeration order (the seed repo's
+ *               only mode, now one strategy among several);
+ *   random      uniform sampling, the unbiased baseline;
+ *   hillclimb   axis-step local search with random restarts on the
+ *               scalar (first) objective;
+ *   genetic     an NSGA-II-style multi-objective optimizer (fast
+ *               non-dominated sort + crowding selection).
+ *
+ * Determinism contract: given the same spec, strategy, objectives,
+ * seed and budget, a search produces *bit-identical* results — the
+ * same points evaluated in the same first-evaluation order with the
+ * same hit/miss counts — for any thread count.  Randomness flows
+ * only through the explicit seed; parallel workers only compute
+ * point evaluations (themselves deterministic), never make choices.
+ *
+ * The budget bounds *fresh model evaluations* (cache misses); cache
+ * hits are free, which is the point of the memo.  A strategy may
+ * overshoot by at most one batch.  Budget 0 means unlimited — useful
+ * with exhaustive, rejected by the unbounded strategies' drivers.
+ */
+
+#ifndef MECH_SEARCH_STRATEGY_HH
+#define MECH_SEARCH_STRATEGY_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/thread_pool.hh"
+#include "search/eval_cache.hh"
+#include "search/evaluator.hh"
+#include "search/space_spec.hh"
+
+namespace mech {
+
+/** Knobs common to every strategy (strategy-specific ones noted). */
+struct SearchOptions
+{
+    /** Seed for every stochastic choice. */
+    std::uint64_t seed = 1;
+
+    /** Max fresh evaluations (cache misses); 0 = unlimited. */
+    std::uint64_t budget = 2000;
+
+    /** Worker threads; <= 1 runs fully serial, bit-identically. */
+    unsigned threads = 1;
+
+    /** Points per evaluation batch (exhaustive/random chunking). */
+    std::uint64_t batchSize = 256;
+
+    /** Population size (genetic). */
+    unsigned population = 24;
+
+    /** Per-axis mutation probability (genetic); <0 = 1/axes. */
+    double mutationRate = -1.0;
+};
+
+/** A completed search: what was evaluated and what won. */
+struct SearchResult
+{
+    /** Strategy name. */
+    std::string strategy;
+
+    /** Canonical spec grammar of the searched space. */
+    std::string space;
+
+    /** Size of the searched space. */
+    std::uint64_t spaceSize = 0;
+
+    /** Objective names, in objective order. */
+    std::vector<std::string> objectiveNames;
+
+    /** Benchmark names the objectives aggregate over. */
+    std::vector<std::string> benchmarks;
+
+    /** The seed and budget the search ran with. */
+    std::uint64_t seed = 0;
+    std::uint64_t budget = 0;
+
+    /**
+     * Every evaluated point in first-evaluation order (pointers into
+     * the run's cache, kept alive by @c cacheKeepAlive).
+     */
+    std::vector<const SearchEval *> evaluated;
+
+    /** Indices into @c evaluated forming the Pareto frontier. */
+    std::vector<std::size_t> frontier;
+
+    /** Index into @c evaluated of the best scalar-objective point. */
+    std::size_t bestIndex = 0;
+
+    /** Evaluation-traffic counters. */
+    SearchStats stats;
+
+    /** Owns the entries @c evaluated points into. */
+    std::shared_ptr<EvalCache> cacheKeepAlive;
+
+    /** The best point's evaluation. */
+    const SearchEval &best() const { return *evaluated[bestIndex]; }
+};
+
+/** Everything a strategy needs while running. */
+struct SearchContext
+{
+    const SpaceSpec &spec;
+    const SearchEvaluator &eval;
+    EvalCache &cache;
+    ThreadPool &pool;
+    const SearchOptions &opts;
+    SearchStats stats;
+
+    /** Evaluate a batch through the memo (see SearchEvaluator). */
+    std::vector<const SearchEval *>
+    evaluate(const std::vector<DesignPoint> &points)
+    {
+        return eval.evaluateBatch(points, cache, pool, stats);
+    }
+
+    /** True once the fresh-evaluation budget is spent. */
+    bool
+    budgetExhausted() const
+    {
+        return opts.budget != 0 && stats.misses >= opts.budget;
+    }
+
+    /** True once every point of the space has been evaluated. */
+    bool
+    spaceExhausted() const
+    {
+        return stats.misses >= spec.size();
+    }
+
+    /** Scalar cost of @p eval: normalized first objective. */
+    double
+    scalarCost(const SearchEval &se) const
+    {
+        return eval.objectives().front().normalized(se.aggregate[0]);
+    }
+};
+
+/** A search strategy (stateless; all run state lives in the context). */
+class SearchStrategy
+{
+  public:
+    virtual ~SearchStrategy() = default;
+
+    /** Registry name ("genetic"). */
+    virtual std::string_view name() const = 0;
+
+    /** One-line description for --help listings. */
+    virtual std::string_view description() const = 0;
+
+    /**
+     * True when budget 0 ("unlimited") is meaningful: the strategy
+     * terminates on its own.  Sampling strategies return false and
+     * runSearch() rejects the combination.
+     */
+    virtual bool supportsUnlimitedBudget() const { return false; }
+
+    /** Explore the space (results land in ctx.cache/ctx.stats). */
+    virtual void run(SearchContext &ctx) const = 0;
+};
+
+/** Registered strategy names, in listing order. */
+std::vector<std::string> strategyNames();
+
+/** Construct a strategy by name; calls fatal() listing known names. */
+std::unique_ptr<SearchStrategy> makeStrategy(std::string_view name);
+
+/** One-line description of strategy @p name (for listings). */
+std::string strategyDescription(const std::string &name);
+
+/**
+ * Run one search end to end: fresh cache, one thread pool
+ * (opts.threads <= 1 executes inline on the calling thread),
+ * evaluator prepared for @p spec, the strategy explored, then the
+ * frontier over *all* evaluated points extracted and the scalar best
+ * selected.  Deterministic for any opts.threads (see the contract
+ * above); the evaluator's studies are reused across calls.
+ */
+SearchResult runSearch(const SpaceSpec &spec, std::string_view strategy,
+                       SearchEvaluator &evaluator,
+                       const SearchOptions &opts);
+
+} // namespace mech
+
+#endif // MECH_SEARCH_STRATEGY_HH

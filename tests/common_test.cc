@@ -1,15 +1,21 @@
 /**
  * @file
  * Unit tests for the common substrate: RNG, histogram, summary
- * statistics, error metrics and the text-table printer.
+ * statistics, error metrics, the text-table printer and the shared
+ * command-line parser (including the unknown-flag rejection
+ * regression tests).
  */
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <optional>
 #include <set>
 #include <sstream>
+#include <string>
+#include <vector>
 
+#include "common/cli.hh"
 #include "common/histogram.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
@@ -272,6 +278,111 @@ TEST(TextTable, NumFormatsPrecision)
 {
     EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
     EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+TEST(TextTable, SciFormatsScientific)
+{
+    EXPECT_EQ(TextTable::sci(12345.0, 3), "1.234e+04");
+    EXPECT_EQ(TextTable::sci(1.5e-10, 1), "1.5e-10");
+}
+
+// ---- ArgParser ------------------------------------------------------------
+
+/** tryParse over a writable copy of @p args (argv[0] included). */
+std::optional<std::string>
+parseArgs(cli::ArgParser &parser, std::vector<std::string> args)
+{
+    std::vector<char *> argv;
+    argv.reserve(args.size());
+    for (std::string &arg : args)
+        argv.push_back(arg.data());
+    return parser.tryParse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgParser, ParsesDeclaredOptionsAndPositionals)
+{
+    std::string strategy;
+    unsigned budget = 0;
+    bool json = false;
+    std::string pos;
+    cli::ArgParser parser("prog", "test");
+    parser.add("strategy", "name", "h", &strategy);
+    parser.add("budget", "N", "h", &budget);
+    parser.addFlag("json", "h", &json);
+    parser.addPositional("input", "h", &pos);
+    auto err = parseArgs(parser, {"prog", "--strategy", "genetic",
+                                  "--budget=2000", "--json", "file"});
+    EXPECT_FALSE(err.has_value()) << *err;
+    EXPECT_EQ(strategy, "genetic");
+    EXPECT_EQ(budget, 2000u);
+    EXPECT_TRUE(json);
+    EXPECT_EQ(pos, "file");
+}
+
+// Regression: a mistyped flag must fail loudly, never be silently
+// ignored (`mech_search --strateg typo` used to be able to slip a
+// dash-led token into a positional slot).
+TEST(ArgParser, RejectsUnknownDoubleDashOption)
+{
+    std::string strategy;
+    cli::ArgParser parser("prog", "test");
+    parser.add("strategy", "name", "h", &strategy);
+    auto err = parseArgs(parser, {"prog", "--strateg", "typo"});
+    ASSERT_TRUE(err.has_value());
+    EXPECT_NE(err->find("unknown option '--strateg'"),
+              std::string::npos);
+}
+
+TEST(ArgParser, RejectsSingleDashTokenInsteadOfBindingPositional)
+{
+    std::string pos = "unset";
+    cli::ArgParser parser("prog", "test");
+    parser.addPositional("input", "h", &pos);
+    auto err = parseArgs(parser, {"prog", "-threads"});
+    ASSERT_TRUE(err.has_value());
+    EXPECT_NE(err->find("unknown option '-threads'"),
+              std::string::npos);
+    EXPECT_EQ(pos, "unset");
+}
+
+TEST(ArgParser, NegativeNumbersStillBindToPositionals)
+{
+    int value = 0;
+    cli::ArgParser parser("prog", "test");
+    parser.addPositional("n", "h", &value);
+    auto err = parseArgs(parser, {"prog", "-3"});
+    EXPECT_FALSE(err.has_value()) << *err;
+    EXPECT_EQ(value, -3);
+}
+
+TEST(ArgParser, RejectsValueOnFlagAndMissingValue)
+{
+    bool flag = false;
+    std::string opt;
+    cli::ArgParser parser("prog", "test");
+    parser.addFlag("list", "h", &flag);
+    parser.add("out", "path", "h", &opt);
+    auto err = parseArgs(parser, {"prog", "--list=yes"});
+    ASSERT_TRUE(err.has_value());
+    EXPECT_NE(err->find("takes no value"), std::string::npos);
+    err = parseArgs(parser, {"prog", "--out"});
+    ASSERT_TRUE(err.has_value());
+    EXPECT_NE(err->find("needs a value"), std::string::npos);
+}
+
+TEST(ArgParser, RejectsExcessPositionalsAndBadNumbers)
+{
+    unsigned n = 0;
+    cli::ArgParser parser("prog", "test");
+    parser.addPositional("n", "h", &n);
+    auto err = parseArgs(parser, {"prog", "12", "extra"});
+    ASSERT_TRUE(err.has_value());
+    EXPECT_NE(err->find("unexpected argument"), std::string::npos);
+    err = parseArgs(parser, {"prog", "--", "12"});
+    ASSERT_TRUE(err.has_value());
+    err = parseArgs(parser, {"prog", "12x"});
+    ASSERT_TRUE(err.has_value());
+    EXPECT_NE(err->find("invalid value"), std::string::npos);
 }
 
 } // namespace

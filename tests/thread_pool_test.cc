@@ -123,4 +123,17 @@ TEST(ThreadPool, DefaultWorkerCountIsPositive)
     EXPECT_GE(ThreadPool::defaultWorkerCount(), 1u);
 }
 
+TEST(ThreadPool, SanitizeTreatsZeroAndNegativeAsWholeMachine)
+{
+    // The tools' shared `--threads 0` (or omitted) convention:
+    // "use every hardware thread".
+    EXPECT_EQ(ThreadPool::sanitizeWorkerCount(0),
+              ThreadPool::defaultWorkerCount());
+    EXPECT_EQ(ThreadPool::sanitizeWorkerCount(-5),
+              ThreadPool::defaultWorkerCount());
+    EXPECT_EQ(ThreadPool::sanitizeWorkerCount(3), 3u);
+    EXPECT_EQ(ThreadPool::sanitizeWorkerCount(1 << 20),
+              ThreadPool::kMaxWorkers);
+}
+
 } // namespace

@@ -26,7 +26,7 @@ main(int argc, char **argv)
 
     InstCount n = 200000;
     unsigned width = 0;
-    unsigned nthreads = ThreadPool::defaultWorkerCount();
+    unsigned nthreads = 0;
     std::string profile_dir;
 
     cli::ArgParser parser(
@@ -36,7 +36,8 @@ main(int argc, char **argv)
                &n);
     parser.add("width", "W", "override the superscalar width",
                &width);
-    parser.add("threads", "N", "worker threads", &nthreads);
+    parser.add("threads", "N",
+               "worker threads (0 = all hardware threads)", &nthreads);
     parser.add("profile-dir", "dir",
                "load .mprof artifacts from this directory instead of "
                "re-profiling",

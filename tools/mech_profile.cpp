@@ -31,7 +31,7 @@ main(int argc, char **argv)
     std::string bench_list;
     std::string out_dir = "profiles";
     InstCount n = 200000;
-    unsigned nthreads = ThreadPool::defaultWorkerCount();
+    unsigned nthreads = 0;
     bool no_trace = false;
     bool json = false;
 
@@ -47,7 +47,9 @@ main(int argc, char **argv)
                &out_dir);
     parser.add("instructions", "N", "dynamic instructions per trace",
                &n);
-    parser.add("threads", "N", "worker threads for profiling",
+    parser.add("threads", "N",
+               "worker threads for profiling (0 = all hardware "
+               "threads)",
                &nthreads);
     parser.addFlag("no-trace",
                    "omit the dynamic trace (model-only artifacts, "

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * mech_search: design-space search over generative spaces.
+ *
+ * The front end of src/search/: describe a space (a preset like
+ * "wide" or the full axis grammar), pick a strategy and objectives,
+ * and get a Pareto frontier plus the scalar-best configuration —
+ * backed by the memoized evaluation cache, sharded across a thread
+ * pool, and bit-identical for any --threads given the same --seed.
+ *
+ *   mech_search --strategy genetic --objective edp \
+ *               --budget 2000 --seed 7 --json out.json
+ *
+ * searches the 12544-point "wide" space with at most 2000 model
+ * evaluations.  See docs/search.md for the spec grammar, strategy
+ * and objective catalogue, cache semantics and the determinism
+ * contract.
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "mech/mech.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mech;
+
+    std::string space = "wide";
+    std::string strategy = "genetic";
+    std::string objective = "edp";
+    std::string bench_csv = "jpeg_c,sha";
+    std::string backend = "model";
+    std::string profile_dir;
+    std::string json_path;
+    InstCount instructions = 50000;
+    std::uint64_t budget = 2000;
+    std::uint64_t seed = 1;
+    std::uint64_t batch = 256;
+    unsigned threads = 0;
+    unsigned population = 24;
+    bool list_strategies = false;
+    bool list_objectives = false;
+
+    cli::ArgParser parser(
+        "mech_search",
+        "heuristic design-space search with Pareto frontiers and a "
+        "memoized evaluation cache");
+    parser.add("space", "spec",
+               "design space: a preset (table2, wide) or an axis "
+               "grammar string (docs/search.md)",
+               &space);
+    parser.add("strategy", "name",
+               "search strategy (see --list-strategies)", &strategy);
+    parser.add("objective", "csv",
+               "objectives; the first is the scalar target, the full "
+               "list spans the Pareto frontier (--list-objectives)",
+               &objective);
+    parser.add("budget", "N",
+               "max fresh model evaluations; cache hits are free "
+               "(0 = unlimited, exhaustive only)",
+               &budget);
+    parser.add("seed", "N",
+               "seed for every stochastic choice (same seed + budget "
+               "=> bit-identical results at any --threads)",
+               &seed);
+    parser.add("threads", "N",
+               "worker threads (0 = all hardware threads)", &threads);
+    parser.add("bench", "csv", "benchmarks to optimize over",
+               &bench_csv);
+    parser.add("instructions", "N",
+               "dynamic instructions per benchmark trace",
+               &instructions);
+    parser.add("backend", "name",
+               "evaluation backend feeding the objectives",
+               &backend);
+    parser.add("population", "N", "population size (genetic)",
+               &population);
+    parser.add("batch", "N", "points per evaluation batch", &batch);
+    parser.add("profile-dir", "dir",
+               "load .mprof artifacts from this directory instead of "
+               "re-profiling",
+               &profile_dir);
+    parser.add("json", "path",
+               "write the search artifact here (schema-versioned, "
+               "thread-count independent)",
+               &json_path);
+    parser.addFlag("list-strategies",
+                   "list search strategies and exit",
+                   &list_strategies);
+    parser.addFlag("list-objectives",
+                   "list objectives and exit", &list_objectives);
+    parser.parse(argc, argv);
+
+    if (list_strategies) {
+        for (const std::string &name : strategyNames()) {
+            std::cout << name << "  " << strategyDescription(name)
+                      << "\n";
+        }
+        return 0;
+    }
+    if (list_objectives) {
+        for (const Objective &obj : allObjectives()) {
+            std::cout << obj.name << "  [" << obj.unit << "] "
+                      << (obj.maximize ? "maximize" : "minimize")
+                      << "\n";
+        }
+        return 0;
+    }
+
+    SpaceSpec spec = SpaceSpec::parse(space);
+
+    std::vector<BenchmarkProfile> benches;
+    for (const std::string &name : cli::splitCsv(bench_csv)) {
+        if (name.empty())
+            fatal("empty benchmark name in '", bench_csv, "'");
+        benches.push_back(profileByName(name));
+    }
+
+    SearchOptions opts;
+    opts.seed = seed;
+    opts.budget = budget;
+    opts.threads = ThreadPool::sanitizeWorkerCount(
+        static_cast<long long>(threads));
+    opts.batchSize = batch;
+    opts.population = population;
+
+    SearchEvaluator evaluator(std::move(benches), instructions,
+                              parseObjectives(objective),
+                              backendSet(backend));
+    if (!profile_dir.empty())
+        evaluator.useProfileDir(profile_dir);
+
+    std::cout << "mech_search: " << spec.size() << "-point space, "
+              << "strategy " << strategy << ", objectives "
+              << objective << ", budget "
+              << (budget ? std::to_string(budget)
+                         : std::string("unlimited"))
+              << ", seed " << seed << ", " << opts.threads
+              << " worker thread(s)\n\n";
+
+    SearchResult result = runSearch(spec, strategy, evaluator, opts);
+    printSearchResult(result, std::cout);
+
+    if (!json_path.empty()) {
+        saveSearchResult(result, json_path);
+        std::cout << "\nwrote " << json_path << "\n";
+    }
+
+    // A search that found nothing is a failure, not a quiet success
+    // (CI smoke-runs rely on this).
+    if (result.frontier.empty()) {
+        std::cerr << "mech_search: empty Pareto frontier\n";
+        return 1;
+    }
+    return 0;
+}
