@@ -1,11 +1,10 @@
 #include "harness.hh"
 
-#include <cctype>
 #include <cstdlib>
 #include <fstream>
-#include <iomanip>
-#include <map>
 #include <sstream>
+
+#include "common/json.hh"
 
 namespace mech::bench {
 
@@ -51,307 +50,26 @@ buildTypeId()
 #endif
 }
 
-// ---- JSON writing ---------------------------------------------------------
-
-void
-writeJsonString(std::ostream &os, const std::string &s)
-{
-    os << '"';
-    for (char c : s) {
-        switch (c) {
-          case '"': os << "\\\""; break;
-          case '\\': os << "\\\\"; break;
-          case '\n': os << "\\n"; break;
-          case '\t': os << "\\t"; break;
-          case '\r': os << "\\r"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                os << "\\u" << std::hex << std::setw(4)
-                   << std::setfill('0') << static_cast<int>(c)
-                   << std::dec << std::setfill(' ');
-            } else {
-                os << c;
-            }
-        }
-    }
-    os << '"';
-}
-
-void
-writeJsonNumber(std::ostream &os, double v)
-{
-    // 17 significant digits round-trip any double exactly.
-    std::ostringstream num;
-    num << std::setprecision(17) << v;
-    os << num.str();
-}
-
-// ---- JSON parsing ---------------------------------------------------------
+// ---- JSON parsing helpers ------------------------------------------------
 //
-// A minimal recursive-descent parser for the subset of JSON the
-// artifact schema uses (objects, arrays, strings, numbers, booleans,
-// null).  Unknown keys are tolerated so future schema minors stay
-// readable; structural errors throw BenchIoError.
-
-struct JsonValue
-{
-    enum class Kind { Null, Bool, Number, String, Array, Object };
-
-    Kind kind = Kind::Null;
-    bool boolean = false;
-    double number = 0.0;
-    std::string string;
-    std::vector<JsonValue> array;
-    std::map<std::string, JsonValue> object;
-
-    const JsonValue *
-    get(const std::string &key) const
-    {
-        auto it = object.find(key);
-        return it == object.end() ? nullptr : &it->second;
-    }
-};
-
-class JsonParser
-{
-  public:
-    explicit JsonParser(std::istream &is)
-    {
-        std::ostringstream buf;
-        buf << is.rdbuf();
-        text = buf.str();
-    }
-
-    JsonValue
-    parse()
-    {
-        JsonValue v = parseValue();
-        skipSpace();
-        if (pos != text.size())
-            fail("trailing content after JSON document");
-        return v;
-    }
-
-  private:
-    [[noreturn]] void
-    fail(const std::string &what) const
-    {
-        throw BenchIoError("bench JSON, offset " + std::to_string(pos) +
-                           ": " + what);
-    }
-
-    void
-    skipSpace()
-    {
-        while (pos < text.size() &&
-               std::isspace(static_cast<unsigned char>(text[pos]))) {
-            ++pos;
-        }
-    }
-
-    char
-    peek()
-    {
-        skipSpace();
-        if (pos >= text.size())
-            fail("unexpected end of input");
-        return text[pos];
-    }
-
-    void
-    expect(char c)
-    {
-        if (peek() != c)
-            fail(std::string("expected '") + c + "'");
-        ++pos;
-    }
-
-    bool
-    consumeLiteral(const std::string &lit)
-    {
-        if (text.compare(pos, lit.size(), lit) == 0) {
-            pos += lit.size();
-            return true;
-        }
-        return false;
-    }
-
-    JsonValue
-    parseValue()
-    {
-        char c = peek();
-        JsonValue v;
-        switch (c) {
-          case '{': return parseObject();
-          case '[': return parseArray();
-          case '"':
-            v.kind = JsonValue::Kind::String;
-            v.string = parseString();
-            return v;
-          case 't':
-            if (!consumeLiteral("true"))
-                fail("bad literal");
-            v.kind = JsonValue::Kind::Bool;
-            v.boolean = true;
-            return v;
-          case 'f':
-            if (!consumeLiteral("false"))
-                fail("bad literal");
-            v.kind = JsonValue::Kind::Bool;
-            v.boolean = false;
-            return v;
-          case 'n':
-            if (!consumeLiteral("null"))
-                fail("bad literal");
-            return v;
-          default: return parseNumber();
-        }
-    }
-
-    JsonValue
-    parseObject()
-    {
-        JsonValue v;
-        v.kind = JsonValue::Kind::Object;
-        expect('{');
-        if (peek() == '}') {
-            ++pos;
-            return v;
-        }
-        for (;;) {
-            if (peek() != '"')
-                fail("object key must be a string");
-            std::string key = parseString();
-            expect(':');
-            v.object.emplace(std::move(key), parseValue());
-            char c = peek();
-            if (c == ',') {
-                ++pos;
-                continue;
-            }
-            expect('}');
-            return v;
-        }
-    }
-
-    JsonValue
-    parseArray()
-    {
-        JsonValue v;
-        v.kind = JsonValue::Kind::Array;
-        expect('[');
-        if (peek() == ']') {
-            ++pos;
-            return v;
-        }
-        for (;;) {
-            v.array.push_back(parseValue());
-            char c = peek();
-            if (c == ',') {
-                ++pos;
-                continue;
-            }
-            expect(']');
-            return v;
-        }
-    }
-
-    std::string
-    parseString()
-    {
-        expect('"');
-        std::string out;
-        while (pos < text.size()) {
-            char c = text[pos++];
-            if (c == '"')
-                return out;
-            if (c == '\\') {
-                if (pos >= text.size())
-                    fail("unterminated escape");
-                char e = text[pos++];
-                switch (e) {
-                  case '"': out += '"'; break;
-                  case '\\': out += '\\'; break;
-                  case '/': out += '/'; break;
-                  case 'n': out += '\n'; break;
-                  case 't': out += '\t'; break;
-                  case 'r': out += '\r'; break;
-                  case 'b': out += '\b'; break;
-                  case 'f': out += '\f'; break;
-                  case 'u': {
-                    if (pos + 4 > text.size())
-                        fail("truncated \\u escape");
-                    unsigned code = 0;
-                    for (int i = 0; i < 4; ++i) {
-                        char h = text[pos++];
-                        code <<= 4;
-                        if (h >= '0' && h <= '9')
-                            code += static_cast<unsigned>(h - '0');
-                        else if (h >= 'a' && h <= 'f')
-                            code += static_cast<unsigned>(h - 'a') + 10;
-                        else if (h >= 'A' && h <= 'F')
-                            code += static_cast<unsigned>(h - 'A') + 10;
-                        else
-                            fail("bad \\u escape digit");
-                    }
-                    // The artifacts only escape control characters;
-                    // encode the code point as UTF-8 for robustness.
-                    if (code < 0x80) {
-                        out += static_cast<char>(code);
-                    } else if (code < 0x800) {
-                        out += static_cast<char>(0xC0 | (code >> 6));
-                        out += static_cast<char>(0x80 | (code & 0x3F));
-                    } else {
-                        out += static_cast<char>(0xE0 | (code >> 12));
-                        out += static_cast<char>(0x80 |
-                                                 ((code >> 6) & 0x3F));
-                        out += static_cast<char>(0x80 | (code & 0x3F));
-                    }
-                    break;
-                  }
-                  default: fail("unknown escape");
-                }
-            } else {
-                out += c;
-            }
-        }
-        fail("unterminated string");
-    }
-
-    JsonValue
-    parseNumber()
-    {
-        skipSpace();
-        const char *start = text.c_str() + pos;
-        char *end = nullptr;
-        double parsed = std::strtod(start, &end);
-        if (end == start)
-            fail("expected a value");
-        pos += static_cast<std::size_t>(end - start);
-        JsonValue v;
-        v.kind = JsonValue::Kind::Number;
-        v.number = parsed;
-        return v;
-    }
-
-    std::string text;
-    std::size_t pos = 0;
-};
+// Reading uses the shared mech::json reader (common/json.hh); the
+// artifact schema tolerates unknown keys so future schema minors stay
+// readable, and structural errors surface as BenchIoError.
 
 std::string
-stringField(const JsonValue &obj, const std::string &key)
+stringField(const json::Value &obj, const std::string &key)
 {
-    const JsonValue *v = obj.get(key);
-    if (!v || v->kind != JsonValue::Kind::String)
+    const json::Value *v = obj.get(key);
+    if (!v || !v->isString())
         throw BenchIoError("missing or non-string field '" + key + "'");
     return v->string;
 }
 
 double
-numberField(const JsonValue &obj, const std::string &key)
+numberField(const json::Value &obj, const std::string &key)
 {
-    const JsonValue *v = obj.get(key);
-    if (!v || v->kind != JsonValue::Kind::Number)
+    const json::Value *v = obj.get(key);
+    if (!v || !v->isNumber())
         throw BenchIoError("missing or non-number field '" + key + "'");
     return v->number;
 }
@@ -393,26 +111,26 @@ writeReportJson(const BenchReport &report, std::ostream &os)
     os << "{\n";
     os << "  \"schema_version\": " << kBenchSchemaVersion << ",\n";
     os << "  \"generator\": ";
-    writeJsonString(os, report.generator);
+    json::writeString(os, report.generator);
     os << ",\n  \"git_sha\": ";
-    writeJsonString(os, report.gitSha);
+    json::writeString(os, report.gitSha);
     os << ",\n  \"compiler\": ";
-    writeJsonString(os, report.compiler);
+    json::writeString(os, report.compiler);
     os << ",\n  \"build_type\": ";
-    writeJsonString(os, report.buildType);
+    json::writeString(os, report.buildType);
     os << ",\n  \"results\": [";
     for (std::size_t i = 0; i < report.results.size(); ++i) {
         const BenchRecord &r = report.results[i];
         os << (i ? "," : "") << "\n    { \"suite\": ";
-        writeJsonString(os, r.suite);
+        json::writeString(os, r.suite);
         os << ", \"benchmark\": ";
-        writeJsonString(os, r.benchmark);
+        json::writeString(os, r.benchmark);
         os << ", \"metric\": ";
-        writeJsonString(os, r.metric);
+        json::writeString(os, r.metric);
         os << ", \"value\": ";
-        writeJsonNumber(os, r.value);
+        json::writeNumber(os, r.value);
         os << ", \"unit\": ";
-        writeJsonString(os, r.unit);
+        json::writeString(os, r.unit);
         os << " }";
     }
     os << (report.results.empty() ? "]\n" : "\n  ]\n") << "}\n";
@@ -433,12 +151,17 @@ saveReport(const BenchReport &report, const std::string &path)
 BenchReport
 parseReportJson(std::istream &is)
 {
-    JsonValue root = JsonParser(is).parse();
-    if (root.kind != JsonValue::Kind::Object)
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    std::string error;
+    std::optional<json::Value> root = json::parse(buf.str(), &error);
+    if (!root)
+        throw BenchIoError("bench JSON, " + error);
+    if (!root->isObject())
         throw BenchIoError("artifact root must be a JSON object");
 
-    const JsonValue *ver = root.get("schema_version");
-    if (!ver || ver->kind != JsonValue::Kind::Number)
+    const json::Value *ver = root->get("schema_version");
+    if (!ver || !ver->isNumber())
         throw BenchIoError("missing schema_version");
     int version = static_cast<int>(ver->number);
     if (version < 1 || version > kBenchSchemaVersion) {
@@ -450,16 +173,16 @@ parseReportJson(std::istream &is)
 
     BenchReport report;
     report.schemaVersion = version;
-    report.generator = stringField(root, "generator");
-    report.gitSha = stringField(root, "git_sha");
-    report.compiler = stringField(root, "compiler");
-    report.buildType = stringField(root, "build_type");
+    report.generator = stringField(*root, "generator");
+    report.gitSha = stringField(*root, "git_sha");
+    report.compiler = stringField(*root, "compiler");
+    report.buildType = stringField(*root, "build_type");
 
-    const JsonValue *results = root.get("results");
-    if (!results || results->kind != JsonValue::Kind::Array)
+    const json::Value *results = root->get("results");
+    if (!results || !results->isArray())
         throw BenchIoError("missing results array");
-    for (const JsonValue &entry : results->array) {
-        if (entry.kind != JsonValue::Kind::Object)
+    for (const json::Value &entry : results->array) {
+        if (!entry.isObject())
             throw BenchIoError("results entries must be objects");
         BenchRecord r;
         r.suite = stringField(entry, "suite");

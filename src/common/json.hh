@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Minimal shared JSON reader/writer.
+ *
+ * Three subsystems consume JSON text: the bench harness parses its
+ * schema-versioned artifacts back for baseline gating, the serve
+ * layer parses newline-delimited request lines, and every report
+ * writer escapes strings and prints round-trip-exact doubles.  Each
+ * used to hand-roll its own fragment; this header is the one shared
+ * implementation, so their tolerance for malformed input stays
+ * identical.
+ *
+ * The reader covers the JSON subset the repo's schemas use — objects,
+ * arrays, strings, numbers, booleans, null — and is deliberately
+ * non-throwing: parse() returns nullopt plus a positioned error
+ * message, because for the serve layer a malformed line is ordinary
+ * input (it must become a structured error response, never a crash).
+ * Object keys keep insertion order and duplicate keys resolve to the
+ * first occurrence.
+ */
+
+#ifndef MECH_COMMON_JSON_HH
+#define MECH_COMMON_JSON_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mech::json {
+
+/** One parsed JSON value (a tagged union over the subset we use). */
+struct Value
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<Value> array;
+
+    /** Key/value pairs in document order (first duplicate wins). */
+    std::vector<std::pair<std::string, Value>> object;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isBool() const { return kind == Kind::Bool; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** Member @p key of an object, or null when absent (or not one). */
+    const Value *get(std::string_view key) const;
+
+    /**
+     * The number as an unsigned integer: nullopt unless it is a
+     * non-negative whole number that fits (no silent truncation).
+     */
+    std::optional<std::uint64_t> asU64() const;
+};
+
+/**
+ * Parse one JSON document covering all of @p text (trailing
+ * whitespace tolerated, trailing content rejected).  On failure
+ * returns nullopt and, when @p error is non-null, a message with the
+ * byte offset of the problem.
+ */
+std::optional<Value> parse(std::string_view text, std::string *error);
+
+/** Write @p s as a JSON string literal with escapes. */
+void writeString(std::ostream &os, std::string_view s);
+
+/** Write @p v in the shortest form that parses back bit-identically. */
+void writeNumber(std::ostream &os, double v);
+
+} // namespace mech::json
+
+#endif // MECH_COMMON_JSON_HH

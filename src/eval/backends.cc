@@ -232,17 +232,41 @@ BackendRegistry::names() const
 BackendSet
 BackendRegistry::parseSet(std::string_view csv) const
 {
+    std::string error;
+    auto set = tryParseSet(csv, &error);
+    if (!set)
+        fatal(error);
+    return *set;
+}
+
+std::optional<BackendSet>
+BackendRegistry::tryParseSet(std::string_view csv,
+                             std::string *error) const
+{
     BackendSet set;
     for (const std::string &token : cli::splitCsv(std::string(csv))) {
-        if (token.empty())
-            fatal("empty backend name in set '", csv, "'");
-        const EvalBackend &backend = at(token);
-        for (const EvalBackend *b : set) {
-            if (b == &backend)
-                fatal("backend '", token, "' listed twice in '", csv,
-                      "'");
+        if (token.empty()) {
+            *error = "empty backend name in set '" +
+                     std::string(csv) + "'";
+            return std::nullopt;
         }
-        set.push_back(&backend);
+        const EvalBackend *backend = find(token);
+        if (!backend) {
+            std::string known;
+            for (const std::string &name : names())
+                known += (known.empty() ? "" : ", ") + name;
+            *error = "unknown backend '" + token + "' (known: " +
+                     known + ")";
+            return std::nullopt;
+        }
+        for (const EvalBackend *b : set) {
+            if (b == backend) {
+                *error = "backend '" + token + "' listed twice in '" +
+                         std::string(csv) + "'";
+                return std::nullopt;
+            }
+        }
+        set.push_back(backend);
     }
     return set;
 }

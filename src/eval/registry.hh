@@ -13,6 +13,7 @@
 #define MECH_EVAL_REGISTRY_HH
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -77,6 +78,15 @@ class BackendRegistry
      * entries and unknown or duplicate names call fatal().
      */
     BackendSet parseSet(std::string_view csv) const;
+
+    /**
+     * parseSet() without the fatal(): nullopt plus a message in
+     * @p error on rejection.  The serve layer resolves client-named
+     * backend sets through this, turning a bad name into a structured
+     * error response instead of terminating the server.
+     */
+    std::optional<BackendSet> tryParseSet(std::string_view csv,
+                                          std::string *error) const;
 
   private:
     std::vector<std::unique_ptr<EvalBackend>> backends;

@@ -27,6 +27,7 @@
 #include "common/bench.hh"
 #include "common/cli.hh"
 #include "common/histogram.hh"
+#include "common/json.hh"
 #include "common/logging.hh"
 #include "common/numfmt.hh"
 #include "common/rng.hh"
@@ -56,6 +57,11 @@
 #include "search/report.hh"
 #include "search/space_spec.hh"
 #include "search/strategy.hh"
+#include "serve/protocol.hh"
+#include "serve/request_queue.hh"
+#include "serve/server.hh"
+#include "serve/service.hh"
+#include "serve/session.hh"
 #include "sim/inorder_sim.hh"
 #include "trace/trace.hh"
 #include "workload/builder.hh"

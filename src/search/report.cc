@@ -6,36 +6,26 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hh"
 #include "common/logging.hh"
-#include "common/numfmt.hh"
 #include "common/table.hh"
 
 namespace mech {
 
 namespace {
 
-/** Minimal JSON string escape (keys here are all tame ASCII). */
+/** JSON string literal via the shared escaper (common/json.hh). */
 void
 jsonString(std::ostream &os, const std::string &s)
 {
-    os << '"';
-    for (char c : s) {
-        switch (c) {
-          case '"': os << "\\\""; break;
-          case '\\': os << "\\\\"; break;
-          case '\n': os << "\\n"; break;
-          case '\t': os << "\\t"; break;
-          default: os << c;
-        }
-    }
-    os << '"';
+    json::writeString(os, s);
 }
 
 /** Round-trip-exact double (shared shortest-form encoder). */
 void
 jsonNumber(std::ostream &os, double v)
 {
-    os << exactDouble(v);
+    json::writeNumber(os, v);
 }
 
 /** One frontier/best entry. */

@@ -130,6 +130,18 @@ SpaceSpec::wide()
     return spec;
 }
 
+SpaceSpec
+SpaceSpec::single(const DesignPoint &point)
+{
+    SpaceSpec spec;
+    spec.l2KB = {point.l2KB};
+    spec.l2Assoc = {point.l2Assoc};
+    spec.depthFreq = {{point.depth, point.freqGHz}};
+    spec.width = {point.width};
+    spec.predictor = {point.predictor};
+    return spec;
+}
+
 std::optional<SpaceSpec>
 SpaceSpec::tryParse(const std::string &text, std::string *error)
 {
@@ -269,6 +281,14 @@ SpaceSpec::checkAxes() const
         if (!isPow2(kb))
             return "L2 size " + std::to_string(kb) +
                    " KiB is not a power of two";
+        // Bounded so a client-supplied geometry can never demand a
+        // pathological tag-array allocation (the serve layer feeds
+        // untrusted points through this check).
+        if (kb > kMaxL2KB) {
+            return "L2 size " + std::to_string(kb) +
+                   " KiB above the supported " +
+                   std::to_string(kMaxL2KB / 1024) + " MiB";
+        }
     }
     for (std::uint32_t assoc : l2Assoc) {
         if (!isPow2(assoc))

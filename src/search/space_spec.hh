@@ -57,6 +57,16 @@ struct DepthFreq
 class SpaceSpec
 {
   public:
+    /**
+     * Largest supported L2 capacity (64 MiB), 8x the `wide` preset's
+     * top end.  check() rejects anything larger: L2 geometry sizes
+     * tag-array allocations, and the serve layer runs *client*
+     * design points through these invariants, so the bound is what
+     * keeps a hostile request from demanding a pathological
+     * allocation.
+     */
+    static constexpr std::uint64_t kMaxL2KB = 64 * 1024;
+
     /** Number of design-point axes (l2kb, assoc, depth, width, pred). */
     static constexpr std::size_t kAxes = 5;
 
@@ -102,6 +112,14 @@ class SpaceSpec
                                              std::string *error);
 
     /**
+     * The one-point space containing exactly @p point.  The serve
+     * layer uses it to run a client-supplied design point through the
+     * same axis invariants (check()) and geometry preparation
+     * (l2Geometries()) as a full space.
+     */
+    static SpaceSpec single(const DesignPoint &point);
+
+    /**
      * Validate the axes: every axis non-empty and duplicate-free,
      * power-of-two L2 geometry with at least one set, widths within
      * the machine's [1,16], depths >= 5 (a 2-stage front end plus the
@@ -109,6 +127,12 @@ class SpaceSpec
      * violation.
      */
     void validate() const;
+
+    /**
+     * validate() without the fatal(): the first violated invariant as
+     * a message, or an empty string when the axes are all valid.
+     */
+    std::string check() const { return checkAxes(); }
 
     /** Number of points in the space (product of axis sizes). */
     std::uint64_t size() const;

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The request queue between a session's line reader and the
+ * evaluation service.
+ *
+ * Pipelined clients write many request lines before reading any
+ * response; the session parses each line as it arrives and pushes
+ * the outcome here.  When the queue flushes — input would block, the
+ * batch cap is reached, a control request arrives, or the stream
+ * ends — the pending data-plane requests go to
+ * EvalService::handleFlush() as one coalesced batch, and responses
+ * come back in arrival order.
+ *
+ * Entries are either a parsed request or a pre-rendered error
+ * response (a malformed line).  Keeping failed lines *in* the queue
+ * is what preserves the ordering contract: response N always answers
+ * line N, even when line N was garbage.
+ *
+ * Determinism note: flush boundaries depend on input timing (how
+ * many lines were buffered when the reader drained), but the service
+ * guarantees accounting and response bodies equal to strictly
+ * sequential processing regardless of how requests are grouped into
+ * flushes — so the observable stream is the same however the client
+ * paces its writes.
+ */
+
+#ifndef MECH_SERVE_REQUEST_QUEUE_HH
+#define MECH_SERVE_REQUEST_QUEUE_HH
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "serve/protocol.hh"
+
+namespace mech::serve {
+
+/** One queued line: a parsed request or a ready error response. */
+struct PendingLine
+{
+    /** The parsed request (valid only when error is empty). */
+    ServeRequest request;
+
+    /** Parse/validation failure for this line ("" = parsed fine). */
+    std::string error;
+
+    /** Echo id for error entries. */
+    std::string idJson;
+
+    /** Arrival time, for the response's latency accounting. */
+    std::chrono::steady_clock::time_point received;
+
+    bool ok() const { return error.empty(); }
+};
+
+/** Arrival-ordered queue of pending lines with a batch cap. */
+class RequestQueue
+{
+  public:
+    explicit RequestQueue(std::size_t max_batch)
+        : maxBatch(max_batch ? max_batch : 1)
+    {
+    }
+
+    bool empty() const { return entries.empty(); }
+    std::size_t size() const { return entries.size(); }
+
+    /** True when the queue has reached its coalescing cap. */
+    bool full() const { return entries.size() >= maxBatch; }
+
+    void push(PendingLine line) { entries.push_back(std::move(line)); }
+
+    /** Drain every pending line, in arrival order. */
+    std::vector<PendingLine>
+    take()
+    {
+        std::vector<PendingLine> out;
+        out.swap(entries);
+        return out;
+    }
+
+  private:
+    std::size_t maxBatch;
+    std::vector<PendingLine> entries;
+};
+
+} // namespace mech::serve
+
+#endif // MECH_SERVE_REQUEST_QUEUE_HH

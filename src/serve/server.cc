@@ -1,0 +1,241 @@
+#include "serve/server.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include <arpa/inet.h>
+#include <csignal>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace mech::serve {
+
+namespace {
+
+/** Set by SIGINT/SIGTERM; checked between connections and reads. */
+volatile std::sig_atomic_t g_terminate = 0;
+
+void
+onTerminate(int)
+{
+    g_terminate = 1;
+}
+
+void
+installSignalHandlers()
+{
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = onTerminate;
+    // No SA_RESTART: blocked accept()/recv() must return EINTR so
+    // the loops can notice the flag and drain.
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+    // A client vanishing mid-response must be a write error, not a
+    // process kill.
+    std::signal(SIGPIPE, SIG_IGN);
+}
+
+/**
+ * LineSource over a connected socket: an internal buffer split on
+ * newlines, refilled with blocking recv().  Oversized lines are
+ * truncated at the request cap and the excess discarded, so a
+ * misbehaving client costs bounded memory.
+ */
+class FdLineSource : public LineSource
+{
+  public:
+    explicit FdLineSource(int fd) : fd(fd) {}
+
+    bool
+    nextLine(std::string &line) override
+    {
+        line.clear();
+        bool truncating = false;
+        for (;;) {
+            std::size_t nl = buffer.find('\n');
+            if (nl != std::string::npos) {
+                if (!truncating)
+                    line.append(buffer, 0, nl);
+                buffer.erase(0, nl + 1);
+                return true;
+            }
+            // No newline buffered: bank what we have (or discard it,
+            // once the line has blown the cap) and read more.
+            if (!truncating) {
+                line += buffer;
+                if (line.size() > kMaxRequestBytes + 1) {
+                    line.resize(kMaxRequestBytes + 1);
+                    truncating = true;
+                }
+            }
+            buffer.clear();
+            char chunk[4096];
+            ssize_t got;
+            do {
+                got = ::recv(fd, chunk, sizeof(chunk), 0);
+            } while (got < 0 && errno == EINTR && !g_terminate);
+            if (got <= 0)
+                return !line.empty();
+            buffer.append(chunk, static_cast<std::size_t>(got));
+        }
+    }
+
+    bool
+    moreBuffered() override
+    {
+        if (!buffer.empty())
+            return true;
+        struct pollfd pfd;
+        pfd.fd = fd;
+        pfd.events = POLLIN;
+        pfd.revents = 0;
+        return ::poll(&pfd, 1, 0) > 0 && (pfd.revents & POLLIN);
+    }
+
+  private:
+    int fd;
+    std::string buffer;
+};
+
+/** Minimal buffered ostream over a socket fd. */
+class FdStreambuf : public std::streambuf
+{
+  public:
+    explicit FdStreambuf(int fd) : fd(fd) {}
+
+  protected:
+    int
+    overflow(int ch) override
+    {
+        if (ch != traits_type::eof()) {
+            char c = static_cast<char>(ch);
+            pending += c;
+            if (c == '\n' || pending.size() >= 1 << 16)
+                return sync() == 0 ? ch : traits_type::eof();
+        }
+        return ch;
+    }
+
+    std::streamsize
+    xsputn(const char *s, std::streamsize n) override
+    {
+        pending.append(s, static_cast<std::size_t>(n));
+        if (pending.size() >= 1 << 16)
+            return sync() == 0 ? n : 0;
+        return n;
+    }
+
+    int
+    sync() override
+    {
+        std::size_t off = 0;
+        while (off < pending.size()) {
+            ssize_t put = ::send(fd, pending.data() + off,
+                                 pending.size() - off, 0);
+            if (put < 0) {
+                if (errno == EINTR)
+                    continue;
+                pending.clear();
+                return -1;
+            }
+            off += static_cast<std::size_t>(put);
+        }
+        pending.clear();
+        return 0;
+    }
+
+  private:
+    int fd;
+    std::string pending;
+};
+
+} // namespace
+
+SessionStats
+runStdioServer(EvalService &service, std::istream &in,
+               std::ostream &out, std::ostream &log,
+               const SessionOptions &opts)
+{
+    IstreamLineSource source(in);
+    ServerSession session(service, source, out, opts);
+    SessionStats stats = session.run();
+    const ServiceStats svc = service.stats();
+    log << "mech_serve: session over: " << stats.lines
+        << " request line(s), "
+        << stats.responses << " response(s), " << stats.errors
+        << " error(s); cache " << svc.hits << "/" << svc.requested
+        << " hits\n";
+    return stats;
+}
+
+int
+runTcpServer(EvalService &service, unsigned short port,
+             std::ostream &log, const SessionOptions &opts)
+{
+    installSignalHandlers();
+
+    int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listener < 0) {
+        log << "mech_serve: socket(): " << std::strerror(errno)
+            << "\n";
+        return 1;
+    }
+    int one = 1;
+    ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(listener, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) < 0 ||
+        ::listen(listener, 4) < 0) {
+        log << "mech_serve: cannot listen on 127.0.0.1:" << port
+            << ": " << std::strerror(errno) << "\n";
+        ::close(listener);
+        return 1;
+    }
+    log << "mech_serve: listening on 127.0.0.1:" << port << "\n";
+
+    bool drained = false;
+    while (!g_terminate && !drained) {
+        int client = ::accept(listener, nullptr, nullptr);
+        if (client < 0) {
+            if (errno == EINTR)
+                continue; // signal: loop re-checks g_terminate
+            log << "mech_serve: accept(): " << std::strerror(errno)
+                << "\n";
+            break;
+        }
+        log << "mech_serve: client connected\n";
+        {
+            FdLineSource source(client);
+            FdStreambuf buf(client);
+            std::ostream out(&buf);
+            ServerSession session(service, source, out, opts);
+            SessionStats stats = session.run();
+            out.flush();
+            drained = stats.shutdownRequested;
+            log << "mech_serve: client disconnected ("
+                << stats.responses << " response(s))\n";
+        }
+        ::shutdown(client, SHUT_RDWR);
+        ::close(client);
+    }
+    ::close(listener);
+
+    const ServiceStats svc = service.stats();
+    log << "mech_serve: " << (drained ? "drained" : "terminated")
+        << "; cache " << svc.hits << "/" << svc.requested
+        << " hits across " << svc.groups << " group(s)\n";
+    return 0;
+}
+
+} // namespace mech::serve

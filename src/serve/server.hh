@@ -1,0 +1,49 @@
+/**
+ * @file
+ * mech_serve front ends: the stdio loop and a plain blocking TCP
+ * server (no event loop, no new dependencies).
+ *
+ * Stdio mode serves one session over stdin/stdout — the mode CI
+ * smokes and scripts pipe request files through.  TCP mode binds a
+ * loopback listener and serves clients one connection at a time
+ * (requests *within* a connection pipeline and batch; the evaluation
+ * parallelism lives in the service's thread pool, which a sequential
+ * accept loop keeps fully available to the active client).
+ *
+ * Graceful drain: a client "shutdown" request drains that session's
+ * queue, answers a final "bye" accounting line, and stops the server
+ * (in TCP mode, after closing the connection).  SIGINT/SIGTERM set a
+ * flag the accept loop honours, so an operator's Ctrl-C never kills
+ * a request mid-evaluation: the active session finishes its flush,
+ * then the listener closes.
+ */
+
+#ifndef MECH_SERVE_SERVER_HH
+#define MECH_SERVE_SERVER_HH
+
+#include <iosfwd>
+
+#include "serve/session.hh"
+
+namespace mech::serve {
+
+/**
+ * Serve one stdio session: requests from @p in, responses to @p out,
+ * diagnostics to @p log (never to @p out — that is the protocol
+ * channel).  Returns the session's stats.
+ */
+SessionStats runStdioServer(EvalService &service, std::istream &in,
+                            std::ostream &out, std::ostream &log,
+                            const SessionOptions &opts);
+
+/**
+ * Bind 127.0.0.1:@p port and serve TCP clients until a shutdown
+ * request or a termination signal.  Returns 0 on a clean drain,
+ * nonzero when the listener could not be set up.
+ */
+int runTcpServer(EvalService &service, unsigned short port,
+                 std::ostream &log, const SessionOptions &opts);
+
+} // namespace mech::serve
+
+#endif // MECH_SERVE_SERVER_HH

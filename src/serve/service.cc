@@ -1,0 +1,679 @@
+#include "serve/service.hh"
+
+#include <algorithm>
+#include <future>
+#include <set>
+#include <sstream>
+#include <unordered_set>
+#include <utility>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "dse/study.hh"
+#include "eval/registry.hh"
+#include "search/eval_cache.hh"
+#include "search/objective.hh"
+#include "search/pareto.hh"
+#include "search/space_spec.hh"
+#include "workload/suites.hh"
+
+namespace mech::serve {
+
+namespace {
+
+/** Join names with commas (for group keys and response fields). */
+std::string
+joinNames(const std::vector<std::string> &names)
+{
+    std::string out;
+    for (const std::string &name : names)
+        out += (out.empty() ? "" : ",") + name;
+    return out;
+}
+
+/** Emit a JSON array of strings. */
+void
+writeNameArray(std::ostream &os, const std::vector<std::string> &names)
+{
+    os << '[';
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        if (i)
+            os << ", ";
+        json::writeString(os, names[i]);
+    }
+    os << ']';
+}
+
+} // namespace
+
+/**
+ * One benchmark's shared study: profiled (or artifact-loaded) once,
+ * then reused by every group that names the benchmark.  `prepared`
+ * tracks the L2 geometries whose MemoryStats the study has memoized,
+ * so evaluation stays read-only across pool workers.
+ */
+struct EvalService::StudyEntry
+{
+    std::unique_ptr<DseStudy> study;
+    std::set<std::pair<std::uint64_t, std::uint32_t>> prepared;
+};
+
+/**
+ * One (benchmarks, backends, objectives) evaluation group with its
+ * own PR-4 EvalCache.  SearchEval vectors use serve layouts:
+ * aggregate[be * K + k] is the cross-benchmark mean of objective k
+ * through backend be; perBench[(b * NBE + be) * K + k] the
+ * per-benchmark value.
+ */
+struct EvalService::Group
+{
+    std::string key;
+    std::vector<std::string> benchNames;
+    std::vector<StudyEntry *> studies;
+    BackendSet backends;
+    std::vector<Objective> objectives;
+    EvalCache cache;
+};
+
+EvalService::EvalService(ServeConfig cfg_in)
+    : cfg(std::move(cfg_in)),
+      pool(cfg.threads <= 1 ? 0 : cfg.threads)
+{
+    MECH_ASSERT(!cfg.defaultBench.empty(),
+                "service needs a default benchmark set");
+    MECH_ASSERT(!cfg.defaultBackends.empty(),
+                "service needs a default backend set");
+    MECH_ASSERT(!cfg.defaultObjectives.empty(),
+                "service needs a default objective set");
+}
+
+EvalService::~EvalService() = default;
+
+void
+EvalService::buildStudies(const std::vector<std::string> &names)
+{
+    std::vector<std::pair<std::string, StudyEntry *>> missing;
+    for (const std::string &name : names) {
+        auto it = studies.find(name);
+        if (it != studies.end())
+            continue;
+        auto entry = std::make_unique<StudyEntry>();
+        StudyEntry *raw = entry.get();
+        studies.emplace(name, std::move(entry));
+        missing.emplace_back(name, raw);
+    }
+    if (missing.empty())
+        return;
+
+    // Profiling is the expensive part of a cold benchmark; build the
+    // new studies in parallel, one task per benchmark.
+    std::vector<std::future<void>> built;
+    built.reserve(missing.size());
+    for (auto &[name, entry] : missing) {
+        StudyEntry *e = entry;
+        const std::string bench_name = name;
+        built.push_back(pool.submit([this, e, bench_name] {
+            e->study = std::make_unique<DseStudy>(DseStudy::loadOrProfile(
+                cfg.profileDir, profileByName(bench_name),
+                cfg.traceLen));
+        }));
+    }
+    for (auto &f : built)
+        f.get();
+}
+
+EvalService::Group *
+EvalService::resolveGroup(const ServeRequest &req, std::string *error)
+{
+    // Benchmarks: default set when unnamed; aliases resolve to their
+    // canonical profile so "cjpeg" and "jpeg_c" share a group.
+    const std::vector<std::string> &named =
+        req.bench.empty() ? cfg.defaultBench : req.bench;
+    std::vector<std::string> benches;
+    for (const std::string &name : named) {
+        if (name.empty()) {
+            *error = "empty benchmark name";
+            return nullptr;
+        }
+        const BenchmarkProfile *profile = findProfile(name);
+        if (!profile) {
+            *error = "unknown benchmark '" + name + "'";
+            return nullptr;
+        }
+        if (std::find(benches.begin(), benches.end(), profile->name) !=
+            benches.end()) {
+            *error = "benchmark '" + profile->name +
+                     "' listed twice";
+            return nullptr;
+        }
+        benches.push_back(profile->name);
+    }
+
+    // Backends, via the registry's non-fatal set parser.
+    const std::vector<std::string> &be_names =
+        req.backends.empty() ? cfg.defaultBackends : req.backends;
+    auto backends = BackendRegistry::global().tryParseSet(
+        joinNames(be_names), error);
+    if (!backends)
+        return nullptr;
+
+    // Objectives.
+    const std::vector<std::string> &obj_names =
+        req.objectives.empty() ? cfg.defaultObjectives : req.objectives;
+    std::vector<Objective> objectives;
+    for (const std::string &name : obj_names) {
+        if (name.empty()) {
+            *error = "empty objective name";
+            return nullptr;
+        }
+        auto obj = objectiveByName(name);
+        if (!obj) {
+            std::string known;
+            for (const Objective &o : allObjectives())
+                known += (known.empty() ? "" : ", ") + o.name;
+            *error = "unknown objective '" + name + "' (known: " +
+                     known + ")";
+            return nullptr;
+        }
+        for (const Objective &seen : objectives) {
+            if (seen.name == obj->name) {
+                *error = "objective '" + name + "' listed twice";
+                return nullptr;
+            }
+        }
+        objectives.push_back(*obj);
+    }
+
+    std::string key = "bench=" + joinNames(benches) + "|backends=";
+    for (std::size_t i = 0; i < backends->size(); ++i)
+        key += (i ? "," : "") + std::string((*backends)[i]->name());
+    key += "|obj=" + joinNames(obj_names);
+
+    if (auto it = groupIndex.find(key); it != groupIndex.end())
+        return it->second;
+
+    // Materialize the group: studies first (the expensive half).
+    buildStudies(benches);
+    auto group = std::make_unique<Group>();
+    group->key = key;
+    group->benchNames = benches;
+    for (const std::string &name : benches)
+        group->studies.push_back(studies.at(name).get());
+    group->backends = std::move(*backends);
+    group->objectives = std::move(objectives);
+    Group *raw = group.get();
+    groupList.push_back(std::move(group));
+    groupIndex.emplace(raw->key, raw);
+    ++counters.groups;
+    return raw;
+}
+
+void
+EvalService::prepareGeometries(Group &group,
+                               const std::vector<DesignPoint> &points)
+{
+    // One preparation list per study: only geometries that study has
+    // not memoized yet.  Preparation mutates the study, so it runs
+    // strictly before the parallel evaluation phase, one task per
+    // study (a study's geometries must be computed into its memo
+    // sequentially).
+    std::vector<std::future<void>> prepared;
+    for (StudyEntry *entry : group.studies) {
+        std::vector<DesignPoint> fresh;
+        std::set<std::pair<std::uint64_t, std::uint32_t>> seen;
+        for (const DesignPoint &p : points) {
+            auto geom = std::make_pair(p.l2KB, p.l2Assoc);
+            if (entry->prepared.count(geom) || seen.count(geom))
+                continue;
+            seen.insert(geom);
+            DesignPoint rep;
+            rep.l2KB = p.l2KB;
+            rep.l2Assoc = p.l2Assoc;
+            fresh.push_back(rep);
+        }
+        if (fresh.empty())
+            continue;
+        for (const auto &geom : seen)
+            entry->prepared.insert(geom);
+        DseStudy *study = entry->study.get();
+        prepared.push_back(pool.submit(
+            [study, fresh = std::move(fresh)] { study->prepare(fresh); }));
+    }
+    for (auto &f : prepared)
+        f.get();
+}
+
+std::vector<const SearchEval *>
+EvalService::evaluatePoints(Group &group,
+                            const std::vector<DesignPoint> &points,
+                            std::vector<bool> *was_hit)
+{
+    // Phase 1 (this thread): classify hits, intra-flush duplicates
+    // and fresh misses in request order, so accounting never depends
+    // on worker scheduling.
+    std::vector<const SearchEval *> out(points.size(), nullptr);
+    std::vector<std::size_t> missIdx;
+    std::unordered_set<DesignPoint, DesignPointHash> fresh;
+    was_hit->assign(points.size(), false);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        ++counters.requested;
+        if (const SearchEval *hit = group.cache.find(points[i])) {
+            out[i] = hit;
+            (*was_hit)[i] = true;
+            ++counters.hits;
+        } else if (fresh.count(points[i])) {
+            (*was_hit)[i] = true; // duplicate within this flush
+            ++counters.hits;
+        } else {
+            fresh.insert(points[i]);
+            missIdx.push_back(i);
+            ++counters.misses;
+        }
+    }
+
+    // Phase 2 (pool): memoize any new L2 geometries, then evaluate
+    // the misses against the read-only studies in chunks (the same
+    // sharding heuristic as SearchEvaluator).
+    std::vector<SearchEval> computed(missIdx.size());
+    if (!missIdx.empty()) {
+        std::vector<DesignPoint> missPoints;
+        missPoints.reserve(missIdx.size());
+        for (std::size_t idx : missIdx)
+            missPoints.push_back(points[idx]);
+        prepareGeometries(group, missPoints);
+
+        std::size_t chunk = missIdx.size();
+        if (pool.workerCount() > 0) {
+            chunk = std::max<std::size_t>(
+                1, missIdx.size() / (pool.workerCount() * 8));
+        }
+        const Group *g = &group;
+        std::vector<std::future<void>> done;
+        for (std::size_t start = 0; start < missIdx.size();
+             start += chunk) {
+            const std::size_t end =
+                std::min(missIdx.size(), start + chunk);
+            done.push_back(pool.submit([g, &missPoints, &computed,
+                                        start, end] {
+                const std::size_t n_be = g->backends.size();
+                const std::size_t k_objs = g->objectives.size();
+                const std::size_t n_bench = g->studies.size();
+                for (std::size_t j = start; j < end; ++j) {
+                    SearchEval &eval = computed[j];
+                    eval.point = missPoints[j];
+                    eval.aggregate.assign(n_be * k_objs, 0.0);
+                    eval.perBench.resize(n_bench * n_be * k_objs);
+                    for (std::size_t b = 0; b < n_bench; ++b) {
+                        const DseStudy &study = *g->studies[b]->study;
+                        PointEvaluation ev =
+                            study.evaluate(eval.point, g->backends);
+                        for (std::size_t be = 0; be < n_be; ++be) {
+                            const EvalResult &res = ev.results[be];
+                            for (std::size_t k = 0; k < k_objs; ++k) {
+                                double v = g->objectives[k].value(
+                                    res, eval.point);
+                                eval.perBench[(b * n_be + be) * k_objs +
+                                              k] = v;
+                                eval.aggregate[be * k_objs + k] += v;
+                            }
+                        }
+                    }
+                    const double n = static_cast<double>(n_bench);
+                    for (double &v : eval.aggregate)
+                        v /= n;
+                }
+            }));
+        }
+        for (auto &f : done)
+            f.get();
+    }
+
+    // Phase 3 (this thread): publish in request order.
+    for (SearchEval &eval : computed)
+        group.cache.insert(std::move(eval));
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (!out[i]) {
+            out[i] = group.cache.find(points[i]);
+            MECH_ASSERT(out[i],
+                        "fresh serve evaluation missing from cache");
+        }
+    }
+    return out;
+}
+
+namespace {
+
+/**
+ * Check every predictor a request names against the profiled set; a
+ * predictor the studies never trained would panic deep inside a
+ * worker, so turn it into a client error here.
+ */
+bool
+predictorsProfiled(const DseStudy &study,
+                   const std::vector<PredictorKind> &kinds,
+                   std::string *error)
+{
+    for (PredictorKind kind : kinds) {
+        bool profiled = false;
+        for (const auto &bp : study.profile().branchProfiles)
+            profiled |= bp.kind == kind;
+        if (!profiled) {
+            *error = "predictor '" + std::string(predictorKey(kind)) +
+                     "' is outside the profiled design space "
+                     "(profiled: gshare1k, hybrid3k5)";
+            return false;
+        }
+    }
+    return true;
+}
+
+/** Emit {"<obj>": v, ...} for one objective-value slice. */
+void
+writeObjectives(std::ostream &os,
+                const std::vector<Objective> &objs,
+                const std::vector<double> &values, std::size_t base)
+{
+    os << "{ ";
+    for (std::size_t k = 0; k < objs.size(); ++k) {
+        if (k)
+            os << ", ";
+        json::writeString(os, objs[k].name);
+        os << ": ";
+        json::writeNumber(os, values[base + k]);
+    }
+    os << " }";
+}
+
+} // namespace
+
+std::string
+EvalService::evalResponse(const ServeRequest &req, Group &group,
+                          const SearchEval &eval, bool was_hit)
+{
+    const std::size_t k_objs = group.objectives.size();
+    const std::size_t n_be = group.backends.size();
+    std::ostringstream os;
+    os << responseHead(req.idJson, "result") << ", \"point\": ";
+    json::writeString(os, eval.point.toKey());
+    os << ", \"label\": ";
+    json::writeString(os, eval.point.label());
+    os << ", \"cached\": " << (was_hit ? "true" : "false");
+    os << ", \"bench\": ";
+    writeNameArray(os, group.benchNames);
+    os << ", \"results\": { ";
+    for (std::size_t be = 0; be < n_be; ++be) {
+        if (be)
+            os << ", ";
+        json::writeString(os, std::string(group.backends[be]->name()));
+        os << ": { \"objectives\": ";
+        writeObjectives(os, group.objectives, eval.aggregate,
+                        be * k_objs);
+        os << ", \"per_benchmark\": { ";
+        for (std::size_t b = 0; b < group.benchNames.size(); ++b) {
+            if (b)
+                os << ", ";
+            json::writeString(os, group.benchNames[b]);
+            os << ": ";
+            writeObjectives(os, group.objectives, eval.perBench,
+                            (b * n_be + be) * k_objs);
+        }
+        os << " } }";
+    }
+    os << " }}";
+    return os.str();
+}
+
+std::string
+EvalService::batchResponse(const ServeRequest &req, Group &group,
+                           bool *ok)
+{
+    *ok = false;
+    std::string error;
+    auto spec = SpaceSpec::tryParse(req.space, &error);
+    if (!spec)
+        return errorResponse(req.idJson,
+                             "bad space '" + req.space + "': " + error);
+    if (std::string why = spec->check(); !why.empty())
+        return errorResponse(req.idJson,
+                             "invalid space '" + req.space + "': " + why);
+    if (spec->size() > cfg.maxSpacePoints) {
+        return errorResponse(
+            req.idJson,
+            "space has " + std::to_string(spec->size()) +
+                " points; this server caps batch requests at " +
+                std::to_string(cfg.maxSpacePoints) +
+                " (see mech_serve --max-space)");
+    }
+    if (group.backends.size() != 1) {
+        return errorResponse(
+            req.idJson,
+            "batch requests take exactly one backend (got " +
+                std::to_string(group.backends.size()) +
+                "); rank with one engine, then validate winners "
+                "with eval requests");
+    }
+    if (!predictorsProfiled(*group.studies[0]->study, spec->predictor,
+                            &error)) {
+        return errorResponse(req.idJson, error);
+    }
+
+    const std::uint64_t n = spec->size();
+    std::vector<DesignPoint> points;
+    points.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i)
+        points.push_back(spec->at(i));
+
+    const std::uint64_t req_before = counters.requested;
+    const std::uint64_t hits_before = counters.hits;
+    const std::uint64_t miss_before = counters.misses;
+    std::vector<bool> was_hit;
+    std::vector<const SearchEval *> evals =
+        evaluatePoints(group, points, &was_hit);
+
+    // Frontier over the fan-out, on the "lower is better" scale of
+    // the single backend's objectives; indices ascend, so frontier
+    // entries come back in enumeration order.
+    const std::size_t k_objs = group.objectives.size();
+    std::vector<std::vector<double>> costs;
+    costs.reserve(evals.size());
+    for (const SearchEval *eval : evals) {
+        std::vector<double> row(k_objs);
+        for (std::size_t k = 0; k < k_objs; ++k)
+            row[k] = group.objectives[k].normalized(eval->aggregate[k]);
+        costs.push_back(std::move(row));
+    }
+    std::vector<std::size_t> frontier = paretoFrontier(costs);
+
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < evals.size(); ++i) {
+        if (costs[i][0] < costs[best][0])
+            best = i;
+    }
+
+    *ok = true;
+    std::vector<std::string> obj_names;
+    for (const Objective &obj : group.objectives)
+        obj_names.push_back(obj.name);
+
+    auto entry = [&](std::ostream &os, std::size_t idx) {
+        os << "{ \"point\": ";
+        json::writeString(os, evals[idx]->point.toKey());
+        os << ", \"label\": ";
+        json::writeString(os, evals[idx]->point.label());
+        os << ", \"objectives\": ";
+        writeObjectives(os, group.objectives, evals[idx]->aggregate, 0);
+        os << " }";
+    };
+
+    std::ostringstream os;
+    os << responseHead(req.idJson, "frontier") << ", \"space\": ";
+    json::writeString(os, spec->describe());
+    os << ", \"space_size\": " << n;
+    os << ", \"backend\": ";
+    json::writeString(os, std::string(group.backends[0]->name()));
+    os << ", \"objectives\": ";
+    writeNameArray(os, obj_names);
+    os << ", \"bench\": ";
+    writeNameArray(os, group.benchNames);
+    os << ", \"evaluations\": " << n;
+    os << ", \"cache\": { \"requested\": "
+       << counters.requested - req_before
+       << ", \"hits\": " << counters.hits - hits_before
+       << ", \"misses\": " << counters.misses - miss_before << " }";
+    os << ", \"best\": ";
+    entry(os, best);
+    os << ", \"frontier\": [";
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+        os << (i ? ", " : "");
+        entry(os, frontier[i]);
+    }
+    os << "]}";
+    return os.str();
+}
+
+std::vector<std::string>
+EvalService::handleFlush(const std::vector<ServeRequest> &requests)
+{
+    // Per-request slots, filled out of order, emitted in order.
+    std::vector<std::string> responses(requests.size());
+
+    // Pending eval requests per group, coalesced across the flush.
+    // A batch request of the same group is a barrier: pending evals
+    // flush first, so accounting is exactly what strictly sequential
+    // processing would produce, independent of how the session
+    // chunked the input stream.
+    struct PendingEval
+    {
+        std::size_t slot;
+        DesignPoint point;
+    };
+    std::vector<Group *> groupOrder;
+    std::map<Group *, std::vector<PendingEval>> pending;
+
+    auto flushGroup = [&](Group *group) {
+        auto it = pending.find(group);
+        if (it == pending.end() || it->second.empty())
+            return;
+        std::vector<DesignPoint> points;
+        points.reserve(it->second.size());
+        for (const PendingEval &pe : it->second)
+            points.push_back(pe.point);
+        std::vector<bool> was_hit;
+        std::vector<const SearchEval *> evals =
+            evaluatePoints(*group, points, &was_hit);
+        for (std::size_t i = 0; i < it->second.size(); ++i) {
+            const PendingEval &pe = it->second[i];
+            responses[pe.slot] = evalResponse(requests[pe.slot], *group,
+                                              *evals[i], was_hit[i]);
+        }
+        it->second.clear();
+    };
+
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        const ServeRequest &req = requests[i];
+        std::string error;
+        Group *group = resolveGroup(req, &error);
+        if (!group) {
+            responses[i] = errorResponse(req.idJson, error);
+            ++counters.errors;
+            continue;
+        }
+        if (std::find(groupOrder.begin(), groupOrder.end(), group) ==
+            groupOrder.end()) {
+            groupOrder.push_back(group);
+        }
+
+        if (req.type == RequestType::Eval) {
+            const DesignPoint &point = *req.point;
+            if (std::string why = SpaceSpec::single(point).check();
+                !why.empty()) {
+                responses[i] = errorResponse(
+                    req.idJson, "invalid design point '" +
+                                    point.toKey() + "': " + why);
+                ++counters.errors;
+                continue;
+            }
+            if (!predictorsProfiled(*group->studies[0]->study,
+                                    {point.predictor}, &error)) {
+                responses[i] = errorResponse(req.idJson, error);
+                ++counters.errors;
+                continue;
+            }
+            pending[group].push_back({i, point});
+            ++counters.evalRequests;
+        } else if (req.type == RequestType::Batch) {
+            flushGroup(group);
+            bool ok = false;
+            responses[i] = batchResponse(req, *group, &ok);
+            if (ok)
+                ++counters.batchRequests;
+            else
+                ++counters.errors;
+        } else {
+            panic("control request reached handleFlush");
+        }
+    }
+
+    for (Group *group : groupOrder)
+        flushGroup(group);
+    return responses;
+}
+
+std::string
+EvalService::infoResponse(const std::string &id_json) const
+{
+    std::vector<std::string> obj_names;
+    for (const Objective &obj : allObjectives())
+        obj_names.push_back(obj.name);
+
+    std::ostringstream os;
+    os << responseHead(id_json, "info")
+       << ", \"generator\": \"mech_serve\"";
+    os << ", \"benchmarks\": ";
+    writeNameArray(os, allProfileNames());
+    os << ", \"backends\": ";
+    writeNameArray(os, BackendRegistry::global().names());
+    os << ", \"objectives\": ";
+    writeNameArray(os, obj_names);
+    os << ", \"defaults\": { \"bench\": ";
+    writeNameArray(os, cfg.defaultBench);
+    os << ", \"backends\": ";
+    writeNameArray(os, cfg.defaultBackends);
+    os << ", \"objectives\": ";
+    writeNameArray(os, cfg.defaultObjectives);
+    os << " }, \"max_space\": " << cfg.maxSpacePoints;
+    os << ", \"instructions\": " << cfg.traceLen << "}";
+    return os.str();
+}
+
+std::string
+EvalService::statsResponse(const std::string &id_json,
+                           RequestType type) const
+{
+    const ServiceStats s = stats();
+    std::ostringstream os;
+    os << responseHead(id_json,
+                       type == RequestType::Shutdown ? "bye" : "stats");
+    os << ", \"requests\": { \"eval\": " << s.evalRequests
+       << ", \"batch\": " << s.batchRequests
+       << ", \"errors\": " << s.errors << " }";
+    os << ", \"cache\": { \"requested\": " << s.requested
+       << ", \"hits\": " << s.hits << ", \"misses\": " << s.misses
+       << ", \"hit_rate\": ";
+    json::writeNumber(os, s.hitRate());
+    os << " }, \"groups\": " << s.groups
+       << ", \"cached_points\": " << s.cachedPoints << "}";
+    return os.str();
+}
+
+ServiceStats
+EvalService::stats() const
+{
+    ServiceStats s = counters;
+    s.cachedPoints = 0;
+    for (const auto &group : groupList)
+        s.cachedPoints += group->cache.size();
+    return s;
+}
+
+} // namespace mech::serve

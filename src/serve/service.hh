@@ -1,0 +1,191 @@
+/**
+ * @file
+ * The evaluation service behind mech_serve: resolve client requests
+ * against the live registries and answer them through shared studies,
+ * a shared thread pool, and per-group memoized evaluation caches.
+ *
+ * The unit of work here is a *client request*, not a study: requests
+ * arrive naming arbitrary (benchmarks, backends, objectives)
+ * combinations, so the service keeps
+ *
+ *   - a study pool: one DseStudy per benchmark name, profiled once
+ *     (or loaded from a .mprof artifact) on first use and shared by
+ *     every request that names the benchmark, with cumulative
+ *     L2-geometry preparation so evaluations stay read-only;
+ *   - evaluation groups: one per distinct
+ *     (benchmarks, backends, objectives) combination, each owning a
+ *     PR-4 EvalCache keyed by DesignPoint identity — repeat requests
+ *     are answered from the memo without touching the pool;
+ *   - one ThreadPool shared by every group, used only to compute
+ *     cache misses (and to build studies).
+ *
+ * Determinism: handleFlush() classifies hits and misses and inserts
+ * results on the calling thread in request order — the exact
+ * three-phase dance of SearchEvaluator::evaluateBatch() — so
+ * response bodies and hit/miss accounting are byte-identical for any
+ * worker count.  No response field depends on the thread count or
+ * the wall clock (latency is the session layer's concern).
+ */
+
+#ifndef MECH_SERVE_SERVICE_HH
+#define MECH_SERVE_SERVICE_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hh"
+#include "common/types.hh"
+#include "serve/protocol.hh"
+
+namespace mech {
+class DseStudy;
+struct SearchEval;
+}
+
+namespace mech::serve {
+
+/** Server-side configuration shared by every session. */
+struct ServeConfig
+{
+    /** Dynamic instructions per benchmark trace when profiling. */
+    InstCount traceLen = 50000;
+
+    /** Directory of .mprof artifacts to load instead of profiling. */
+    std::string profileDir;
+
+    /** Worker threads (already sanitized); <= 1 evaluates inline. */
+    unsigned threads = 1;
+
+    /** Largest SpaceSpec a batch request may fan out. */
+    std::uint64_t maxSpacePoints = 100000;
+
+    /** Benchmark set for requests that name none. */
+    std::vector<std::string> defaultBench{"jpeg_c", "sha"};
+
+    /** Backend set for requests that name none. */
+    std::vector<std::string> defaultBackends{"model"};
+
+    /** Objective set for requests that name none. */
+    std::vector<std::string> defaultObjectives{"cpi"};
+};
+
+/** Service-wide evaluation-traffic accounting (all deterministic). */
+struct ServiceStats
+{
+    /** Point lookups requested (eval requests + batch fan-outs). */
+    std::uint64_t requested = 0;
+
+    /** Lookups served from a group's memo. */
+    std::uint64_t hits = 0;
+
+    /** Fresh evaluations computed. */
+    std::uint64_t misses = 0;
+
+    /** Data-plane requests answered, by kind. */
+    std::uint64_t evalRequests = 0;
+    std::uint64_t batchRequests = 0;
+
+    /** Requests answered with an error response. */
+    std::uint64_t errors = 0;
+
+    /** Distinct (bench, backends, objectives) groups materialized. */
+    std::uint64_t groups = 0;
+
+    /** Memoized design points across all groups. */
+    std::uint64_t cachedPoints = 0;
+
+    /** Hits over requested (0 before any request). */
+    double
+    hitRate() const
+    {
+        return requested
+                   ? static_cast<double>(hits) /
+                         static_cast<double>(requested)
+                   : 0.0;
+    }
+};
+
+/** The long-running evaluation engine behind every server session. */
+class EvalService
+{
+  public:
+    explicit EvalService(ServeConfig cfg);
+    ~EvalService();
+
+    EvalService(const EvalService &) = delete;
+    EvalService &operator=(const EvalService &) = delete;
+
+    /**
+     * Answer one coalesced flush of data-plane (eval/batch) requests.
+     *
+     * Returns exactly one response body per request, in request
+     * order: a "result" line per eval, a "frontier" line per batch,
+     * or an "error" line for any request that fails resolution.
+     * Bodies carry no latency fields (the ResponseWriter appends
+     * those) and no thread-count-dependent data.
+     */
+    std::vector<std::string>
+    handleFlush(const std::vector<ServeRequest> &requests);
+
+    /** Answer an info request (registries, defaults, limits). */
+    std::string infoResponse(const std::string &id_json) const;
+
+    /**
+     * Answer a stats request, or — for @p type Shutdown — the final
+     * "bye" accounting line of a graceful drain.
+     */
+    std::string statsResponse(const std::string &id_json,
+                              RequestType type) const;
+
+    /** Current accounting snapshot. */
+    ServiceStats stats() const;
+
+    /** The service configuration. */
+    const ServeConfig &config() const { return cfg; }
+
+  private:
+    struct Group;
+    struct StudyEntry;
+    struct Resolved;
+
+    /** Resolve names; null plus @p error on failure. */
+    Group *resolveGroup(const ServeRequest &req, std::string *error);
+
+    /** The study-pool entry for @p bench, building it on first use. */
+    void buildStudies(const std::vector<std::string> &names);
+
+    /** Memoize any unprepared L2 geometries of @p points. */
+    void prepareGeometries(Group &group,
+                           const std::vector<DesignPoint> &points);
+
+    /**
+     * Evaluate @p points through @p group's memo (deterministic
+     * three-phase hit/miss split).  @p was_hit gets one flag per
+     * point: true when it was answered without a fresh evaluation.
+     */
+    std::vector<const SearchEval *>
+    evaluatePoints(Group &group,
+                   const std::vector<DesignPoint> &points,
+                   std::vector<bool> *was_hit);
+
+    std::string evalResponse(const ServeRequest &req, Group &group,
+                             const SearchEval &eval, bool was_hit);
+
+    /** @p ok reports whether the body is a frontier (vs an error). */
+    std::string batchResponse(const ServeRequest &req, Group &group,
+                              bool *ok);
+
+    ServeConfig cfg;
+    ThreadPool pool;
+    std::map<std::string, std::unique_ptr<StudyEntry>> studies;
+    std::vector<std::unique_ptr<Group>> groupList;
+    std::map<std::string, Group *> groupIndex;
+    ServiceStats counters;
+};
+
+} // namespace mech::serve
+
+#endif // MECH_SERVE_SERVICE_HH

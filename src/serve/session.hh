@@ -1,0 +1,145 @@
+/**
+ * @file
+ * One client's conversation with the service: the pipelined
+ * read-coalesce-evaluate-respond loop shared by the stdio and TCP
+ * front ends.
+ *
+ * A ServerSession reads newline-delimited requests from a
+ * LineSource, batches them through a RequestQueue, answers through
+ * the shared EvalService, and streams responses (one line per
+ * request, in request order) through a ResponseWriter that appends
+ * per-response latency and keeps traffic accounting.
+ *
+ * Coalescing policy: keep reading while more input is immediately
+ * available and the batch cap is not reached; flush when the source
+ * would block (an interactive client gets its answer right away), at
+ * the cap, on a control request, and at EOF.  Because the service's
+ * accounting is flush-boundary independent, this is purely a
+ * throughput knob — the response stream is byte-identical however
+ * the input was paced or chunked.
+ */
+
+#ifndef MECH_SERVE_SESSION_HH
+#define MECH_SERVE_SESSION_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "serve/request_queue.hh"
+#include "serve/service.hh"
+
+namespace mech::serve {
+
+/** A source of request lines (stdin, a socket, a test string). */
+class LineSource
+{
+  public:
+    virtual ~LineSource() = default;
+
+    /**
+     * Read the next line (without its newline) into @p line.
+     * Returns false at end of stream.  Oversized lines (beyond
+     * kMaxRequestBytes) are truncated to the cap, with the rest of
+     * the physical line consumed and discarded — the session turns
+     * the truncation into an error response.
+     */
+    virtual bool nextLine(std::string &line) = 0;
+
+    /** True when another line can be read without blocking. */
+    virtual bool moreBuffered() = 0;
+};
+
+/** LineSource over a std::istream (stdin, test stringstreams). */
+class IstreamLineSource : public LineSource
+{
+  public:
+    explicit IstreamLineSource(std::istream &is) : is(is) {}
+
+    bool nextLine(std::string &line) override;
+    bool moreBuffered() override;
+
+  private:
+    std::istream &is;
+};
+
+/** Per-session knobs (the server's --max-batch / --deterministic). */
+struct SessionOptions
+{
+    /** Most requests coalesced into one service flush. */
+    std::size_t maxBatch = 64;
+
+    /** Append "latency_us" to responses (off => fully reproducible). */
+    bool latencyFields = true;
+};
+
+/** One session's traffic counters. */
+struct SessionStats
+{
+    std::uint64_t lines = 0;     ///< non-blank lines read
+    std::uint64_t responses = 0; ///< response lines written
+    std::uint64_t errors = 0;    ///< of which error responses
+    bool shutdownRequested = false;
+};
+
+/**
+ * Response serializer: one JSON line per response, with optional
+ * latency annotation.
+ *
+ * Latency is measured from line arrival to response write — it
+ * includes the coalescing wait, which is the number a client
+ * experiences.  The field is appended by this writer (bodies arrive
+ * latency-free from the service), so switching it off yields the
+ * deterministic stream CI diffs against a golden file.
+ */
+class ResponseWriter
+{
+  public:
+    ResponseWriter(std::ostream &os, bool latency_fields)
+        : os(os), latencyFields(latency_fields)
+    {
+    }
+
+    /** Write one response body, annotating @p latency_us if enabled. */
+    void write(const std::string &body, double latency_us);
+
+    /** Flush the underlying stream (once per batch). */
+    void flush();
+
+    std::uint64_t written() const { return count; }
+    std::uint64_t errorsWritten() const { return errorCount; }
+
+  private:
+    std::ostream &os;
+    bool latencyFields;
+    std::uint64_t count = 0;
+    std::uint64_t errorCount = 0;
+};
+
+/** The pipelined request/response loop for one client. */
+class ServerSession
+{
+  public:
+    ServerSession(EvalService &service, LineSource &source,
+                  std::ostream &out, SessionOptions opts);
+
+    /**
+     * Serve until end of stream or a shutdown request (which drains
+     * pending requests and answers with a final "bye" line).
+     */
+    SessionStats run();
+
+  private:
+    void flushQueue();
+
+    EvalService &service;
+    LineSource &source;
+    ResponseWriter writer;
+    RequestQueue queue;
+    SessionOptions opts;
+    SessionStats stats;
+};
+
+} // namespace mech::serve
+
+#endif // MECH_SERVE_SESSION_HH

@@ -1,5 +1,6 @@
 #include "workload/suites.hh"
 
+#include <algorithm>
 #include <map>
 
 #include "common/logging.hh"
@@ -779,8 +780,8 @@ specLikeSuite()
     return suite;
 }
 
-const BenchmarkProfile &
-profileByName(const std::string &name)
+const BenchmarkProfile *
+findProfile(const std::string &name)
 {
     // Fig. 7 of the paper uses the MiBench binary names; map them to
     // the canonical profile names used elsewhere.
@@ -795,13 +796,33 @@ profileByName(const std::string &name)
 
     for (const auto &p : mibenchSuite()) {
         if (p.name == wanted)
-            return p;
+            return &p;
     }
     for (const auto &p : specLikeSuite()) {
         if (p.name == wanted)
-            return p;
+            return &p;
     }
+    return nullptr;
+}
+
+const BenchmarkProfile &
+profileByName(const std::string &name)
+{
+    if (const BenchmarkProfile *p = findProfile(name))
+        return *p;
     fatal("unknown benchmark profile '", name, "'");
+}
+
+std::vector<std::string>
+allProfileNames()
+{
+    std::vector<std::string> names;
+    for (const auto &p : mibenchSuite())
+        names.push_back(p.name);
+    for (const auto &p : specLikeSuite())
+        names.push_back(p.name);
+    std::sort(names.begin(), names.end());
+    return names;
 }
 
 } // namespace mech

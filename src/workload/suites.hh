@@ -27,14 +27,22 @@ const std::vector<BenchmarkProfile> &mibenchSuite();
 const std::vector<BenchmarkProfile> &specLikeSuite();
 
 /**
- * Look up a profile by name across all suites.
+ * Look up a profile by name across all suites, or null when the name
+ * is unknown.
  *
  * Aliases used by the paper's Fig. 7 (cjpeg/djpeg/toast for
- * jpeg_c/jpeg_d/gsm_c) resolve to their canonical profiles.
- *
- * Calls fatal() if the name is unknown (user error).
+ * jpeg_c/jpeg_d/gsm_c) resolve to their canonical profiles.  The
+ * nullable variant exists for the serve layer, where an unknown
+ * benchmark is ordinary client input that must become a structured
+ * error response rather than terminate the process.
  */
+const BenchmarkProfile *findProfile(const std::string &name);
+
+/** findProfile(), but calls fatal() on an unknown name (user error). */
 const BenchmarkProfile &profileByName(const std::string &name);
+
+/** Every known profile name (both suites, no aliases), sorted. */
+std::vector<std::string> allProfileNames();
 
 } // namespace mech
 

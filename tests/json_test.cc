@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Unit tests for the shared JSON reader/writer (common/json.hh):
+ * value shapes, ordering and duplicate-key semantics, the
+ * non-throwing error channel, and the escape/number writers the
+ * report and serve layers rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+
+#include "common/json.hh"
+
+namespace mech::json {
+namespace {
+
+Value
+parseOk(const std::string &text)
+{
+    std::string error;
+    auto v = parse(text, &error);
+    EXPECT_TRUE(v.has_value()) << "'" << text << "': " << error;
+    return v ? *v : Value{};
+}
+
+std::string
+parseError(const std::string &text)
+{
+    std::string error;
+    auto v = parse(text, &error);
+    EXPECT_FALSE(v.has_value()) << "'" << text << "' parsed";
+    return error;
+}
+
+TEST(JsonParse, Scalars)
+{
+    EXPECT_TRUE(parseOk("null").isNull());
+    EXPECT_TRUE(parseOk("true").boolean);
+    EXPECT_FALSE(parseOk("false").boolean);
+    EXPECT_DOUBLE_EQ(parseOk("-12.5e2").number, -1250.0);
+    EXPECT_EQ(parseOk("\"hi\\nthere\"").string, "hi\nthere");
+}
+
+TEST(JsonParse, NestedStructure)
+{
+    Value v = parseOk(
+        R"({"a": [1, 2, {"b": "c"}], "d": {"e": null}, "f": true})");
+    ASSERT_TRUE(v.isObject());
+    const Value *a = v.get("a");
+    ASSERT_TRUE(a && a->isArray());
+    ASSERT_EQ(a->array.size(), 3u);
+    EXPECT_DOUBLE_EQ(a->array[1].number, 2.0);
+    ASSERT_NE(a->array[2].get("b"), nullptr);
+    EXPECT_EQ(a->array[2].get("b")->string, "c");
+    EXPECT_TRUE(v.get("d")->get("e")->isNull());
+    EXPECT_EQ(v.get("nope"), nullptr);
+}
+
+TEST(JsonParse, ObjectKeepsInsertionOrderAndFirstDuplicate)
+{
+    Value v = parseOk(R"({"z": 1, "a": 2, "z": 3})");
+    ASSERT_EQ(v.object.size(), 2u);
+    EXPECT_EQ(v.object[0].first, "z");
+    EXPECT_EQ(v.object[1].first, "a");
+    EXPECT_DOUBLE_EQ(v.get("z")->number, 1.0); // first wins
+}
+
+TEST(JsonParse, UnicodeEscapes)
+{
+    EXPECT_EQ(parseOk("\"\\u0041\"").string, "A");
+    EXPECT_EQ(parseOk("\"\\u00e9\"").string, "\xc3\xa9");
+    EXPECT_EQ(parseOk("\"\\u20ac\"").string, "\xe2\x82\xac");
+}
+
+TEST(JsonParse, ErrorsCarryOffsets)
+{
+    EXPECT_NE(parseError("").find("unexpected end"),
+              std::string::npos);
+    EXPECT_NE(parseError("{\"a\": }").find("offset"),
+              std::string::npos);
+    parseError("{\"a\": 1,}");
+    parseError("[1, 2");
+    parseError("\"unterminated");
+    parseError("{\"a\": 1} trailing");
+    parseError("{'single': 1}");
+    parseError("nul");
+    parseError("{\"a\": inf}");
+    parseError("{\"a\": 1e999}"); // overflow -> inf, not JSON
+    parseError("{\"a\": nan}");
+    parseError("{1: 2}");
+}
+
+TEST(JsonParse, TruncatedRequestLines)
+{
+    // The serve layer's bread and butter: every prefix of a valid
+    // document must fail cleanly, never crash.
+    const std::string full =
+        R"({"id": 7, "type": "eval", "point": "l2kb=512"})";
+    for (std::size_t len = 0; len < full.size(); ++len) {
+        std::string error;
+        EXPECT_FALSE(parse(full.substr(0, len), &error).has_value())
+            << "prefix length " << len;
+    }
+    std::string error;
+    EXPECT_TRUE(parse(full, &error).has_value());
+}
+
+TEST(JsonParse, ManyDistinctKeysParseInLinearTime)
+{
+    // ~100k keys must dedup through a hash probe, not a per-member
+    // rescan of the object (which would take seconds, a DoS on the
+    // serve layer's request lines).
+    std::string doc = "{";
+    for (int i = 0; i < 100000; ++i) {
+        if (i)
+            doc += ",";
+        doc += "\"k" + std::to_string(i) + "\": 1";
+    }
+    doc += "}";
+    Value v = parseOk(doc);
+    EXPECT_EQ(v.object.size(), 100000u);
+}
+
+TEST(JsonParse, DeepNestingIsBoundedNotFatal)
+{
+    std::string deep(200, '[');
+    deep += std::string(200, ']');
+    parseError(deep);
+}
+
+TEST(JsonParse, NumberBounds)
+{
+    EXPECT_EQ(parseOk("42").asU64().value(), 42u);
+    EXPECT_EQ(parseOk("0").asU64().value(), 0u);
+    EXPECT_FALSE(parseOk("-1").asU64().has_value());
+    EXPECT_FALSE(parseOk("1.5").asU64().has_value());
+    EXPECT_FALSE(parseOk("1e300").asU64().has_value());
+    // 2^64 exactly: one past the largest representable uint64.
+    EXPECT_FALSE(
+        parseOk("18446744073709551616").asU64().has_value());
+    EXPECT_FALSE(parseOk("\"42\"").asU64().has_value());
+}
+
+TEST(JsonWrite, StringEscapes)
+{
+    std::ostringstream os;
+    writeString(os, "a\"b\\c\nd\te\x01");
+    EXPECT_EQ(os.str(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+}
+
+TEST(JsonWrite, NumbersRoundTrip)
+{
+    for (double v : {0.0, 1.0, -1250.0, 0.8, 1.0 / 3.0,
+                     1.556829428802909e-10,
+                     std::numeric_limits<double>::denorm_min()}) {
+        std::ostringstream os;
+        writeNumber(os, v);
+        Value parsed = parseOk(os.str());
+        EXPECT_EQ(parsed.number, v) << os.str();
+    }
+}
+
+TEST(JsonRoundTrip, WriterOutputReparses)
+{
+    std::ostringstream os;
+    os << "{\"name\": ";
+    writeString(os, "weird \"chars\"\n\ttabs");
+    os << ", \"value\": ";
+    writeNumber(os, 0.1 + 0.2);
+    os << "}";
+    Value v = parseOk(os.str());
+    EXPECT_EQ(v.get("name")->string, "weird \"chars\"\n\ttabs");
+    EXPECT_EQ(v.get("value")->number, 0.1 + 0.2);
+}
+
+} // namespace
+} // namespace mech::json

@@ -12,6 +12,7 @@
  *   profile_roundtrip  .mprof save + load round trip    roundtrips/s
  *   dse_scaling        parallel DSE sweep, 1..N thr     evals/s
  *   search_pareto      genetic Pareto search + cache    evals/s
+ *   serve_throughput   warm mech_serve session          requests/s
  *
  * Each benchmark is measured with warmup + adaptive iteration count +
  * min-of-N repetitions (src/common/bench.hh) and lands in a
@@ -283,6 +284,48 @@ runSearchPareto(Fixture &fx, const bench::MeasureOptions &opts,
                m.rate(evals_per_run), "evals/s");
 }
 
+void
+runServeThroughput(Fixture &fx, const bench::MeasureOptions &opts,
+                   bench::BenchReport &report)
+{
+    // The serve hot path at steady state: parse a pipelined request
+    // line, hit the memoized cache, serialize the response.  One
+    // warm service handles every timed iteration, so after the first
+    // sweep the stream is pure cache hits — the regime a long-running
+    // replay converges to.  Latency fields stay off: the measurement
+    // is the deterministic protocol path.
+    serve::ServeConfig cfg;
+    cfg.traceLen = fx.instructions();
+    cfg.threads = fx.threads();
+    cfg.defaultBench = {kBenchName};
+    serve::EvalService service(cfg);
+
+    std::string requests;
+    const auto space = table2Space();
+    const std::size_t n_requests = 1024;
+    for (std::size_t i = 0; i < n_requests; ++i) {
+        requests += "{\"id\": " + std::to_string(i) +
+                    ", \"type\": \"eval\", \"point\": \"" +
+                    space[i % space.size()].toKey() + "\"}\n";
+    }
+    serve::SessionOptions sopts;
+    sopts.latencyFields = false;
+
+    auto serveOnce = [&] {
+        std::istringstream in(requests);
+        std::ostringstream out;
+        serve::IstreamLineSource source(in);
+        serve::ServerSession session(service, source, out, sopts);
+        serve::SessionStats stats = session.run();
+        bench::doNotOptimize(stats.responses);
+    };
+    serveOnce(); // warm: profiles the study, fills the cache
+
+    auto m = bench::measure([&] { serveOnce(); }, opts);
+    report.add(kSuite, "serve_throughput", "throughput",
+               m.rate(static_cast<double>(n_requests)), "requests/s");
+}
+
 std::vector<NamedBenchmark>
 allBenchmarks()
 {
@@ -306,6 +349,9 @@ allBenchmarks()
         {"search_pareto",
          "genetic Pareto search through the memoized eval cache",
          runSearchPareto},
+        {"serve_throughput",
+         "warm mech_serve session throughput (requests/s)",
+         runServeThroughput},
     };
 }
 

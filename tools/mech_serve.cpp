@@ -1,0 +1,133 @@
+/**
+ * @file
+ * mech_serve: the long-running batched evaluation service.
+ *
+ * Speaks newline-delimited JSON over stdin/stdout (the default) or a
+ * loopback TCP socket (--port).  Requests name a design point or a
+ * whole design space, a benchmark set, one or more registered
+ * backends and an objective set; responses stream back in request
+ * order, answered from a shared memoized evaluation cache whenever
+ * the point has been seen before.
+ *
+ *   echo '{"id": 1, "type": "eval",
+ *          "point": "l2kb=512,assoc=8,depth=9,freq=1,
+ *                    width=4,pred=gshare1k"}' | mech_serve --threads 4
+ *
+ * See docs/serving.md for the protocol schema, batching semantics
+ * and the determinism contract, and examples/serve_client for a
+ * scripted walkthrough.  All diagnostics go to stderr; stdout is
+ * reserved for the response stream.
+ */
+
+#include <iostream>
+#include <string>
+
+#include "mech/mech.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mech;
+
+    std::string bench_csv = "jpeg_c,sha";
+    std::string backends_csv = "model";
+    std::string objectives_csv = "cpi";
+    std::string profile_dir;
+    InstCount instructions = 50000;
+    std::uint64_t max_space = 100000;
+    std::uint64_t max_batch = 64;
+    unsigned threads = 0;
+    unsigned port = 0;
+    bool deterministic = false;
+
+    cli::ArgParser parser(
+        "mech_serve",
+        "long-running batched evaluation service over "
+        "newline-delimited JSON (stdin/stdout, or TCP with --port)");
+    parser.add("port", "N",
+               "serve on 127.0.0.1:N instead of stdin/stdout",
+               &port);
+    parser.add("threads", "N",
+               "worker threads for cache misses (0 = all hardware "
+               "threads); responses are byte-identical for any value",
+               &threads);
+    parser.add("instructions", "N",
+               "dynamic instructions per benchmark trace when "
+               "profiling",
+               &instructions);
+    parser.add("profile-dir", "dir",
+               "load .mprof artifacts from this directory instead of "
+               "re-profiling",
+               &profile_dir);
+    parser.add("bench", "csv",
+               "benchmark set for requests that name none",
+               &bench_csv);
+    parser.add("backend", "csv",
+               "backend set for requests that name none",
+               &backends_csv);
+    parser.add("objective", "csv",
+               "objective set for requests that name none",
+               &objectives_csv);
+    parser.add("max-batch", "N",
+               "most pipelined requests coalesced into one "
+               "evaluation flush",
+               &max_batch);
+    parser.add("max-space", "N",
+               "largest space a batch request may fan out",
+               &max_space);
+    parser.addFlag("deterministic",
+                   "omit per-response latency fields, making the "
+                   "response stream byte-reproducible",
+                   &deterministic);
+    parser.parse(argc, argv);
+
+    if (port > 65535)
+        fatal("--port must be below 65536");
+    if (max_batch == 0)
+        fatal("--max-batch must be positive");
+    if (max_space == 0)
+        fatal("--max-space must be positive");
+    if (instructions < 1000)
+        fatal("--instructions too small for a meaningful profile");
+
+    serve::ServeConfig cfg;
+    cfg.traceLen = instructions;
+    cfg.profileDir = profile_dir;
+    cfg.threads = ThreadPool::sanitizeWorkerCount(
+        static_cast<long long>(threads));
+    cfg.maxSpacePoints = max_space;
+    // Resolve the default sets now: a typoed --bench/--backend/
+    // --objective must fail at startup like every other tool, not
+    // surface request by request once the daemon is already up.
+    cfg.defaultBench.clear();
+    for (const std::string &name : cli::splitCsv(bench_csv)) {
+        if (name.empty())
+            fatal("empty benchmark name in '", bench_csv, "'");
+        profileByName(name); // fatal() on an unknown profile
+        cfg.defaultBench.push_back(name);
+    }
+    backendSet(backends_csv); // fatal() on an unknown backend
+    cfg.defaultBackends = cli::splitCsv(backends_csv);
+    parseObjectives(objectives_csv); // fatal() on an unknown objective
+    cfg.defaultObjectives = cli::splitCsv(objectives_csv);
+
+    serve::SessionOptions opts;
+    opts.maxBatch = max_batch;
+    opts.latencyFields = !deterministic;
+
+    serve::EvalService service(cfg);
+    std::cerr << "mech_serve: defaults bench=" << bench_csv
+              << " backends=" << backends_csv
+              << " objectives=" << objectives_csv << "; "
+              << cfg.threads << " worker thread(s), batch cap "
+              << max_batch << "\n";
+
+    if (port != 0) {
+        return serve::runTcpServer(
+            service, static_cast<unsigned short>(port), std::cerr,
+            opts);
+    }
+    serve::runStdioServer(service, std::cin, std::cout, std::cerr,
+                          opts);
+    return 0;
+}
