@@ -1,25 +1,42 @@
 /**
  * @file
- * A small fixed-size worker pool over a FIFO work queue.
+ * A small fixed-size worker pool with two submission paths.
  *
- * Built for the DSE layer's embarrassingly parallel (benchmark x
- * design point) sweeps, but generic: submit() accepts any nullary
- * callable and returns a std::future for its result, so exceptions
- * thrown by a task propagate to whoever waits on it.
+ * submit() is the general path: any nullary callable, a std::future
+ * for its result, exceptions propagated to whoever waits.  It pays
+ * one heap allocation and one queue lock per task, which is fine for
+ * coarse work (profiling a benchmark, building a study).
+ *
+ * parallelFor() is the hot path the DSE layer's (benchmark x design
+ * point) sweeps run on.  A model evaluation is microseconds, so the
+ * submit() machinery — shared_ptr<packaged_task>, std::function,
+ * future, mutex/cv round trip per task — used to cost more than the
+ * work and made sweeps scale *backwards* with threads.  parallelFor
+ * publishes one index-range job with a single lock acquisition and
+ * zero per-chunk heap allocations: workers (and the calling thread,
+ * which participates) claim [begin, end) chunks under the pool mutex
+ * and run them outside it, and completion is a single latch-style
+ * wait on the job's item count.  The job lives on the caller's
+ * stack; the caller does not return until every index is processed,
+ * so chunk execution never touches freed state.
  *
  * A pool with zero workers degenerates to inline execution: submit()
- * runs the task on the calling thread before returning.  That keeps
+ * runs the task on the calling thread before returning and
+ * parallelFor() runs the whole range as one inline chunk.  That keeps
  * serial fallback paths (nthreads <= 1 without a spare thread) free
- * of any scheduling machinery while preserving the future-based API.
+ * of any scheduling machinery while preserving both APIs.
  */
 
 #ifndef MECH_COMMON_THREAD_POOL_HH
 #define MECH_COMMON_THREAD_POOL_HH
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -29,7 +46,7 @@
 
 namespace mech {
 
-/** Fixed-size thread pool with a FIFO task queue. */
+/** Fixed-size thread pool: FIFO task queue + bulk index-range jobs. */
 class ThreadPool
 {
   public:
@@ -62,7 +79,11 @@ class ThreadPool
      * Queue @p fn for execution and return a future for its result.
      *
      * Tasks are dispatched to workers in submission order (FIFO); an
-     * exception escaping @p fn is captured into the future.
+     * exception escaping @p fn is captured into the future.  A task
+     * submitted while the pool is shutting down runs inline on the
+     * submitting thread — workers may already have observed the stop
+     * flag and exited, and a task stranded in the queue would leave
+     * its future forever unready.
      */
     template <typename F>
     auto
@@ -82,10 +103,82 @@ class ThreadPool
 
         {
             std::lock_guard<std::mutex> lock(mtx);
-            queue.emplace([task] { (*task)(); });
+            if (!stopping) {
+                queue.emplace([task] { (*task)(); });
+                cv.notify_one();
+                return fut;
+            }
         }
-        cv.notify_one();
+        // Racing shutdown: run inline so the future is always
+        // satisfied even if every worker has already returned.
+        (*task)();
         return fut;
+    }
+
+    /**
+     * Run @p fn over the index range [0, @p n) in chunks of up to
+     * @p chunk indices, blocking until every index has been
+     * processed.
+     *
+     * @p fn is invoked as fn(begin, end) with 0 <= begin < end <= n;
+     * distinct chunks may run concurrently on any worker or on the
+     * calling thread (which participates), so @p fn must only write
+     * to state preassigned to its indices.  The first exception
+     * escaping a chunk is rethrown on the calling thread after the
+     * whole range has been processed; later exceptions are dropped.
+     *
+     * Cost: one lock acquisition to publish the job, two per chunk
+     * to claim it and retire it, no heap allocation at all.
+     */
+    template <typename F>
+    void
+    parallelFor(std::size_t n, std::size_t chunk, F &&fn)
+    {
+        if (n == 0)
+            return;
+        chunk = std::max<std::size_t>(1, chunk);
+        if (threads.empty() || n <= chunk) {
+            fn(std::size_t{0}, n);
+            return;
+        }
+
+        BulkJob job;
+        job.invoke = [](void *ctx, std::size_t begin, std::size_t end) {
+            (*static_cast<std::remove_reference_t<F> *>(ctx))(begin,
+                                                              end);
+        };
+        job.ctx = const_cast<void *>(
+            static_cast<const void *>(std::addressof(fn)));
+        job.n = n;
+        job.chunk = chunk;
+
+        std::unique_lock<std::mutex> lock(mtx);
+        bulkJobs.push_back(&job);
+        cv.notify_all();
+        // Participate: the calling thread claims chunks like any
+        // worker, so small ranges finish before workers even wake.
+        runBulkChunks(lock, job);
+        cvDone.wait(lock, [&job] { return job.completed == job.n; });
+        bulkJobs.erase(
+            std::find(bulkJobs.begin(), bulkJobs.end(), &job));
+        lock.unlock();
+
+        if (job.error)
+            std::rethrow_exception(job.error);
+    }
+
+    /**
+     * A chunk size for parallelFor over @p n items of roughly uniform
+     * cost: ~8 chunks per participant (workers + caller), enough
+     * slack for load balance while keeping claim traffic negligible.
+     */
+    std::size_t
+    bulkChunk(std::size_t n) const
+    {
+        if (threads.empty())
+            return std::max<std::size_t>(1, n);
+        return std::max<std::size_t>(1,
+                                     n / ((threads.size() + 1) * 8));
     }
 
     /** Number of worker threads (0 for an inline pool). */
@@ -125,6 +218,75 @@ class ThreadPool
     }
 
   private:
+    /**
+     * One published parallelFor range.  Lives on the caller's stack;
+     * every mutable field is guarded by the pool mutex, so claiming
+     * and retiring chunks needs no atomics and a finished job can be
+     * popped without racing in-flight workers.
+     */
+    struct BulkJob
+    {
+        /** Type-erased chunk body (no allocation: ctx is the caller's
+         *  callable, alive until parallelFor returns). */
+        void (*invoke)(void *, std::size_t, std::size_t) = nullptr;
+        void *ctx = nullptr;
+
+        /** Range size and claim granularity (immutable). */
+        std::size_t n = 0;
+        std::size_t chunk = 1;
+
+        /** First unclaimed index (guarded by the pool mutex). */
+        std::size_t next = 0;
+
+        /** Indices whose chunk has finished running (guarded). */
+        std::size_t completed = 0;
+
+        /** First exception a chunk threw (guarded). */
+        std::exception_ptr error;
+    };
+
+    /** First published job with unclaimed work, or null (lock held). */
+    BulkJob *
+    nextBulkJob() const
+    {
+        for (BulkJob *job : bulkJobs) {
+            if (job->next < job->n)
+                return job;
+        }
+        return nullptr;
+    }
+
+    /**
+     * Claim and run chunks of @p job until none are left.  Called
+     * with @p lock held; the lock is released while a chunk runs and
+     * reacquired to retire it, and is held again on return.
+     */
+    void
+    runBulkChunks(std::unique_lock<std::mutex> &lock, BulkJob &job)
+    {
+        while (job.next < job.n) {
+            const std::size_t begin = job.next;
+            const std::size_t end =
+                std::min(job.n, begin + job.chunk);
+            job.next = end;
+            lock.unlock();
+
+            std::exception_ptr err;
+            try {
+                job.invoke(job.ctx, begin, end);
+            } catch (...) {
+                err = std::current_exception();
+            }
+
+            lock.lock();
+            if (err && !job.error)
+                job.error = err;
+            job.completed += end - begin;
+            if (job.completed == job.n)
+                cvDone.notify_all();
+        }
+    }
+
     void
     shutdown()
     {
@@ -137,31 +299,39 @@ class ThreadPool
             t.join();
         threads.clear();
     }
+
     void
     workerLoop()
     {
+        std::unique_lock<std::mutex> lock(mtx);
         for (;;) {
-            std::function<void()> job;
-            {
-                std::unique_lock<std::mutex> lock(mtx);
-                cv.wait(lock,
-                        [this] { return stopping || !queue.empty(); });
-                if (queue.empty()) {
-                    if (stopping)
-                        return;
-                    continue;
-                }
-                job = std::move(queue.front());
-                queue.pop();
+            cv.wait(lock, [this] {
+                return stopping || !queue.empty() ||
+                       nextBulkJob() != nullptr;
+            });
+            if (BulkJob *job = nextBulkJob()) {
+                runBulkChunks(lock, *job);
+                continue;
             }
-            job();
+            if (!queue.empty()) {
+                std::function<void()> job = std::move(queue.front());
+                queue.pop();
+                lock.unlock();
+                job();
+                lock.lock();
+                continue;
+            }
+            if (stopping)
+                return;
         }
     }
 
     std::vector<std::thread> threads;
     std::queue<std::function<void()>> queue;
+    std::vector<BulkJob *> bulkJobs;
     std::mutex mtx;
     std::condition_variable cv;
+    std::condition_variable cvDone;
     bool stopping = false;
 };
 

@@ -131,8 +131,21 @@ DseStudy::evaluateWith(const MemoryStats &mem, const DesignPoint &point,
                        const BackendSet &backends) const
 {
     PointEvaluation ev;
-    ev.point = point;
-    ev.results.reserve(backends.size());
+    evaluateWithInto(ev, mem, point, backends);
+    return ev;
+}
+
+void
+DseStudy::evaluateWithInto(PointEvaluation &out, const MemoryStats &mem,
+                           const DesignPoint &point,
+                           const BackendSet &backends) const
+{
+    out.point = point;
+    // resize + assign rather than clear + push_back: a warm scratch
+    // keeps its element storage, and a model-backend EvalResult holds
+    // no heap state (SSO name, flat stack, disengaged detail), so the
+    // assignment allocates nothing.
+    out.results.resize(backends.size());
 
     EvalRequest req;
     req.program = &prof.program;
@@ -141,11 +154,10 @@ DseStudy::evaluateWith(const MemoryStats &mem, const DesignPoint &point,
     req.trace = dynTrace.empty() ? nullptr : &dynTrace;
     req.point = point;
 
-    for (const EvalBackend *backend : backends) {
-        MECH_ASSERT(backend, "null backend in set");
-        ev.results.push_back(backend->evaluate(req));
+    for (std::size_t i = 0; i < backends.size(); ++i) {
+        MECH_ASSERT(backends[i], "null backend in set");
+        out.results[i] = backends[i]->evaluate(req);
     }
-    return ev;
 }
 
 PointEvaluation
@@ -161,6 +173,17 @@ DseStudy::evaluate(const DesignPoint &point,
     if (const MemoryStats *memo = findMemo(point))
         return evaluateWith(*memo, point, backends);
     return evaluateWith(computeMemory(point), point, backends);
+}
+
+void
+DseStudy::evaluateInto(PointEvaluation &out, const DesignPoint &point,
+                       const BackendSet &backends) const
+{
+    if (const MemoryStats *memo = findMemo(point)) {
+        evaluateWithInto(out, *memo, point, backends);
+        return;
+    }
+    evaluateWithInto(out, computeMemory(point), point, backends);
 }
 
 } // namespace mech

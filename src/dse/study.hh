@@ -148,6 +148,18 @@ class DseStudy
              const BackendSet &backends = defaultBackends()) const;
 
     /**
+     * Thread-safe evaluation into a caller-owned result: bit-identical
+     * to the const evaluate() overload, but reuses @p out's storage
+     * instead of constructing a fresh PointEvaluation.  Sweep hot
+     * loops pass a per-worker scratch (or the preassigned output
+     * slot), so a model-speed evaluation performs no heap allocation
+     * once the scratch has warmed up.
+     */
+    void evaluateInto(PointEvaluation &out, const DesignPoint &point,
+                      const BackendSet &backends =
+                          defaultBackends()) const;
+
+    /**
      * Memoize MemoryStats for every distinct L2 geometry in
      * @p points, so subsequent const evaluations are pure lookups.
      * Call once before sharing the study read-only across threads.
@@ -194,6 +206,11 @@ class DseStudy
     PointEvaluation evaluateWith(const MemoryStats &mem,
                                  const DesignPoint &point,
                                  const BackendSet &backends) const;
+
+    /** evaluateWith() writing into caller-owned storage. */
+    void evaluateWithInto(PointEvaluation &out, const MemoryStats &mem,
+                          const DesignPoint &point,
+                          const BackendSet &backends) const;
 
     std::string benchName;
     Trace dynTrace;

@@ -35,26 +35,34 @@ StudyRunner::study(std::size_t bench_idx) const
     return *studies[bench_idx];
 }
 
+ThreadPool &
+StudyRunner::poolFor(unsigned nthreads)
+{
+    // nthreads <= 1 maps to a zero-worker pool that runs everything
+    // inline on the calling thread — the strictly serial path.
+    const unsigned workers = nthreads <= 1 ? 0 : nthreads;
+    if (!pool_ || poolThreads_ != workers) {
+        pool_.reset(); // join the old workers before spawning anew
+        pool_ = std::make_unique<ThreadPool>(workers);
+        poolThreads_ = workers;
+    }
+    return *pool_;
+}
+
 std::vector<StudyResult>
 StudyRunner::evaluateAll(const std::vector<DesignPoint> &points,
                          unsigned nthreads)
 {
-    // Declared before the pool so they outlive it: if a task throws
-    // and f.get() rethrows below, the pool destructor drains the
-    // remaining queued tasks during unwinding, and those tasks write
-    // into these vectors.
     std::vector<StudyResult> results(benches.size());
-    std::vector<std::future<void>> done;
-
-    // nthreads <= 1: a zero-worker pool runs every task inline on
-    // this thread, in submission order — the strictly serial path.
-    ThreadPool pool(nthreads <= 1 ? 0 : nthreads);
+    ThreadPool &pool = poolFor(nthreads);
 
     // Phase 1: obtain each benchmark's study — loaded from its saved
     // artifact when a profile directory supplies one, otherwise built
     // in-process (trace generation + the single profiling pass) —
     // and memoize every L2 geometry the sweep will touch.  After
-    // this phase the studies are only read.
+    // this phase the studies are only read.  Profiling is
+    // milliseconds-scale work, so the future-based submit() path is
+    // the right tool here.
     if (studies.size() != benches.size())
         studies.resize(benches.size());
     {
@@ -70,59 +78,61 @@ StudyRunner::evaluateAll(const std::vector<DesignPoint> &points,
                 studies[b]->prepare(points);
             }));
         }
-        for (auto &f : built)
-            f.get();
+        // The pool now outlives this call, so every task must finish
+        // before an exception may unwind past the locals (@p points)
+        // the tasks reference: collect the first error, rethrow last.
+        std::exception_ptr err;
+        for (auto &f : built) {
+            try {
+                f.get();
+            } catch (...) {
+                if (!err)
+                    err = std::current_exception();
+            }
+        }
+        if (err)
+            std::rethrow_exception(err);
     }
 
-    // Phase 2: shard the (benchmark x point) matrix.  Each task
-    // evaluates against its const study and writes its preassigned
-    // slots, so aggregation is deterministic in design-space order
-    // regardless of worker count or scheduling.
+    // Phase 2: one parallelFor over the flattened (benchmark x point)
+    // matrix.  Each chunk evaluates against its const studies and
+    // writes its preassigned slots through a per-chunk scratch, so
+    // aggregation is deterministic in design-space order regardless
+    // of worker count or scheduling, and a model-speed evaluation
+    // allocates nothing once the scratch is warm.
     //
-    // Granularity adapts to the size of the whole matrix rather than
-    // a fixed per-benchmark scheme: a model-only evaluation is
-    // microseconds — well under the queue/future cost of a task — so
-    // the point count is chunked to yield ~8 tasks per worker across
-    // all benchmarks together (enough slack for load balance, few
-    // enough that task overhead stays negligible for small sweeps).
-    // Detailed (trace-replaying) backends are orders of magnitude
-    // slower per point and shard per point; the serial path takes
-    // one task per benchmark since slicing buys nothing inline.
-    const bool detailed =
-        std::any_of(backends_.begin(), backends_.end(),
-                    [](const EvalBackend *b) { return b->isDetailed(); });
-    std::size_t chunk;
-    if (detailed) {
-        chunk = 1;
-    } else if (nthreads <= 1) {
-        chunk = std::max<std::size_t>(1, points.size());
-    } else {
-        const std::size_t matrix = benches.size() * points.size();
-        const std::size_t target_tasks =
-            static_cast<std::size_t>(nthreads) * 8;
-        chunk = std::max<std::size_t>(1, matrix / target_tasks);
-        chunk = std::min(chunk, std::max<std::size_t>(1, points.size()));
-    }
+    // Granularity: a model-only evaluation is microseconds, so the
+    // matrix is chunked to ~8 chunks per pool participant — enough
+    // slack for load balance, few enough that claim traffic is
+    // negligible.  Detailed (trace-replaying) backends are orders of
+    // magnitude slower per point and shard per point.
     for (std::size_t b = 0; b < benches.size(); ++b) {
         results[b].benchmark = benches[b].name;
         results[b].evals.resize(points.size());
-        const DseStudy &study = *studies[b];
-        for (std::size_t start = 0; start < points.size();
-             start += chunk) {
-            const std::size_t end =
-                std::min(points.size(), start + chunk);
-            PointEvaluation *slots = results[b].evals.data();
-            const DesignPoint *pts = points.data();
-            const BackendSet *set = &backends_;
-            done.push_back(
-                pool.submit([&study, slots, pts, start, end, set] {
-                    for (std::size_t i = start; i < end; ++i)
-                        slots[i] = study.evaluate(pts[i], *set);
-                }));
-        }
     }
-    for (auto &f : done)
-        f.get();
+    if (points.empty())
+        return results;
+
+    const bool detailed =
+        std::any_of(backends_.begin(), backends_.end(),
+                    [](const EvalBackend *b) { return b->isDetailed(); });
+    const std::size_t matrix = benches.size() * points.size();
+    const std::size_t chunk = detailed ? 1 : pool.bulkChunk(matrix);
+
+    StudyResult *res = results.data();
+    const DesignPoint *pts = points.data();
+    const std::size_t npts = points.size();
+    const BackendSet &set = backends_;
+    pool.parallelFor(
+        matrix, chunk,
+        [this, res, pts, npts, &set](std::size_t begin,
+                                     std::size_t end) {
+            for (std::size_t t = begin; t < end; ++t) {
+                const std::size_t b = t / npts;
+                const std::size_t i = t % npts;
+                studies[b]->evaluateInto(res[b].evals[i], pts[i], set);
+            }
+        });
 
     return results;
 }

@@ -12,9 +12,15 @@
  *            single profiling pass — or a load from a saved .mprof
  *            artifact when a profile directory is configured) and
  *            prepare()s every L2 geometry in the requested point list;
- *   phase 2  one task per (benchmark, point) evaluates the configured
- *            backend set against the now read-only study, writing
- *            into a preallocated slot.
+ *   phase 2  one parallelFor over the flattened (benchmark, point)
+ *            matrix evaluates the configured backend set against the
+ *            now read-only studies, each chunk writing into its
+ *            preassigned slots through a reusable scratch.
+ *
+ * The pool persists across evaluateAll() calls (rebuilt only when the
+ * requested worker count changes): spawning and joining workers per
+ * sweep used to dominate model-speed sweeps entirely and made the
+ * dse_scaling ladder go backwards with threads.
  *
  * Which evaluation engines run is a registry-selected BackendSet
  * (eval/registry.hh): `backendSet("model")` for the pure analytical
@@ -42,6 +48,8 @@
 #include "workload/profile.hh"
 
 namespace mech {
+
+class ThreadPool;
 
 /** All point evaluations for one benchmark, in design-space order. */
 struct StudyResult
@@ -107,6 +115,10 @@ class StudyRunner
     const DseStudy &study(std::size_t bench_idx) const;
 
   private:
+    /** The persistent pool for @p nthreads workers, (re)built only
+     *  when the requested count changes. */
+    ThreadPool &poolFor(unsigned nthreads);
+
     std::vector<BenchmarkProfile> benches;
     InstCount traceLen;
     BackendSet backends_;
@@ -114,6 +126,10 @@ class StudyRunner
 
     /** Built lazily by evaluateAll, then reused. */
     std::vector<std::unique_ptr<DseStudy>> studies;
+
+    /** Kept across calls so sweeps never pay thread spawn/join. */
+    std::unique_ptr<ThreadPool> pool_;
+    unsigned poolThreads_ = 0;
 };
 
 } // namespace mech

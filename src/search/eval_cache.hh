@@ -6,27 +6,32 @@
  * design points constantly; the cache makes every revisit cost zero
  * model evaluations.  Keys use DesignPoint::hash()/operator== — the
  * stable content identity added alongside this subsystem — and
- * entries live in a deque so pointers handed out stay valid for the
- * cache's lifetime, letting strategies pass results around without
- * copying.
+ * entries live in per-shard deques so pointers handed out stay valid
+ * for the cache's lifetime, letting strategies pass results around
+ * without copying.
  *
- * Thread safety: find() and insert() take an internal mutex, so the
- * cache may be probed from pool workers.  Determinism is preserved
- * by the SearchEvaluator calling insert() only from the coordinating
- * thread in request order, which makes entry order (SearchEval::
- * firstIndex) independent of worker count.
+ * Thread safety: the index is striped across kShards buckets selected
+ * by DesignPoint::hash(), each behind its own mutex, so concurrent
+ * find() probes from pool workers only contend when they land on the
+ * same shard — a single global lock here used to serialize the whole
+ * evaluation fan-out.  insert() tolerates duplicates: a point already
+ * present (e.g. re-discovered concurrently by two sessions) returns
+ * the existing entry instead of failing.  Determinism of firstIndex
+ * is preserved exactly as before: the SearchEvaluator and EvalService
+ * call insert() only from the coordinating thread in request order,
+ * which makes entry order independent of worker count.
  */
 
 #ifndef MECH_SEARCH_EVAL_CACHE_HH
 #define MECH_SEARCH_EVAL_CACHE_HH
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
 
-#include "common/logging.hh"
 #include "dse/design_space.hh"
 
 namespace mech {
@@ -51,7 +56,7 @@ struct SearchEval
     std::uint64_t firstIndex = 0;
 };
 
-/** Thread-safe memo of SearchEvals with stable entry pointers. */
+/** Thread-safe sharded memo of SearchEvals with stable pointers. */
 class EvalCache
 {
   public:
@@ -59,29 +64,45 @@ class EvalCache
     EvalCache(const EvalCache &) = delete;
     EvalCache &operator=(const EvalCache &) = delete;
 
+    /** Index shards; a power of two so selection is a mask. */
+    static constexpr std::size_t kShards = 16;
+
     /** The cached evaluation of @p point, or null on a miss. */
     const SearchEval *
     find(const DesignPoint &point) const
     {
-        std::lock_guard<std::mutex> lock(mtx);
-        auto it = index.find(point);
-        return it == index.end() ? nullptr : it->second;
+        const Shard &shard = shardFor(point);
+        std::lock_guard<std::mutex> lock(shard.mtx);
+        auto it = shard.index.find(point);
+        return it == shard.index.end() ? nullptr : it->second;
     }
 
     /**
      * Insert a freshly computed evaluation; @p eval.firstIndex is
-     * assigned here.  Inserting a point twice is a logic error.
+     * assigned here.  If the point is already cached — a benign
+     * concurrent re-discovery — the existing entry is returned and
+     * @p eval is discarded.
      */
     const SearchEval &
     insert(SearchEval eval)
     {
-        std::lock_guard<std::mutex> lock(mtx);
-        MECH_ASSERT(!index.count(eval.point),
-                    "design point evaluated twice");
-        eval.firstIndex = store.size();
-        store.push_back(std::move(eval));
-        const SearchEval &stored = store.back();
-        index.emplace(stored.point, &stored);
+        Shard &shard = shardFor(eval.point);
+        std::lock_guard<std::mutex> lock(shard.mtx);
+        if (auto it = shard.index.find(eval.point);
+            it != shard.index.end()) {
+            return *it->second;
+        }
+        shard.store.push_back(std::move(eval));
+        SearchEval &stored = shard.store.back();
+        {
+            // Global first-evaluation order spans every shard; the
+            // counter and entry list share one light mutex, taken
+            // strictly after the shard's (no reverse nesting).
+            std::lock_guard<std::mutex> order_lock(orderMtx);
+            stored.firstIndex = order.size();
+            order.push_back(&stored);
+        }
+        shard.index.emplace(stored.point, &stored);
         return stored;
     }
 
@@ -89,27 +110,44 @@ class EvalCache
     std::size_t
     size() const
     {
-        std::lock_guard<std::mutex> lock(mtx);
-        return store.size();
+        std::lock_guard<std::mutex> lock(orderMtx);
+        return order.size();
     }
 
     /** Every entry, in first-evaluation (firstIndex) order. */
     std::vector<const SearchEval *>
     entries() const
     {
-        std::lock_guard<std::mutex> lock(mtx);
-        std::vector<const SearchEval *> out;
-        out.reserve(store.size());
-        for (const SearchEval &eval : store)
-            out.push_back(&eval);
-        return out;
+        std::lock_guard<std::mutex> lock(orderMtx);
+        return order;
     }
 
   private:
-    mutable std::mutex mtx;
-    std::deque<SearchEval> store;
-    std::unordered_map<DesignPoint, const SearchEval *, DesignPointHash>
-        index;
+    /** One lock-striped bucket of the index. */
+    struct Shard
+    {
+        mutable std::mutex mtx;
+        std::deque<SearchEval> store;
+        std::unordered_map<DesignPoint, const SearchEval *,
+                           DesignPointHash>
+            index;
+    };
+
+    Shard &
+    shardFor(const DesignPoint &point)
+    {
+        return shards[DesignPointHash{}(point) & (kShards - 1)];
+    }
+
+    const Shard &
+    shardFor(const DesignPoint &point) const
+    {
+        return shards[DesignPointHash{}(point) & (kShards - 1)];
+    }
+
+    std::array<Shard, kShards> shards;
+    mutable std::mutex orderMtx;
+    std::vector<const SearchEval *> order;
 };
 
 } // namespace mech

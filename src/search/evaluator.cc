@@ -89,6 +89,14 @@ SearchEvaluator::prepare(const SpaceSpec &spec, ThreadPool &pool)
 SearchEval
 SearchEvaluator::compute(const DesignPoint &point) const
 {
+    PointEvaluation scratch;
+    return compute(point, scratch);
+}
+
+SearchEval
+SearchEvaluator::compute(const DesignPoint &point,
+                         PointEvaluation &scratch) const
+{
     const std::size_t k_objs = objs.size();
     SearchEval eval;
     eval.point = point;
@@ -97,8 +105,8 @@ SearchEvaluator::compute(const DesignPoint &point) const
 
     for (std::size_t b = 0; b < studies.size(); ++b) {
         const DseStudy &study = *studies[b];
-        PointEvaluation ev = study.evaluate(point, backends_);
-        const EvalResult &res = ev.results.front();
+        study.evaluateInto(scratch, point, backends_);
+        const EvalResult &res = scratch.results.front();
         for (std::size_t k = 0; k < k_objs; ++k) {
             double v = objs[k].value(res, point);
             eval.perBench[b * k_objs + k] = v;
@@ -141,28 +149,20 @@ SearchEvaluator::evaluateBatch(const std::vector<DesignPoint> &points,
     }
 
     // Phase 2 (pool): evaluate the misses against the read-only
-    // studies.  Chunked like StudyRunner so model-speed evaluations
-    // amortize task overhead; the inline pool takes one chunk.
+    // studies through one bulk index-range job — no per-task futures
+    // or allocations, and a per-chunk scratch PointEvaluation reused
+    // across every (point, benchmark) evaluation of the chunk.  The
+    // inline pool takes the whole range as one chunk.
     std::vector<SearchEval> computed(missIdx.size());
     if (!missIdx.empty()) {
-        std::size_t chunk = missIdx.size();
-        if (pool.workerCount() > 0) {
-            chunk = std::max<std::size_t>(
-                1, missIdx.size() / (pool.workerCount() * 8));
-        }
-        std::vector<std::future<void>> done;
-        for (std::size_t start = 0; start < missIdx.size();
-             start += chunk) {
-            const std::size_t end =
-                std::min(missIdx.size(), start + chunk);
-            done.push_back(pool.submit([this, &points, &missIdx,
-                                        &computed, start, end] {
-                for (std::size_t j = start; j < end; ++j)
-                    computed[j] = compute(points[missIdx[j]]);
-            }));
-        }
-        for (auto &f : done)
-            f.get();
+        pool.parallelFor(
+            missIdx.size(), pool.bulkChunk(missIdx.size()),
+            [this, &points, &missIdx, &computed](std::size_t begin,
+                                                 std::size_t end) {
+                PointEvaluation scratch;
+                for (std::size_t j = begin; j < end; ++j)
+                    computed[j] = compute(points[missIdx[j]], scratch);
+            });
     }
 
     // Phase 3 (coordinating thread): publish in request order.

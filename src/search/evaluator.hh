@@ -124,6 +124,11 @@ class SearchEvaluator
     /** Evaluate one point across all benchmarks (no cache). */
     SearchEval compute(const DesignPoint &point) const;
 
+    /** compute() through a reusable scratch PointEvaluation, so a
+     *  model-speed evaluation allocates only the SearchEval itself. */
+    SearchEval compute(const DesignPoint &point,
+                       PointEvaluation &scratch) const;
+
     std::vector<BenchmarkProfile> benches;
     InstCount traceLen;
     std::vector<Objective> objs;

@@ -272,8 +272,10 @@ EvalService::evaluatePoints(Group &group,
     }
 
     // Phase 2 (pool): memoize any new L2 geometries, then evaluate
-    // the misses against the read-only studies in chunks (the same
-    // sharding heuristic as SearchEvaluator).
+    // the misses against the read-only studies through one bulk
+    // index-range job — no per-task futures or allocations, one
+    // scratch PointEvaluation per chunk (the same shape as
+    // SearchEvaluator::evaluateBatch).
     std::vector<SearchEval> computed(missIdx.size());
     if (!missIdx.empty()) {
         std::vector<DesignPoint> missPoints;
@@ -282,33 +284,26 @@ EvalService::evaluatePoints(Group &group,
             missPoints.push_back(points[idx]);
         prepareGeometries(group, missPoints);
 
-        std::size_t chunk = missIdx.size();
-        if (pool.workerCount() > 0) {
-            chunk = std::max<std::size_t>(
-                1, missIdx.size() / (pool.workerCount() * 8));
-        }
         const Group *g = &group;
-        std::vector<std::future<void>> done;
-        for (std::size_t start = 0; start < missIdx.size();
-             start += chunk) {
-            const std::size_t end =
-                std::min(missIdx.size(), start + chunk);
-            done.push_back(pool.submit([g, &missPoints, &computed,
-                                        start, end] {
+        pool.parallelFor(
+            missIdx.size(), pool.bulkChunk(missIdx.size()),
+            [g, &missPoints, &computed](std::size_t begin,
+                                        std::size_t end) {
                 const std::size_t n_be = g->backends.size();
                 const std::size_t k_objs = g->objectives.size();
                 const std::size_t n_bench = g->studies.size();
-                for (std::size_t j = start; j < end; ++j) {
+                PointEvaluation scratch;
+                for (std::size_t j = begin; j < end; ++j) {
                     SearchEval &eval = computed[j];
                     eval.point = missPoints[j];
                     eval.aggregate.assign(n_be * k_objs, 0.0);
                     eval.perBench.resize(n_bench * n_be * k_objs);
                     for (std::size_t b = 0; b < n_bench; ++b) {
                         const DseStudy &study = *g->studies[b]->study;
-                        PointEvaluation ev =
-                            study.evaluate(eval.point, g->backends);
+                        study.evaluateInto(scratch, eval.point,
+                                           g->backends);
                         for (std::size_t be = 0; be < n_be; ++be) {
-                            const EvalResult &res = ev.results[be];
+                            const EvalResult &res = scratch.results[be];
                             for (std::size_t k = 0; k < k_objs; ++k) {
                                 double v = g->objectives[k].value(
                                     res, eval.point);
@@ -322,10 +317,7 @@ EvalService::evaluatePoints(Group &group,
                     for (double &v : eval.aggregate)
                         v /= n;
                 }
-            }));
-        }
-        for (auto &f : done)
-            f.get();
+            });
     }
 
     // Phase 3 (this thread): publish in request order.

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Concurrency stress tests for the scaling-critical pieces the CI
+ * TSan job hammers: multi-producer bulk submission into one
+ * ThreadPool (parallelFor interleaved with submit() traffic) and the
+ * lock-striped EvalCache probed concurrently with inserts.  The
+ * assertions are deliberately simple — counts, pointer stability,
+ * value integrity — because the interesting verdict is TSan's.
+ */
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.hh"
+#include "dse/design_space.hh"
+#include "search/eval_cache.hh"
+
+namespace {
+
+using namespace mech;
+
+TEST(ParallelStress, MultiProducerBulkAndSubmitTraffic)
+{
+    // Several producers publish parallelFor jobs into one shared pool
+    // while others push future-based submit() tasks through the same
+    // queue: the two submission paths share the mutex, the condition
+    // variables and the workers, so this is the densest interleaving
+    // the DSE layer can produce (bulk sweeps while studies build).
+    ThreadPool pool(4);
+    constexpr int kBulkProducers = 4;
+    constexpr int kSubmitProducers = 2;
+    constexpr int kRounds = 20;
+    constexpr std::size_t kN = 2048;
+
+    std::atomic<long long> bulkTotal{0};
+    std::atomic<long long> submitTotal{0};
+    std::vector<std::thread> producers;
+
+    for (int p = 0; p < kBulkProducers; ++p) {
+        producers.emplace_back([&pool, &bulkTotal] {
+            for (int round = 0; round < kRounds; ++round) {
+                std::atomic<long long> mine{0};
+                pool.parallelFor(
+                    kN, 8,
+                    [&mine](std::size_t begin, std::size_t end) {
+                        mine += static_cast<long long>(end - begin);
+                    });
+                ASSERT_EQ(mine.load(), static_cast<long long>(kN));
+                bulkTotal += mine.load();
+            }
+        });
+    }
+    for (int p = 0; p < kSubmitProducers; ++p) {
+        producers.emplace_back([&pool, &submitTotal] {
+            for (int round = 0; round < kRounds; ++round) {
+                std::vector<std::future<int>> futs;
+                futs.reserve(32);
+                for (int i = 0; i < 32; ++i)
+                    futs.push_back(pool.submit([i] { return i; }));
+                long long sum = 0;
+                for (auto &f : futs)
+                    sum += f.get();
+                submitTotal += sum;
+            }
+        });
+    }
+    for (auto &t : producers)
+        t.join();
+
+    EXPECT_EQ(bulkTotal.load(),
+              static_cast<long long>(kBulkProducers) * kRounds * kN);
+    EXPECT_EQ(submitTotal.load(),
+              static_cast<long long>(kSubmitProducers) * kRounds *
+                  (31 * 32 / 2));
+}
+
+TEST(ParallelStress, ShardedCacheProbesDuringInserts)
+{
+    // One writer populates the cache in enumeration order (the
+    // coordinator role) while reader threads hammer find() across the
+    // whole space: entries must appear atomically (null or fully
+    // formed, never torn) and pointers must stay stable.
+    EvalCache cache;
+    const auto grid = table2Space();
+    constexpr int kReaders = 4;
+
+    std::atomic<bool> done{false};
+    std::atomic<long long> hits{0};
+    std::vector<std::thread> readers;
+    for (int r = 0; r < kReaders; ++r) {
+        readers.emplace_back([&] {
+            while (!done.load(std::memory_order_acquire)) {
+                for (const DesignPoint &p : grid) {
+                    const SearchEval *hit = cache.find(p);
+                    if (!hit)
+                        continue;
+                    // A visible entry is fully formed.
+                    ASSERT_TRUE(hit->point == p);
+                    ASSERT_EQ(hit->aggregate.size(), 1u);
+                    ++hits;
+                }
+            }
+        });
+    }
+
+    std::vector<const SearchEval *> inserted;
+    inserted.reserve(grid.size());
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        SearchEval eval;
+        eval.point = grid[i];
+        eval.aggregate = {static_cast<double>(i)};
+        const SearchEval &stored = cache.insert(std::move(eval));
+        EXPECT_EQ(stored.firstIndex, i);
+        inserted.push_back(&stored);
+    }
+    done.store(true, std::memory_order_release);
+    for (auto &t : readers)
+        t.join();
+
+    // Deterministic coordinator-order indices and stable pointers.
+    EXPECT_EQ(cache.size(), grid.size());
+    auto entries = cache.entries();
+    ASSERT_EQ(entries.size(), grid.size());
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        EXPECT_EQ(entries[i], inserted[i]);
+        EXPECT_EQ(cache.find(grid[i]), inserted[i]);
+        EXPECT_EQ(entries[i]->aggregate[0], static_cast<double>(i));
+    }
+    EXPECT_GE(hits.load(), 0);
+}
+
+} // namespace

@@ -366,5 +366,38 @@ TEST(EvalCache, InsertFindAndEntryOrder)
         EXPECT_EQ(entries[i]->firstIndex, i);
 }
 
+TEST(EvalCache, DuplicateInsertReturnsTheExistingEntry)
+{
+    // A point re-discovered concurrently (two serve sessions, or a
+    // strategy racing itself across flushes) is benign: the second
+    // insert must hand back the first entry, not assert or shadow it.
+    EvalCache cache;
+    auto grid = table2Space();
+
+    SearchEval first;
+    first.point = grid[0];
+    first.aggregate = {1.0};
+    const SearchEval &stored = cache.insert(std::move(first));
+    EXPECT_EQ(stored.firstIndex, 0u);
+
+    SearchEval dup;
+    dup.point = grid[0];
+    dup.aggregate = {2.0};
+    const SearchEval &again = cache.insert(std::move(dup));
+
+    EXPECT_EQ(&again, &stored);
+    EXPECT_EQ(again.aggregate[0], 1.0);
+    EXPECT_EQ(cache.size(), 1u);
+    ASSERT_EQ(cache.entries().size(), 1u);
+    EXPECT_EQ(cache.entries()[0], &stored);
+
+    // A different point still gets the next firstIndex.
+    SearchEval other;
+    other.point = grid[1];
+    other.aggregate = {3.0};
+    EXPECT_EQ(cache.insert(std::move(other)).firstIndex, 1u);
+    EXPECT_EQ(cache.size(), 2u);
+}
+
 } // namespace
 } // namespace mech

@@ -131,6 +131,25 @@ TEST(StudyRunner, ShardsMultipleBenchmarksDeterministically)
     expectSameEvaluations(one, many);
 }
 
+TEST(StudyRunner, BitIdenticalAcrossTheThreadLadderOnOneRunner)
+{
+    // The dse_scaling benchmark's shape: ONE runner swept repeatedly
+    // at 1, 2 and 8 workers, so the persistent pool is torn down and
+    // rebuilt between calls and every ladder step reuses the same
+    // warmed studies.  Every step must be bit-identical to the serial
+    // sweep — the invariant the scaling fix must not bend.
+    auto space = table2Space();
+    std::vector<DesignPoint> points(space.begin(), space.begin() + 48);
+
+    StudyRunner runner({profileByName("sha"), profileByName("gsm_c")},
+                       kLen);
+    auto one = runner.evaluateAll(points, 1);
+    for (unsigned threads : {2u, 8u, 1u}) {
+        auto step = runner.evaluateAll(points, threads);
+        expectSameEvaluations(one, step);
+    }
+}
+
 TEST(StudyRunner, ReusesProfilesAcrossCalls)
 {
     auto space = table2Space();

@@ -1,12 +1,17 @@
 /**
  * @file
  * Unit tests for the common ThreadPool: inline (0-worker) execution,
- * single and many workers, FIFO ordering, exception propagation, and
- * queue draining on destruction.
+ * single and many workers, FIFO ordering, exception propagation,
+ * queue draining on destruction, the submit-vs-shutdown race, and the
+ * bulk parallelFor path (coverage, chunking, exceptions, concurrent
+ * callers).
  */
 
 #include <atomic>
+#include <chrono>
+#include <cstddef>
 #include <future>
+#include <memory>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -116,6 +121,157 @@ TEST(ThreadPool, DestructorDrainsPendingTasks)
         // No explicit wait: destruction must run everything queued.
     }
     EXPECT_EQ(runs.load(), 64);
+}
+
+TEST(ThreadPool, SubmitWhileStoppingStillSatisfiesTheFuture)
+{
+    // Regression: a submit() racing shutdown used to strand its task
+    // in the queue once every worker had observed the stop flag,
+    // leaving the future forever unready.  The contract now is that a
+    // task submitted while the pool is stopping runs inline on the
+    // submitting thread, so its future always becomes ready.
+    std::future<int> follow;
+    std::atomic<bool> submitted{false};
+    {
+        auto pool = std::make_unique<ThreadPool>(1);
+        // Raw pointer: reset() nulls the unique_ptr before running
+        // the destructor, but the pool object itself stays alive (in
+        // its destructor, joining) while the task runs.
+        ThreadPool *raw = pool.get();
+        std::promise<void> started;
+        auto fut = pool->submit([&, raw] {
+            started.set_value();
+            // Give ~ThreadPool time to raise the stop flag so the
+            // nested submit hits the shutdown path.  (Either
+            // interleaving must satisfy the future; only the slow
+            // path is the regression.)
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+            follow = raw->submit([] { return 7; });
+            submitted.store(true);
+        });
+        started.get_future().wait();
+        pool.reset(); // joins; the worker is still inside the task
+    }
+    ASSERT_TRUE(submitted.load());
+    ASSERT_TRUE(follow.valid());
+    EXPECT_EQ(follow.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_EQ(follow.get(), 7);
+}
+
+TEST(ThreadPool, ParallelForCoversTheRangeExactlyOnce)
+{
+    for (unsigned workers : {0u, 1u, 4u}) {
+        ThreadPool pool(workers);
+        constexpr std::size_t kN = 10000;
+        std::vector<int> hits(kN, 0);
+        // Chunks partition the range, so distinct slots never race.
+        pool.parallelFor(kN, 7, [&hits](std::size_t begin,
+                                        std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i)
+                ++hits[i];
+        });
+        for (std::size_t i = 0; i < kN; ++i)
+            ASSERT_EQ(hits[i], 1) << "index " << i << " with "
+                                  << workers << " workers";
+    }
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeNeverInvokes)
+{
+    ThreadPool pool(2);
+    std::atomic<int> calls{0};
+    pool.parallelFor(0, 4, [&](std::size_t, std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, ParallelForSmallRangeRunsInlineAsOneChunk)
+{
+    // n <= chunk short-circuits to a single inline call on the
+    // calling thread, even with workers available.
+    ThreadPool pool(4);
+    std::thread::id ran_on;
+    int calls = 0;
+    pool.parallelFor(10, 100, [&](std::size_t begin, std::size_t end) {
+        ran_on = std::this_thread::get_id();
+        EXPECT_EQ(begin, 0u);
+        EXPECT_EQ(end, 10u);
+        ++calls;
+    });
+    EXPECT_EQ(calls, 1);
+    EXPECT_EQ(ran_on, std::this_thread::get_id());
+}
+
+TEST(ThreadPool, ParallelForPropagatesTheFirstChunkException)
+{
+    for (unsigned workers : {0u, 2u}) {
+        ThreadPool pool(workers);
+        std::atomic<int> processed{0};
+        EXPECT_THROW(
+            pool.parallelFor(
+                64, 1,
+                [&](std::size_t begin, std::size_t end) {
+                    for (std::size_t i = begin; i < end; ++i) {
+                        if (i == 32)
+                            throw std::runtime_error("chunk");
+                        ++processed;
+                    }
+                }),
+            std::runtime_error);
+        // Inline: one [0, 64) chunk aborts at index 32.  Pooled: only
+        // the throwing single-index chunk is lost — the rest of the
+        // range still retires, and the error surfaces at the end.
+        EXPECT_EQ(processed.load(), workers == 0 ? 32 : 63);
+        // The pool survives for the next bulk job.
+        std::atomic<int> after{0};
+        pool.parallelFor(8, 1,
+                         [&](std::size_t begin, std::size_t end) {
+                             after += static_cast<int>(end - begin);
+                         });
+        EXPECT_EQ(after.load(), 8);
+    }
+}
+
+TEST(ThreadPool, ParallelForManyConcurrentCallers)
+{
+    // Several threads publish bulk jobs into one pool at once; each
+    // caller participates in its own job and must see exactly its
+    // range processed.
+    ThreadPool pool(4);
+    constexpr int kCallers = 6;
+    constexpr std::size_t kN = 4096;
+    std::vector<std::thread> callers;
+    std::atomic<long long> total{0};
+    for (int c = 0; c < kCallers; ++c) {
+        callers.emplace_back([&pool, &total] {
+            std::atomic<long long> mine{0};
+            pool.parallelFor(kN, 16,
+                             [&mine](std::size_t begin,
+                                     std::size_t end) {
+                                 mine += static_cast<long long>(
+                                     end - begin);
+                             });
+            EXPECT_EQ(mine.load(),
+                      static_cast<long long>(kN));
+            total += mine.load();
+        });
+    }
+    for (auto &t : callers)
+        t.join();
+    EXPECT_EQ(total.load(), static_cast<long long>(kCallers) * kN);
+}
+
+TEST(ThreadPool, BulkChunkIsPositiveAndWholeRangeWhenInline)
+{
+    ThreadPool inline_pool(0);
+    EXPECT_EQ(inline_pool.bulkChunk(0), 1u);
+    EXPECT_EQ(inline_pool.bulkChunk(192), 192u);
+
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.bulkChunk(0), 1u);
+    EXPECT_GE(pool.bulkChunk(5), 1u);
+    // ~8 chunks per participant (3 workers + the caller).
+    EXPECT_EQ(pool.bulkChunk(3200), 100u);
 }
 
 TEST(ThreadPool, DefaultWorkerCountIsPositive)

@@ -44,6 +44,7 @@ struct Options
     unsigned repetitions = 5;
     double minTimeMs = 50.0;
     double maxSlowdown = 2.0;
+    double minScaling = 0.0;
     unsigned threads = 0;
     std::string jsonPath;
     std::string baselinePath;
@@ -237,6 +238,8 @@ runDseScaling(Fixture &fx, const bench::MeasureOptions &opts,
         ladder.push_back(t);
     ladder.push_back(fx.threads());
 
+    double rate_one = 0.0;
+    double rate_max = 0.0;
     for (unsigned threads : ladder) {
         auto m = bench::measure(
             [&] {
@@ -245,10 +248,23 @@ runDseScaling(Fixture &fx, const bench::MeasureOptions &opts,
                     results[0].evals[0].model().cycles);
             },
             opts);
+        const double rate = m.rate(evals_per_run);
+        if (threads == 1)
+            rate_one = rate;
+        rate_max = rate; // the ladder ends at --threads
         report.add(kSuite, "dse_scaling",
-                   "threads_" + std::to_string(threads),
-                   m.rate(evals_per_run), "evals/s");
+                   "threads_" + std::to_string(threads), rate,
+                   "evals/s");
     }
+
+    // Derived scaling efficiency: throughput at the top of the ladder
+    // over the single-threaded throughput.  This is the number the CI
+    // gate (--min-scaling) protects — a serialized eval pipeline
+    // reports ~1x (or below) here no matter how fast each individual
+    // eval is, which is exactly the regression absolute throughput
+    // gates kept missing.
+    report.add(kSuite, "dse_scaling", "scaling_efficiency",
+               rate_one > 0.0 ? rate_max / rate_one : 0.0, "speedup");
 }
 
 void
@@ -384,6 +400,10 @@ main(int argc, char **argv)
     parser.add("max-slowdown", "ratio",
                "slowdown ratio that fails the baseline gate",
                &opt.maxSlowdown);
+    parser.add("min-scaling", "ratio",
+               "fail unless dse_scaling/scaling_efficiency of THIS "
+               "run reaches the ratio (0 = no gate)",
+               &opt.minScaling);
     parser.add("threads", "N",
                "top worker count for the multi-threaded benchmarks "
                "(0 = all hardware threads)",
@@ -469,6 +489,33 @@ main(int argc, char **argv)
             return 1;
         }
         std::cout << "baseline gate passed\n";
+    }
+
+    // The scaling gate is absolute, not baseline-relative: a baseline
+    // recorded on a small or noisy machine must never lower the bar,
+    // and an efficiency regression is a bug at any throughput.
+    if (opt.minScaling > 0.0) {
+        const bench::BenchRecord *eff = nullptr;
+        for (const bench::BenchRecord &r : report.results) {
+            if (r.benchmark == "dse_scaling" &&
+                r.metric == "scaling_efficiency") {
+                eff = &r;
+            }
+        }
+        if (!eff) {
+            fatal("--min-scaling needs the dse_scaling benchmark "
+                  "(is it excluded by --filter?)");
+        }
+        std::cout << "\nscaling gate: " << eff->value
+                  << "x at --threads " << fx.threads() << " (floor "
+                  << opt.minScaling << "x)\n";
+        if (eff->value < opt.minScaling) {
+            std::cerr << "mech_bench: scaling efficiency "
+                      << eff->value << "x is below the --min-scaling "
+                      << opt.minScaling << "x floor\n";
+            return 1;
+        }
+        std::cout << "scaling gate passed\n";
     }
     return 0;
 }
