@@ -43,6 +43,11 @@ DesignPoint::label() const
     oss << "L2:" << l2KB << "KB/" << l2Assoc << "w d" << depth << "@"
         << freqGHz << "GHz W" << width << " "
         << predictorName(predictor);
+    if (!(ooo == OooParams{})) {
+        oss << " rob" << ooo.robSize << "/iq" << ooo.iqSize << " fu"
+            << ooo.fuAlu << "a" << ooo.fuMul << "m" << ooo.fuMem << "l"
+            << ooo.fuBr << "b/" << ooo.resultBuses << "bus";
+    }
     return oss.str();
 }
 
@@ -53,6 +58,23 @@ DesignPoint::toKey() const
     oss << "l2kb=" << l2KB << ",assoc=" << l2Assoc
         << ",depth=" << depth << ",freq=" << exactDouble(freqGHz)
         << ",width=" << width << ",pred=" << predictorKey(predictor);
+    // Out-of-order fields only when non-default: default-core keys
+    // stay byte-identical to the pre-OoO-axes format.
+    const OooParams defaults;
+    if (ooo.robSize != defaults.robSize)
+        oss << ",rob=" << ooo.robSize;
+    if (ooo.iqSize != defaults.iqSize)
+        oss << ",iq=" << ooo.iqSize;
+    if (ooo.fuAlu != defaults.fuAlu)
+        oss << ",fualu=" << ooo.fuAlu;
+    if (ooo.fuMul != defaults.fuMul)
+        oss << ",fumul=" << ooo.fuMul;
+    if (ooo.fuMem != defaults.fuMem)
+        oss << ",fumem=" << ooo.fuMem;
+    if (ooo.fuBr != defaults.fuBr)
+        oss << ",fubr=" << ooo.fuBr;
+    if (ooo.resultBuses != defaults.resultBuses)
+        oss << ",buses=" << ooo.resultBuses;
     return oss.str();
 }
 
@@ -60,7 +82,14 @@ std::optional<DesignPoint>
 DesignPoint::fromKey(std::string_view key)
 {
     DesignPoint p;
-    bool seen[6] = {};
+    // The six core fields are required; the out-of-order fields are
+    // optional and default when absent (pre-OoO keys stay parseable).
+    static const char *const kFields[] = {
+        "l2kb", "assoc", "depth", "freq",  "width", "pred", "rob",
+        "iq",   "fualu", "fumul", "fumem", "fubr",  "buses"};
+    constexpr std::size_t kNumFields = 13;
+    constexpr std::size_t kNumRequired = 6;
+    bool seen[kNumFields] = {};
     for (const std::string &field : cli::splitCsv(std::string(key))) {
         std::size_t eq = field.find('=');
         if (eq == std::string::npos)
@@ -70,10 +99,7 @@ DesignPoint::fromKey(std::string_view key)
         if (value.empty())
             return std::nullopt;
         // A repeated field is malformed, not a last-one-wins update.
-        static const char *const kFields[6] = {"l2kb", "assoc",
-                                               "depth", "freq",
-                                               "width", "pred"};
-        for (std::size_t f = 0; f < 6; ++f) {
+        for (std::size_t f = 0; f < kNumFields; ++f) {
             if (name == kFields[f] && seen[f])
                 return std::nullopt;
         }
@@ -100,14 +126,35 @@ DesignPoint::fromKey(std::string_view key)
         } else if (name == "width") {
             ok = parseU32(value, &p.width);
             seen[4] = true;
+        } else if (name == "rob") {
+            ok = parseU32(value, &p.ooo.robSize);
+            seen[6] = true;
+        } else if (name == "iq") {
+            ok = parseU32(value, &p.ooo.iqSize);
+            seen[7] = true;
+        } else if (name == "fualu") {
+            ok = parseU32(value, &p.ooo.fuAlu);
+            seen[8] = true;
+        } else if (name == "fumul") {
+            ok = parseU32(value, &p.ooo.fuMul);
+            seen[9] = true;
+        } else if (name == "fumem") {
+            ok = parseU32(value, &p.ooo.fuMem);
+            seen[10] = true;
+        } else if (name == "fubr") {
+            ok = parseU32(value, &p.ooo.fuBr);
+            seen[11] = true;
+        } else if (name == "buses") {
+            ok = parseU32(value, &p.ooo.resultBuses);
+            seen[12] = true;
         } else {
             ok = false;
         }
         if (!ok)
             return std::nullopt;
     }
-    for (bool s : seen) {
-        if (!s)
+    for (std::size_t f = 0; f < kNumRequired; ++f) {
+        if (!seen[f])
             return std::nullopt;
     }
     return p;
@@ -134,6 +181,13 @@ DesignPoint::hash() const
     mix(freq_bits);
     mix(width);
     mix(static_cast<std::uint64_t>(predictor));
+    mix(ooo.robSize);
+    mix(ooo.iqSize);
+    mix(ooo.fuAlu);
+    mix(ooo.fuMul);
+    mix(ooo.fuMem);
+    mix(ooo.fuBr);
+    mix(ooo.resultBuses);
     return h;
 }
 

@@ -23,6 +23,7 @@
 #include "branch/predictor.hh"
 #include "cache/hierarchy.hh"
 #include "isa/machine_params.hh"
+#include "ooo/ooo_params.hh"
 #include "sim/inorder_sim.hh"
 
 namespace mech {
@@ -48,6 +49,13 @@ struct DesignPoint
     /** Branch predictor design. */
     PredictorKind predictor = PredictorKind::Gshare1K;
 
+    /**
+     * Out-of-order core structures (ROB, issue queue, FU mix, result
+     * buses).  Consumed by the "ooo" and "oosim" backends; in-order
+     * backends ignore it.  Full member of the point's identity.
+     */
+    OooParams ooo;
+
     /** Compact human-readable label. */
     std::string label() const;
 
@@ -59,6 +67,11 @@ struct DesignPoint
      * field exactly — the frequency with full double precision — so
      * fromKey(toKey()) == *this always holds.  Used by the search
      * subsystem's JSON artifacts and the evaluation cache diagnostics.
+     *
+     * Out-of-order fields (rob, iq, fualu, fumul, fumem, fubr, buses)
+     * are appended only when they differ from the OooParams defaults,
+     * so keys minted before the out-of-order axes existed remain
+     * valid and default-core keys are unchanged.
      */
     std::string toKey() const;
 

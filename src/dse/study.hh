@@ -80,19 +80,41 @@ struct PointEvaluation
     const EvalResult *sim() const { return find(kSimBackend); }
 
     /**
-     * Absolute relative CPI error of the model vs the simulation.
+     * Absolute relative CPI error of backend @p predicted against
+     * backend @p reference.
      *
-     * Empty unless both the "model" and "sim" backends ran — callers
-     * must not conflate "no simulation" with "perfect prediction".
+     * Empty unless both backends ran — callers must not conflate "no
+     * reference" with "perfect prediction".
+     */
+    std::optional<double>
+    cpiErrorOf(std::string_view predicted, std::string_view reference)
+        const
+    {
+        const EvalResult *m = find(predicted);
+        const EvalResult *s = find(reference);
+        if (!m || !s || s->cycles == 0.0)
+            return std::nullopt;
+        return std::abs(m->cycles - s->cycles) / s->cycles;
+    }
+
+    /**
+     * Absolute relative CPI error of the in-order model vs the
+     * in-order simulation ("model" vs "sim").
      */
     std::optional<double>
     cpiError() const
     {
-        const EvalResult *m = find(kModelBackend);
-        const EvalResult *s = sim();
-        if (!m || !s || s->cycles == 0.0)
-            return std::nullopt;
-        return std::abs(m->cycles - s->cycles) / s->cycles;
+        return cpiErrorOf(kModelBackend, kSimBackend);
+    }
+
+    /**
+     * Absolute relative CPI error of the out-of-order interval model
+     * vs the out-of-order simulation ("ooo" vs "oosim").
+     */
+    std::optional<double>
+    oooCpiError() const
+    {
+        return cpiErrorOf(kOooBackend, kOoOSimBackend);
     }
 };
 

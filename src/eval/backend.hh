@@ -26,20 +26,13 @@
 
 #include "dse/design_space.hh"
 #include "model/cpi_stack.hh"
-#include "ooo/ooo_model.hh"
+#include "oosim/oosim.hh"
 #include "power/power_model.hh"
 #include "profiler/profile_data.hh"
 #include "sim/inorder_sim.hh"
 #include "trace/trace.hh"
 
 namespace mech {
-
-/** Backend-specific evaluation knobs carried by every request. */
-struct EvalOptions
-{
-    /** Out-of-order core parameters (OoOModelBackend only). */
-    OooParams ooo;
-};
 
 /**
  * One evaluation request: a non-owning view of the profiled workload
@@ -64,11 +57,13 @@ struct EvalRequest
     /** Dynamic trace (null unless the backend needsTrace()). */
     const Trace *trace = nullptr;
 
-    /** The design point under evaluation. */
+    /**
+     * The design point under evaluation.  Carries everything a
+     * backend may consume, including the out-of-order structures
+     * (point.ooo) — there is no side-channel next to the point, so a
+     * point's identity fully determines its results.
+     */
     DesignPoint point;
-
-    /** Backend-specific knobs. */
-    EvalOptions options;
 };
 
 /**
@@ -97,6 +92,9 @@ struct EvalResult
 
     /** Detailed simulator counters (InOrderSimBackend only). */
     std::optional<SimResult> detail;
+
+    /** Out-of-order stall diagnostics (OoOSimBackend only). */
+    std::optional<OoOSimResult> oooDetail;
 
     /** Activity counts the energy estimate is based on. */
     ActivityCounts activity;
@@ -152,6 +150,14 @@ class EvalBackend
 
     /** True when requests must carry a non-null trace. */
     virtual bool needsTrace() const { return false; }
+
+    /**
+     * True when the backend evaluates an out-of-order core and
+     * therefore consumes the point's OooParams.  Drives the
+     * validation that rejects out-of-order design axes when no
+     * selected backend would ever read them.
+     */
+    virtual bool usesOoo() const { return false; }
 
     /** Evaluate one request.  Thread-safe and deterministic. */
     virtual EvalResult evaluate(const EvalRequest &request) const = 0;

@@ -10,11 +10,14 @@
  *  - InOrderSimBackend ("sim"): the cycle-accurate reference pipeline
  *    (simulateInOrder) — replays the whole trace per point;
  *  - OoOModelBackend ("ooo"): the out-of-order interval model
- *    (evaluateOutOfOrder) used by the paper's §6.1 comparison.
+ *    (evaluateOutOfOrder) used by the paper's §6.1 comparison;
+ *  - OoOSimBackend ("oosim"): the cycle-accurate out-of-order
+ *    pipeline (simulateOutOfOrder) that validates the interval model
+ *    the way "sim" validates "model".
  *
- * All three finish their result identically: activity counts derived
- * from the profile, energy and EDP from the shared power model — so
- * results from different backends are directly comparable.
+ * All backends finish their result identically: activity counts
+ * derived from the profile, energy and EDP from the shared power
+ * model — so results from different backends are directly comparable.
  */
 
 #include "eval/registry.hh"
@@ -23,6 +26,7 @@
 #include "common/logging.hh"
 #include "model/inorder_model.hh"
 #include "ooo/ooo_model.hh"
+#include "oosim/oosim.hh"
 #include "sim/inorder_sim.hh"
 
 namespace mech {
@@ -152,6 +156,8 @@ class OoOModelBackend : public EvalBackend
         return "out-of-order interval model (MLP-aware)";
     }
 
+    bool usesOoo() const override { return true; }
+
     EvalResult
     evaluate(const EvalRequest &req) const override
     {
@@ -159,13 +165,45 @@ class OoOModelBackend : public EvalBackend
         ModelResult m = evaluateOutOfOrder(*req.program, *req.memory,
                                            *req.branch,
                                            machineFor(req.point),
-                                           req.options.ooo);
+                                           req.point.ooo);
         EvalResult res;
         res.backend = std::string(name());
         res.cycles = m.cycles;
         res.stack = m.stack;
         res.hasStack = true;
         res.instructions = m.instructions;
+        finishResult(res, req);
+        return res;
+    }
+};
+
+/** The cycle-accurate out-of-order pipeline. */
+class OoOSimBackend : public EvalBackend
+{
+  public:
+    std::string_view name() const override { return kOoOSimBackend; }
+
+    std::string_view
+    description() const override
+    {
+        return "cycle-accurate out-of-order pipeline (trace replay)";
+    }
+
+    bool isDetailed() const override { return true; }
+    bool needsTrace() const override { return true; }
+    bool usesOoo() const override { return true; }
+
+    EvalResult
+    evaluate(const EvalRequest &req) const override
+    {
+        checkRequest(req, *this);
+        OoOSimResult sim =
+            simulateOutOfOrder(*req.trace, oooSimConfigFor(req.point));
+        EvalResult res;
+        res.backend = std::string(name());
+        res.cycles = static_cast<double>(sim.cycles);
+        res.instructions = sim.retired;
+        res.oooDetail = sim;
         finishResult(res, req);
         return res;
     }
@@ -181,6 +219,7 @@ BackendRegistry::global()
         r->registerBackend(std::make_unique<ModelBackend>());
         r->registerBackend(std::make_unique<InOrderSimBackend>());
         r->registerBackend(std::make_unique<OoOModelBackend>());
+        r->registerBackend(std::make_unique<OoOSimBackend>());
         return r;
     }();
     return *registry;

@@ -5,8 +5,8 @@
  * Tools and batch drivers select evaluation engines by name
  * (`--backend=model,sim`); the registry resolves those names to
  * EvalBackend instances.  The global() registry comes pre-loaded with
- * the built-in backends ("model", "sim", "ooo"); additional backends
- * can be registered at startup before any evaluation begins.
+ * the built-in backends ("model", "sim", "ooo", "oosim"); additional
+ * backends can be registered at startup before any evaluation begins.
  */
 
 #ifndef MECH_EVAL_REGISTRY_HH
@@ -26,6 +26,7 @@ namespace mech {
 inline constexpr std::string_view kModelBackend = "model";
 inline constexpr std::string_view kSimBackend = "sim";
 inline constexpr std::string_view kOooBackend = "ooo";
+inline constexpr std::string_view kOoOSimBackend = "oosim";
 
 /**
  * An ordered set of backends to evaluate a request against.

@@ -9,7 +9,8 @@
  *   3. evaluate() any design point with a registry-selected backend
  *      set: "model" for an instant prediction + CPI stack, "sim" for
  *      the cycle-accurate reference, "ooo" for the out-of-order
- *      comparator (eval/backend.hh, docs/api.md);
+ *      interval model, "oosim" for the cycle-accurate out-of-order
+ *      pipeline that validates it (eval/backend.hh, docs/api.md);
  *   4. or drop to the closed-form entry points directly:
  *      profileTrace() + evaluateInOrder() / simulateInOrder().
  */
@@ -47,6 +48,8 @@
 #include "model/cpi_stack.hh"
 #include "model/inorder_model.hh"
 #include "ooo/ooo_model.hh"
+#include "ooo/ooo_params.hh"
+#include "oosim/oosim.hh"
 #include "power/power_model.hh"
 #include "profiler/profile_io.hh"
 #include "profiler/profiler.hh"

@@ -14,7 +14,8 @@
  *    exactly as on the in-order core (the paper's bullet: "I-cache
  *    miss penalty is identical on in-order and out-of-order");
  *  - branch mispredictions cost the front-end refill D *plus* the
- *    branch resolution time (window drain) — costlier than in-order;
+ *    branch resolution time (the branch's own dispatch-to-writeback
+ *    traversal) — costlier than in-order;
  *  - long data misses overlap within the reorder window (memory-level
  *    parallelism): overlapping misses are grouped and each *group*
  *    pays the exposed latency once, partially hidden by the useful
@@ -31,16 +32,10 @@
 #include "isa/machine_params.hh"
 #include "model/cpi_stack.hh"
 #include "model/inorder_model.hh"
+#include "ooo/ooo_params.hh"
 #include "profiler/profile_data.hh"
 
 namespace mech {
-
-/** Out-of-order core parameters beyond the shared MachineParams. */
-struct OooParams
-{
-    /** Reorder-buffer (window) size in instructions. */
-    std::uint32_t robSize = 128;
-};
 
 /**
  * Evaluate the out-of-order interval model.

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Out-of-order core parameters shared by the OoO interval model, the
+ * cycle-accurate OoO pipeline simulator (src/oosim/), and the design
+ * space.
+ *
+ * These are the structural knobs the Carroll/Lin queuing-model
+ * vocabulary names: reorder-buffer depth, issue-queue (centralized
+ * reservation station) size, the functional-unit mix, and the number
+ * of result buses.  They live in their own header — separate from the
+ * interval model — because DesignPoint embeds them as first-class
+ * design axes: every field participates in DesignPoint identity
+ * (operator==, hash(), toKey()/fromKey()) and in the SpaceSpec axis
+ * grammar (rob=, iq=, fualu=, fumul=, fumem=, fubr=, buses=).
+ *
+ * The interval model consumes only robSize (its balanced-machine
+ * assumption folds the rest away); the oosim backend honors every
+ * field, which is exactly what makes the model-vs-oosim validation
+ * meaningful: points where the structures are balanced should agree,
+ * points that starve an FU class or the issue queue should not.
+ */
+
+#ifndef MECH_OOO_OOO_PARAMS_HH
+#define MECH_OOO_OOO_PARAMS_HH
+
+#include <cstdint>
+
+namespace mech {
+
+/** Out-of-order core parameters beyond the shared MachineParams. */
+struct OooParams
+{
+    /** Reorder-buffer (window) size in instructions. */
+    std::uint32_t robSize = 128;
+
+    /** Centralized reservation-station (issue queue) entries. */
+    std::uint32_t iqSize = 32;
+
+    /** Single-cycle integer ALU units. */
+    std::uint32_t fuAlu = 3;
+
+    /** Long-latency units (integer mul/div, all FP classes). */
+    std::uint32_t fuMul = 1;
+
+    /** Memory ports (loads and stores). */
+    std::uint32_t fuMem = 2;
+
+    /** Branch-resolution units. */
+    std::uint32_t fuBr = 1;
+
+    /** Result buses (completions broadcast per cycle). */
+    std::uint32_t resultBuses = 4;
+
+    /** Exact field-wise equality (part of DesignPoint identity). */
+    bool operator==(const OooParams &other) const = default;
+};
+
+} // namespace mech
+
+#endif // MECH_OOO_OOO_PARAMS_HH

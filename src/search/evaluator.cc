@@ -58,6 +58,23 @@ SearchEvaluator::prepare(const SpaceSpec &spec, ThreadPool &pool)
             f.get();
     }
 
+    // Sweeping the out-of-order structure axes is paid-for, silent
+    // no-op work unless the backend actually reads them: the in-order
+    // model and simulator ignore OooParams entirely, so every swept
+    // value would evaluate to the same result.  Reject the
+    // configuration loudly instead.
+    if (spec.hasOooAxes()) {
+        bool ooo = false;
+        for (const EvalBackend *backend : backends_)
+            ooo |= backend->usesOoo();
+        if (!ooo) {
+            fatal("the space sweeps out-of-order axes (rob/iq/fu*/"
+                  "buses) but backend '", backends_[0]->name(),
+                  "' ignores them; use an out-of-order backend "
+                  "(ooo, oosim)");
+        }
+    }
+
     // A predictor outside the profiled set would panic() deep inside
     // a worker; turn it into an actionable configuration error here.
     for (PredictorKind kind : spec.predictor) {

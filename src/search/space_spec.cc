@@ -91,6 +91,31 @@ appendValues(const std::string &list, std::vector<T> *axis,
     return true;
 }
 
+/**
+ * Fill any empty out-of-order structure axis with the OooParams
+ * default, so presets and parsed specs that never mention them
+ * enumerate exactly as they did before the axes existed.
+ */
+void
+fillOooDefaults(SpaceSpec *spec)
+{
+    const OooParams def;
+    if (spec->robSize.empty())
+        spec->robSize = {def.robSize};
+    if (spec->iqSize.empty())
+        spec->iqSize = {def.iqSize};
+    if (spec->fuAlu.empty())
+        spec->fuAlu = {def.fuAlu};
+    if (spec->fuMul.empty())
+        spec->fuMul = {def.fuMul};
+    if (spec->fuMem.empty())
+        spec->fuMem = {def.fuMem};
+    if (spec->fuBr.empty())
+        spec->fuBr = {def.fuBr};
+    if (spec->resultBuses.empty())
+        spec->resultBuses = {def.resultBuses};
+}
+
 } // namespace
 
 SpaceSpec
@@ -103,6 +128,7 @@ SpaceSpec::table2()
     spec.width = {1, 2, 3, 4};
     spec.predictor = {PredictorKind::Gshare1K,
                       PredictorKind::Hybrid3K5};
+    fillOooDefaults(&spec);
     spec.validate();
     return spec;
 }
@@ -126,6 +152,7 @@ SpaceSpec::wide()
         spec.width.push_back(w);
     spec.predictor = {PredictorKind::Gshare1K,
                       PredictorKind::Hybrid3K5};
+    fillOooDefaults(&spec);
     spec.validate();
     return spec;
 }
@@ -139,6 +166,13 @@ SpaceSpec::single(const DesignPoint &point)
     spec.depthFreq = {{point.depth, point.freqGHz}};
     spec.width = {point.width};
     spec.predictor = {point.predictor};
+    spec.robSize = {point.ooo.robSize};
+    spec.iqSize = {point.ooo.iqSize};
+    spec.fuAlu = {point.ooo.fuAlu};
+    spec.fuMul = {point.ooo.fuMul};
+    spec.fuMem = {point.ooo.fuMem};
+    spec.fuBr = {point.ooo.fuBr};
+    spec.resultBuses = {point.ooo.resultBuses};
     return spec;
 }
 
@@ -218,9 +252,45 @@ SpaceSpec::tryParse(const std::string &text, std::string *error)
                 }
                 spec.predictor.push_back(*kind);
             }
+        } else if (axis == "rob") {
+            if (!appendValues(values, &spec.robSize, narrowU32,
+                              error)) {
+                return std::nullopt;
+            }
+        } else if (axis == "iq") {
+            if (!appendValues(values, &spec.iqSize, narrowU32,
+                              error)) {
+                return std::nullopt;
+            }
+        } else if (axis == "fualu") {
+            if (!appendValues(values, &spec.fuAlu, narrowU32,
+                              error)) {
+                return std::nullopt;
+            }
+        } else if (axis == "fumul") {
+            if (!appendValues(values, &spec.fuMul, narrowU32,
+                              error)) {
+                return std::nullopt;
+            }
+        } else if (axis == "fumem") {
+            if (!appendValues(values, &spec.fuMem, narrowU32,
+                              error)) {
+                return std::nullopt;
+            }
+        } else if (axis == "fubr") {
+            if (!appendValues(values, &spec.fuBr, narrowU32,
+                              error)) {
+                return std::nullopt;
+            }
+        } else if (axis == "buses") {
+            if (!appendValues(values, &spec.resultBuses, narrowU32,
+                              error)) {
+                return std::nullopt;
+            }
         } else {
             *error = "unknown axis '" + axis +
-                     "' (axes: l2kb, assoc, depth, width, pred)";
+                     "' (axes: l2kb, assoc, depth, width, pred, rob, "
+                     "iq, fualu, fumul, fumem, fubr, buses)";
             return std::nullopt;
         }
     }
@@ -237,6 +307,7 @@ SpaceSpec::tryParse(const std::string &text, std::string *error)
         spec.width = {def.width};
     if (spec.predictor.empty())
         spec.predictor = {def.predictor};
+    fillOooDefaults(&spec);
 
     // Re-run the axis invariants through the non-fatal path so a bad
     // spec string reports like any other grammar error.
@@ -270,11 +341,14 @@ SpaceSpec::checkAxes() const
         return false;
     };
     if (l2KB.empty() || l2Assoc.empty() || depthFreq.empty() ||
-        width.empty() || predictor.empty()) {
+        width.empty() || predictor.empty() || robSize.empty() ||
+        iqSize.empty() || fuAlu.empty() || fuMul.empty() ||
+        fuMem.empty() || fuBr.empty() || resultBuses.empty()) {
         return "every axis needs at least one value";
     }
     if (dup(l2KB) || dup(l2Assoc) || dup(depthFreq) || dup(width) ||
-        dup(predictor)) {
+        dup(predictor) || dup(robSize) || dup(iqSize) || dup(fuAlu) ||
+        dup(fuMul) || dup(fuMem) || dup(fuBr) || dup(resultBuses)) {
         return "duplicate value on an axis";
     }
     for (std::uint64_t kb : l2KB) {
@@ -316,7 +390,66 @@ SpaceSpec::checkAxes() const
             return "width " + std::to_string(w) +
                    " outside supported [1,16]";
     }
+    for (std::uint32_t rob : robSize) {
+        if (rob < 1 || rob > kMaxRobSize) {
+            return "ROB size " + std::to_string(rob) +
+                   " outside supported [1," +
+                   std::to_string(kMaxRobSize) + "]";
+        }
+        // The out-of-order interval model treats the ROB as the
+        // dispatch window and requires it to cover at least one
+        // dispatch group.
+        for (std::uint32_t w : width) {
+            if (rob < w) {
+                return "ROB size " + std::to_string(rob) +
+                       " smaller than width " + std::to_string(w);
+            }
+        }
+    }
+    for (std::uint32_t iq : iqSize) {
+        if (iq < 1 || iq > kMaxIqSize) {
+            return "issue-queue size " + std::to_string(iq) +
+                   " outside supported [1," +
+                   std::to_string(kMaxIqSize) + "]";
+        }
+    }
+    auto badCount = [](const std::vector<std::uint32_t> &axis) {
+        return std::any_of(axis.begin(), axis.end(),
+                           [](std::uint32_t v) {
+                               return v < 1 || v > kMaxFuCount;
+                           });
+    };
+    if (badCount(fuAlu) || badCount(fuMul) || badCount(fuMem) ||
+        badCount(fuBr)) {
+        return "functional-unit counts must be in [1," +
+               std::to_string(kMaxFuCount) + "]";
+    }
+    for (std::uint32_t buses : resultBuses) {
+        if (buses < 1 || buses > kMaxResultBuses) {
+            return "result-bus count " + std::to_string(buses) +
+                   " outside supported [1," +
+                   std::to_string(kMaxResultBuses) + "]";
+        }
+    }
     return "";
+}
+
+bool
+SpaceSpec::hasOooAxes() const
+{
+    const OooParams def;
+    auto nonTrivial = [](const std::vector<std::uint32_t> &axis,
+                         std::uint32_t defValue) {
+        return axis.size() > 1 ||
+               (axis.size() == 1 && axis.front() != defValue);
+    };
+    return nonTrivial(robSize, def.robSize) ||
+           nonTrivial(iqSize, def.iqSize) ||
+           nonTrivial(fuAlu, def.fuAlu) ||
+           nonTrivial(fuMul, def.fuMul) ||
+           nonTrivial(fuMem, def.fuMem) ||
+           nonTrivial(fuBr, def.fuBr) ||
+           nonTrivial(resultBuses, def.resultBuses);
 }
 
 void
@@ -344,6 +477,13 @@ SpaceSpec::axisSize(std::size_t axis) const
       case 2: return depthFreq.size();
       case 3: return width.size();
       case 4: return predictor.size();
+      case 5: return robSize.size();
+      case 6: return iqSize.size();
+      case 7: return fuAlu.size();
+      case 8: return fuMul.size();
+      case 9: return fuMem.size();
+      case 10: return fuBr.size();
+      case 11: return resultBuses.size();
       default: panic("axis index ", axis, " out of range");
     }
 }
@@ -376,6 +516,13 @@ SpaceSpec::fromDigits(const std::vector<std::uint32_t> &digits) const
     p.freqGHz = depthFreq[digits[2]].freqGHz;
     p.width = width[digits[3]];
     p.predictor = predictor[digits[4]];
+    p.ooo.robSize = robSize[digits[5]];
+    p.ooo.iqSize = iqSize[digits[6]];
+    p.ooo.fuAlu = fuAlu[digits[7]];
+    p.ooo.fuMul = fuMul[digits[8]];
+    p.ooo.fuMem = fuMem[digits[9]];
+    p.ooo.fuBr = fuBr[digits[10]];
+    p.ooo.resultBuses = resultBuses[digits[11]];
     return p;
 }
 
@@ -427,6 +574,26 @@ SpaceSpec::describe() const
     oss << ';';
     list("pred", predictor,
          [&oss](PredictorKind kind) { oss << predictorKey(kind); });
+    // The out-of-order axes are emitted only when non-trivial, so a
+    // spec that never mentioned them describes exactly as before the
+    // axes existed.
+    if (hasOooAxes()) {
+        auto u32 = [&oss](std::uint32_t v) { oss << v; };
+        oss << ';';
+        list("rob", robSize, u32);
+        oss << ';';
+        list("iq", iqSize, u32);
+        oss << ';';
+        list("fualu", fuAlu, u32);
+        oss << ';';
+        list("fumul", fuMul, u32);
+        oss << ';';
+        list("fumem", fuMem, u32);
+        oss << ';';
+        list("fubr", fuBr, u32);
+        oss << ';';
+        list("buses", resultBuses, u32);
+    }
     return oss.str();
 }
 

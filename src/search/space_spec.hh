@@ -19,7 +19,7 @@
  * Text grammar (axes separated by ';', values by ','):
  *
  *   l2kb=128:1024:*2; assoc=8,16; depth=5@0.6,7@0.8,9@1.0;
- *   width=1:4; pred=gshare1k,hybrid3k5
+ *   width=1:4; pred=gshare1k,hybrid3k5; rob=32:256:*2; buses=2,4
  *
  *   - numeric axes take value lists ("1,2,3") and ranges: "lo:hi"
  *     steps by +1, "lo:hi:+s" by adding s, "lo:hi:*m" by multiplying
@@ -27,7 +27,13 @@
  *   - the depth axis takes "depth@freqGHz" operating points, mirroring
  *     Table 2's coupling of pipeline depth and clock frequency;
  *   - pred takes predictor keys (predictorKey());
- *   - an omitted axis defaults to the Table 2 default point's value;
+ *   - the out-of-order structures are axes of their own: rob (reorder
+ *     buffer entries), iq (issue-queue entries), fualu/fumul/fumem/fubr
+ *     (functional-unit counts per class) and buses (result buses).
+ *     They only matter to the out-of-order backends ("ooo", "oosim");
+ *     the in-order backends ignore them;
+ *   - an omitted axis defaults to the Table 2 default point's value
+ *     (for the out-of-order axes, the OooParams defaults);
  *   - a preset name ("table2", "wide") may be used instead of a
  *     grammar string.
  */
@@ -67,8 +73,25 @@ class SpaceSpec
      */
     static constexpr std::uint64_t kMaxL2KB = 64 * 1024;
 
-    /** Number of design-point axes (l2kb, assoc, depth, width, pred). */
-    static constexpr std::size_t kAxes = 5;
+    /**
+     * Bounds on the out-of-order structure axes.  Like kMaxL2KB they
+     * exist because the serve layer runs *client* axes through
+     * check(): the reorder buffer and issue queue size per-point
+     * allocations in the cycle-accurate pipeline, and the functional
+     * unit / result bus counts size per-cycle scan work.
+     */
+    static constexpr std::uint32_t kMaxRobSize = 4096;
+    static constexpr std::uint32_t kMaxIqSize = 4096;
+    static constexpr std::uint32_t kMaxFuCount = 64;
+    static constexpr std::uint32_t kMaxResultBuses = 64;
+
+    /**
+     * Number of design-point axes (l2kb, assoc, depth, width, pred,
+     * rob, iq, fualu, fumul, fumem, fubr, buses).  The out-of-order
+     * axes were appended *least significant* so specs without them
+     * enumerate in the same order as before they existed.
+     */
+    static constexpr std::size_t kAxes = 12;
 
     /** L2 capacities in KiB (axis 0, most significant). */
     std::vector<std::uint64_t> l2KB;
@@ -82,8 +105,29 @@ class SpaceSpec
     /** Superscalar widths (axis 3). */
     std::vector<std::uint32_t> width;
 
-    /** Branch predictor designs (axis 4, least significant). */
+    /** Branch predictor designs (axis 4). */
     std::vector<PredictorKind> predictor;
+
+    /** Reorder-buffer sizes (axis 5). */
+    std::vector<std::uint32_t> robSize;
+
+    /** Issue-queue (reservation station) sizes (axis 6). */
+    std::vector<std::uint32_t> iqSize;
+
+    /** Simple-ALU counts (axis 7). */
+    std::vector<std::uint32_t> fuAlu;
+
+    /** Multiplier/divider (long-latency FU) counts (axis 8). */
+    std::vector<std::uint32_t> fuMul;
+
+    /** Memory-port counts (axis 9). */
+    std::vector<std::uint32_t> fuMem;
+
+    /** Branch-unit counts (axis 10). */
+    std::vector<std::uint32_t> fuBr;
+
+    /** Result-bus counts (axis 11, least significant). */
+    std::vector<std::uint32_t> resultBuses;
 
     /** The Table 2 grid as a spec (enumerates as table2Space()). */
     static SpaceSpec table2();
@@ -133,6 +177,15 @@ class SpaceSpec
      * a message, or an empty string when the axes are all valid.
      */
     std::string check() const { return checkAxes(); }
+
+    /**
+     * Whether any out-of-order structure axis is non-trivial: more
+     * than one value, or a single value that differs from the
+     * OooParams default.  The search and serve layers use this to
+     * reject spaces that sweep out-of-order axes no selected backend
+     * would ever read.
+     */
+    bool hasOooAxes() const;
 
     /** Number of points in the space (product of axis sizes). */
     std::uint64_t size() const;

@@ -109,18 +109,30 @@ parsePoint(const json::Value &v, DesignPoint *out, std::string *error)
     for (const auto &member : v.object) {
         const std::string &name = member.first;
         if (name == "l2kb" || name == "assoc" || name == "depth" ||
-            name == "width" || name == "freq" || name == "pred") {
+            name == "width" || name == "freq" || name == "pred" ||
+            name == "rob" || name == "iq" || name == "fualu" ||
+            name == "fumul" || name == "fumem" || name == "fubr" ||
+            name == "buses") {
             continue;
         }
         *error = "unknown point axis '" + name +
-                 "' (axes: l2kb, assoc, depth, freq, width, pred)";
+                 "' (axes: l2kb, assoc, depth, freq, width, pred, "
+                 "rob, iq, fualu, fumul, fumem, fubr, buses)";
         return false;
     }
     constexpr std::uint64_t kU32Max = 0xffffffffull;
     if (!axisU(v, "l2kb", &p.l2KB, ~0ull, &present, error) ||
         !axisU(v, "assoc", &p.l2Assoc, kU32Max, &present, error) ||
         !axisU(v, "depth", &p.depth, kU32Max, &present, error) ||
-        !axisU(v, "width", &p.width, kU32Max, &present, error)) {
+        !axisU(v, "width", &p.width, kU32Max, &present, error) ||
+        !axisU(v, "rob", &p.ooo.robSize, kU32Max, &present, error) ||
+        !axisU(v, "iq", &p.ooo.iqSize, kU32Max, &present, error) ||
+        !axisU(v, "fualu", &p.ooo.fuAlu, kU32Max, &present, error) ||
+        !axisU(v, "fumul", &p.ooo.fuMul, kU32Max, &present, error) ||
+        !axisU(v, "fumem", &p.ooo.fuMem, kU32Max, &present, error) ||
+        !axisU(v, "fubr", &p.ooo.fuBr, kU32Max, &present, error) ||
+        !axisU(v, "buses", &p.ooo.resultBuses, kU32Max, &present,
+               error)) {
         return false;
     }
     if (const json::Value *freq = v.get("freq")) {

@@ -444,6 +444,19 @@ EvalService::batchResponse(const ServeRequest &req, Group &group,
                 "); rank with one engine, then validate winners "
                 "with eval requests");
     }
+    // Sweeping out-of-order axes through an in-order backend would
+    // fan out paid-for evaluations that all collapse to one result;
+    // the same rule mech_search enforces (SearchEvaluator::prepare).
+    if (spec->hasOooAxes() && !group.backends[0]->usesOoo()) {
+        return errorResponse(
+            req.idJson,
+            "space '" + req.space +
+                "' sweeps out-of-order axes (rob/iq/fu*/buses) but "
+                "backend '" +
+                std::string(group.backends[0]->name()) +
+                "' ignores them; use an out-of-order backend "
+                "(ooo, oosim)");
+    }
     if (!predictorsProfiled(*group.studies[0]->study, spec->predictor,
                             &error)) {
         return errorResponse(req.idJson, error);

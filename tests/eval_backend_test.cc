@@ -157,7 +157,7 @@ TEST(EvalBackend, SimBackendMatchesSimulateInOrder)
 TEST(EvalBackend, OooBackendMatchesEvaluateOutOfOrder)
 {
     EvalRequest req = defaultRequest();
-    req.options.ooo.robSize = 64;
+    req.point.ooo.robSize = 64;
     EvalResult res =
         BackendRegistry::global().at(kOooBackend).evaluate(req);
 

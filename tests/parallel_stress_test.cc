@@ -20,6 +20,7 @@
 #include "common/thread_pool.hh"
 #include "dse/design_space.hh"
 #include "search/eval_cache.hh"
+#include "test_util.hh"
 
 namespace {
 
@@ -133,6 +134,71 @@ TEST(ParallelStress, ShardedCacheProbesDuringInserts)
         EXPECT_EQ(entries[i]->aggregate[0], static_cast<double>(i));
     }
     EXPECT_GE(hits.load(), 0);
+}
+
+TEST(ParallelStress, ConcurrentOoOSimulationsAreIndependent)
+{
+    // The out-of-order pipeline keeps all mutable state per instance;
+    // many simulations of one shared (read-only) trace must neither
+    // race nor diverge.  TSan checks the former, the exact-match
+    // assertion the latter.
+    DseStudy study(profileByName("sha"), 8000);
+    const OoOSimConfig cfg = oooSimConfigFor(defaultDesignPoint());
+    const OoOSimResult reference =
+        simulateOutOfOrder(study.trace(), cfg);
+
+    constexpr int kThreads = 6;
+    std::vector<OoOSimResult> results(kThreads);
+    std::vector<std::thread> workers;
+    for (int w = 0; w < kThreads; ++w) {
+        workers.emplace_back([&, w] {
+            results[w] = simulateOutOfOrder(study.trace(), cfg);
+        });
+    }
+    for (auto &t : workers)
+        t.join();
+
+    for (const OoOSimResult &r : results) {
+        EXPECT_EQ(r.cycles, reference.cycles);
+        EXPECT_EQ(r.retired, reference.retired);
+        EXPECT_EQ(r.mispredicts, reference.mispredicts);
+        EXPECT_EQ(r.fuStallEvents, reference.fuStallEvents);
+        EXPECT_EQ(r.busStallEvents, reference.busStallEvents);
+        EXPECT_EQ(r.maxRobOccupancy, reference.maxRobOccupancy);
+        EXPECT_EQ(r.maxIqOccupancy, reference.maxIqOccupancy);
+    }
+}
+
+TEST(ParallelStress, OoOSimBatchIsThreadCountInvariant)
+{
+    // evaluateBatch with the cycle-accurate out-of-order backend must
+    // produce bit-identical aggregates no matter how the pool carves
+    // up the batch.
+    SpaceSpec spec =
+        SpaceSpec::parse("width=1,2,4; rob=64,128; buses=4,8");
+    std::vector<DesignPoint> points;
+    for (std::uint64_t i = 0; i < spec.size(); ++i)
+        points.push_back(spec.at(i));
+
+    std::vector<std::vector<double>> reference;
+    for (std::size_t threads : {std::size_t(0), std::size_t(4)}) {
+        ThreadPool pool(threads);
+        SearchEvaluator eval({profileByName("sha")}, 5000,
+                             parseObjectives("delay"),
+                             backendSet("oosim"));
+        eval.prepare(spec, pool);
+        EvalCache cache;
+        SearchStats stats;
+        auto evals = eval.evaluateBatch(points, cache, pool, stats);
+        ASSERT_EQ(evals.size(), points.size());
+        std::vector<std::vector<double>> aggregates;
+        for (const SearchEval *e : evals)
+            aggregates.push_back(e->aggregate);
+        if (reference.empty())
+            reference = std::move(aggregates);
+        else
+            EXPECT_EQ(aggregates, reference);
+    }
 }
 
 } // namespace

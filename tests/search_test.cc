@@ -44,7 +44,9 @@ TEST(DesignPointIdentity, HashIsStableAcrossRuns)
     // Pinned value: the FNV-1a encoding is part of the identity
     // contract (cache keys, future persistent artifacts).  If this
     // changes, the hash function changed — bump deliberately.
-    EXPECT_EQ(defaultDesignPoint().hash(), 0x7a50db0e98c999e8ull);
+    // Bumped when the out-of-order structures (OooParams) joined the
+    // point identity.
+    EXPECT_EQ(defaultDesignPoint().hash(), 0xa03eddb554f747adull);
     EXPECT_EQ(defaultDesignPoint().hash(), defaultDesignPoint().hash());
 }
 
@@ -135,6 +137,33 @@ TEST(DesignPointIdentity, PredictorKeysRoundTrip)
         EXPECT_EQ(predictorFromKey(predictorName(kind)), kind);
     }
     EXPECT_FALSE(predictorFromKey("perceptron").has_value());
+}
+
+TEST(DesignPointIdentity, OooFieldsJoinEqualityKeyAndHash)
+{
+    DesignPoint a = defaultDesignPoint();
+    DesignPoint b = a;
+    b.ooo.robSize = 64;
+    EXPECT_FALSE(a == b);
+    EXPECT_NE(a.hash(), b.hash());
+
+    // A default point serializes without out-of-order fields, so keys
+    // minted before OooParams joined the identity still round trip.
+    EXPECT_EQ(a.toKey().find("rob="), std::string::npos);
+    auto back = DesignPoint::fromKey(a.toKey());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_TRUE(*back == a);
+
+    // Non-default fields serialize and round trip exactly.
+    b.ooo.iqSize = 16;
+    b.ooo.fuMul = 2;
+    b.ooo.resultBuses = 8;
+    std::string key = b.toKey();
+    EXPECT_NE(key.find("rob=64"), std::string::npos);
+    back = DesignPoint::fromKey(key);
+    ASSERT_TRUE(back.has_value()) << key;
+    EXPECT_TRUE(*back == b) << key;
+    EXPECT_FALSE(DesignPoint::fromKey(key + ",rob=64").has_value());
 }
 
 // ---- SpaceSpec ------------------------------------------------------------
@@ -232,6 +261,76 @@ TEST(SpaceSpec, DescribeReparsesToSameSpace)
             EXPECT_TRUE(again.at(i) == spec.at(i));
         EXPECT_EQ(again.describe(), spec.describe());
     }
+}
+
+TEST(SpaceSpec, GrammarOooAxes)
+{
+    SpaceSpec spec =
+        SpaceSpec::parse("width=1,2; rob=32,64; buses=2");
+    EXPECT_EQ(spec.robSize, (std::vector<std::uint32_t>{32, 64}));
+    EXPECT_EQ(spec.resultBuses, (std::vector<std::uint32_t>{2}));
+    EXPECT_EQ(spec.size(), 4u);
+    // The out-of-order axes are least significant: rob varies faster
+    // than width.
+    EXPECT_EQ(spec.at(0).width, 1u);
+    EXPECT_EQ(spec.at(0).ooo.robSize, 32u);
+    EXPECT_EQ(spec.at(1).width, 1u);
+    EXPECT_EQ(spec.at(1).ooo.robSize, 64u);
+    EXPECT_EQ(spec.at(2).width, 2u);
+    EXPECT_EQ(spec.at(2).ooo.robSize, 32u);
+    // Unmentioned out-of-order axes carry the defaults.
+    OooParams def;
+    EXPECT_EQ(spec.at(0).ooo.iqSize, def.iqSize);
+    EXPECT_EQ(spec.at(0).ooo.fuAlu, def.fuAlu);
+    EXPECT_TRUE(spec.hasOooAxes());
+}
+
+TEST(SpaceSpec, OooAxesDefaultSilently)
+{
+    // Presets and specs that never mention an out-of-order axis keep
+    // their pre-OoO size, enumeration order and description.
+    OooParams def;
+    for (const SpaceSpec &spec :
+         {SpaceSpec::table2(), SpaceSpec::parse("width=1:4")}) {
+        EXPECT_FALSE(spec.hasOooAxes());
+        EXPECT_EQ(spec.describe().find("rob="), std::string::npos);
+        EXPECT_EQ(spec.at(0).ooo.robSize, def.robSize);
+        EXPECT_EQ(spec.at(0).ooo.resultBuses, def.resultBuses);
+    }
+    // Pinning an axis to its default value still counts as sweeping
+    // it: the caller asked for the axis, so backend checks apply.
+    EXPECT_TRUE(SpaceSpec::parse("rob=64").hasOooAxes());
+    EXPECT_FALSE(SpaceSpec::parse("rob=128").hasOooAxes());
+}
+
+TEST(SpaceSpec, TryParseRejectsBadOooInput)
+{
+    std::string error;
+    EXPECT_FALSE(SpaceSpec::tryParse("rob=0", &error));
+    EXPECT_FALSE(SpaceSpec::tryParse("rob=8192", &error));
+    EXPECT_FALSE(SpaceSpec::tryParse("iq=0", &error));
+    EXPECT_FALSE(SpaceSpec::tryParse("iq=8192", &error));
+    EXPECT_FALSE(SpaceSpec::tryParse("fualu=0", &error));
+    EXPECT_FALSE(SpaceSpec::tryParse("fualu=100", &error));
+    EXPECT_FALSE(SpaceSpec::tryParse("fumem=0", &error));
+    EXPECT_FALSE(SpaceSpec::tryParse("buses=0", &error));
+    EXPECT_FALSE(SpaceSpec::tryParse("buses=100", &error));
+    EXPECT_FALSE(SpaceSpec::tryParse("rob=64,64", &error));
+    EXPECT_NE(error.find("duplicate"), std::string::npos);
+    // A ROB narrower than the widest machine cannot sustain dispatch.
+    EXPECT_FALSE(SpaceSpec::tryParse("width=4; rob=2", &error));
+    EXPECT_NE(error.find("width"), std::string::npos);
+}
+
+TEST(SpaceSpec, DescribeReparsesOooAxes)
+{
+    SpaceSpec spec = SpaceSpec::parse(
+        "width=1,2; rob=64:256:*2; iq=16,32; buses=2,8");
+    SpaceSpec again = SpaceSpec::parse(spec.describe());
+    ASSERT_EQ(again.size(), spec.size());
+    for (std::uint64_t i : {std::uint64_t(0), spec.size() - 1})
+        EXPECT_TRUE(again.at(i) == spec.at(i));
+    EXPECT_EQ(again.describe(), spec.describe());
 }
 
 // ---- Objectives -----------------------------------------------------------

@@ -99,6 +99,28 @@ TEST(ServeProtocol, ParsesEvalWithKeyAndAxes)
     EXPECT_EQ(*b.request->point, expect);
 }
 
+TEST(ServeProtocol, ParsesOooPointAxes)
+{
+    ParseOutcome a = parseRequest(
+        R"({"type": "eval", "point": {"rob": 64, "iq": 16,)"
+        R"( "fumul": 2, "buses": 8}})");
+    ASSERT_TRUE(a.ok()) << a.error;
+    DesignPoint expect = defaultDesignPoint();
+    expect.ooo.robSize = 64;
+    expect.ooo.iqSize = 16;
+    expect.ooo.fuMul = 2;
+    expect.ooo.resultBuses = 8;
+    EXPECT_EQ(*a.request->point, expect);
+
+    // Zero-sized structures are malformed at the protocol layer.
+    EXPECT_FALSE(parseRequest(
+                     R"({"type": "eval", "point": {"rob": 0}})")
+                     .ok());
+    EXPECT_FALSE(parseRequest(
+                     R"({"type": "eval", "point": {"buses": 0}})")
+                     .ok());
+}
+
 TEST(ServeProtocol, NameListsAcceptCsvAndArrays)
 {
     ParseOutcome a = parseRequest(
@@ -252,6 +274,47 @@ TEST(ServeSession, MalformedServiceInputsYieldStructuredErrors)
     }
     // The session survived it all and still answers real requests.
     EXPECT_EQ(typeOf(parsedResponse(lines[8])), "result");
+}
+
+TEST(ServeSession, OooAxesNeedAnOooBackend)
+{
+    EvalService service(testConfig());
+    std::string requests;
+    // Sweeping rob under the default (in-order model) backend: the
+    // axis would be silently ignored, so the service refuses.
+    requests += "{\"id\": 1, \"type\": \"batch\", \"space\": "
+                "\"rob=64,128\"}\n";
+    // Same space under an out-of-order backend is served.
+    requests += "{\"id\": 2, \"type\": \"batch\", \"space\": "
+                "\"rob=64,128\", \"backends\": \"ooo\"}\n";
+    // Point evals aren't sweeps: explicit axes work per backend, and
+    // out-of-range structures are semantic errors, not crashes.
+    requests += "{\"id\": 3, \"type\": \"eval\", \"point\": "
+                "{\"rob\": 64}, \"backends\": \"ooo,oosim\"}\n";
+    requests += "{\"id\": 4, \"type\": \"eval\", \"point\": "
+                "{\"rob\": 8192}}\n";
+
+    std::vector<std::string> lines = serveLines(requests, service);
+    ASSERT_EQ(lines.size(), 4u);
+
+    json::Value r1 = parsedResponse(lines[0]);
+    EXPECT_EQ(typeOf(r1), "error");
+    EXPECT_NE(r1.get("error")->string.find("out-of-order"),
+              std::string::npos);
+
+    EXPECT_EQ(typeOf(parsedResponse(lines[1])), "frontier");
+
+    json::Value r3 = parsedResponse(lines[2]);
+    EXPECT_EQ(typeOf(r3), "result");
+    ASSERT_NE(r3.get("results")->get("oosim"), nullptr);
+    EXPECT_GT(r3.get("results")
+                  ->get("oosim")
+                  ->get("objectives")
+                  ->get("cpi")
+                  ->number,
+              0.0);
+
+    EXPECT_EQ(typeOf(parsedResponse(lines[3])), "error");
 }
 
 TEST(ServeSession, PathologicalGeometryIsRejectedNotAllocated)

@@ -8,6 +8,7 @@
  *   profiler           profiling pass throughput        insns/s
  *   stack_distance     StackDistanceSimulator::access   accesses/s
  *   inorder_sim        detailed in-order simulation     cycles/s
+ *   oosim_cycles       out-of-order simulation          cycles/s
  *   model_eval         analytical model evaluations     evals/s
  *   profile_roundtrip  .mprof save + load round trip    roundtrips/s
  *   dse_scaling        parallel DSE sweep, 1..N thr     evals/s
@@ -171,6 +172,23 @@ runInorderSim(Fixture &fx, const bench::MeasureOptions &opts,
         },
         opts);
     report.add(kSuite, "inorder_sim", "throughput",
+               m.rate(static_cast<double>(once.cycles)), "cycles/s");
+}
+
+void
+runOoOSim(Fixture &fx, const bench::MeasureOptions &opts,
+          bench::BenchReport &report)
+{
+    const Trace &tr = fx.trace();
+    OoOSimConfig cfg = oooSimConfigFor(defaultDesignPoint());
+    OoOSimResult once = simulateOutOfOrder(tr, cfg);
+    auto m = bench::measure(
+        [&] {
+            OoOSimResult res = simulateOutOfOrder(tr, cfg);
+            bench::doNotOptimize(res.cycles);
+        },
+        opts);
+    report.add(kSuite, "oosim_cycles", "throughput",
                m.rate(static_cast<double>(once.cycles)), "cycles/s");
 }
 
@@ -354,6 +372,9 @@ allBenchmarks()
         {"inorder_sim",
          "detailed in-order simulation throughput (cycles/s)",
          runInorderSim},
+        {"oosim_cycles",
+         "cycle-accurate out-of-order simulation throughput (cycles/s)",
+         runOoOSim},
         {"model_eval", "analytical-model evaluations per second",
          runModelEval},
         {"profile_roundtrip",
