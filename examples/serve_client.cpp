@@ -14,6 +14,12 @@
  *
  *   mech_serve --port 8642 &
  *   printf '%s\n' '{"id": 1, "type": "info"}' | nc 127.0.0.1 8642
+ *
+ * The TCP front end serves many such sessions concurrently behind
+ * admission control; a production client should additionally match
+ * on '"code": "overloaded"' error responses and retry with backoff
+ * (docs/serving.md), and tools/mech_shard shows the scatter-gather
+ * pattern for splitting a space across several servers.
  */
 
 #include <iostream>

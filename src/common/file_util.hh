@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Small file-system utilities for persistent artifacts.
+ *
+ * Two needs drove this header: the serve layer's warm-cache spills
+ * (search/cache_io.hh) must be read without copying — a restarted
+ * server maps each spill once and decodes straight out of the page
+ * cache — and they must be written atomically, so a crash or signal
+ * mid-write can never leave a half-spill a later start would try to
+ * load.  MappedFile wraps mmap(2) behind a movable RAII view;
+ * atomicWriteFile() stages into a same-directory temp file and
+ * rename(2)s it into place.
+ *
+ * Everything reports failure through a bool + message out-param
+ * rather than exceptions: callers treat a missing or unreadable file
+ * as an ordinary cold start, not an error path.
+ */
+
+#ifndef MECH_COMMON_FILE_UTIL_HH
+#define MECH_COMMON_FILE_UTIL_HH
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace mech {
+
+/** Read-only mmap(2) view of a whole file. */
+class MappedFile
+{
+  public:
+    MappedFile() = default;
+    ~MappedFile();
+
+    MappedFile(MappedFile &&other) noexcept;
+    MappedFile &operator=(MappedFile &&other) noexcept;
+    MappedFile(const MappedFile &) = delete;
+    MappedFile &operator=(const MappedFile &) = delete;
+
+    /**
+     * Map @p path read-only.  Returns false (with a message in
+     * @p error when non-null) if the file cannot be opened or
+     * mapped.  An empty file maps successfully to an empty view.
+     */
+    bool open(const std::string &path, std::string *error = nullptr);
+
+    /** Unmap; the object returns to the default-constructed state. */
+    void close();
+
+    /** True while a mapping is held (empty files included). */
+    bool isOpen() const { return opened; }
+
+    /** The mapped bytes (valid until close()/destruction). */
+    std::string_view view() const
+    {
+        return {static_cast<const char *>(base), length};
+    }
+
+    std::size_t size() const { return length; }
+
+  private:
+    void *base = nullptr;
+    std::size_t length = 0;
+    bool opened = false;
+};
+
+/**
+ * Write @p bytes to @p path atomically: stage into a unique temp file
+ * in the same directory, fsync it, then rename(2) over the target.
+ * Readers see either the old file or the complete new one, never a
+ * prefix.  Returns false with a message on any failure (the temp
+ * file is removed).
+ */
+bool atomicWriteFile(const std::string &path, std::string_view bytes,
+                     std::string *error = nullptr);
+
+/**
+ * Create directory @p path (one level; parents must exist).  An
+ * already-existing directory succeeds.
+ */
+bool ensureDirectory(const std::string &path,
+                     std::string *error = nullptr);
+
+/** True when @p path names an existing regular file. */
+bool fileExists(const std::string &path);
+
+} // namespace mech
+
+#endif // MECH_COMMON_FILE_UTIL_HH

@@ -27,6 +27,7 @@
 #include "cache/tlb.hh"
 #include "common/bench.hh"
 #include "common/cli.hh"
+#include "common/file_util.hh"
 #include "common/histogram.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
@@ -53,6 +54,7 @@
 #include "power/power_model.hh"
 #include "profiler/profile_io.hh"
 #include "profiler/profiler.hh"
+#include "search/cache_io.hh"
 #include "search/eval_cache.hh"
 #include "search/evaluator.hh"
 #include "search/objective.hh"
@@ -60,11 +62,13 @@
 #include "search/report.hh"
 #include "search/space_spec.hh"
 #include "search/strategy.hh"
+#include "serve/admission.hh"
 #include "serve/protocol.hh"
 #include "serve/request_queue.hh"
 #include "serve/server.hh"
 #include "serve/service.hh"
 #include "serve/session.hh"
+#include "serve/shard.hh"
 #include "sim/inorder_sim.hh"
 #include "trace/trace.hh"
 #include "workload/builder.hh"

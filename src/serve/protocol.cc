@@ -265,4 +265,17 @@ errorResponse(const std::string &id_json, const std::string &message)
     return oss.str();
 }
 
+std::string
+codedErrorResponse(const std::string &id_json, const std::string &code,
+                   const std::string &message)
+{
+    std::ostringstream oss;
+    oss << responseHead(id_json, "error") << ", \"code\": ";
+    json::writeString(oss, code);
+    oss << ", \"error\": ";
+    json::writeString(oss, message);
+    oss << "}";
+    return oss.str();
+}
+
 } // namespace mech::serve

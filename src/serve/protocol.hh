@@ -110,6 +110,21 @@ std::string errorResponse(const std::string &id_json,
                           const std::string &message);
 
 /**
+ * Machine-readable error code of an admission-control rejection.
+ * Clients match on "code" (the human-readable "error" text may
+ * change); any other error kind omits the field.
+ */
+inline constexpr const char *kOverloadedCode = "overloaded";
+
+/**
+ * Serialize an error response carrying a machine-readable "code"
+ * field (e.g. kOverloadedCode for a shed request).
+ */
+std::string codedErrorResponse(const std::string &id_json,
+                               const std::string &code,
+                               const std::string &message);
+
+/**
  * Start a response body: `{"schema_version": 1, "id": <id>,
  * "type": "<type>"` with the id omitted when @p id_json is empty.
  * Callers append further `, "k": v` fields and the closing brace.

@@ -1,22 +1,34 @@
 #include "serve/server.hh"
 
+#include <algorithm>
+#include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <istream>
+#include <map>
+#include <mutex>
 #include <ostream>
+#include <sstream>
+#include <thread>
+#include <vector>
 
 #include <arpa/inet.h>
 #include <csignal>
 #include <netinet/in.h>
-#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
+
+#include "common/json.hh"
+#include "serve/admission.hh"
 
 namespace mech::serve {
 
 namespace {
 
-/** Set by SIGINT/SIGTERM; checked between connections and reads. */
+/** Set by SIGINT/SIGTERM; polled by the epoll loop between waits. */
 volatile std::sig_atomic_t g_terminate = 0;
 
 void
@@ -31,8 +43,8 @@ installSignalHandlers()
     struct sigaction sa;
     std::memset(&sa, 0, sizeof(sa));
     sa.sa_handler = onTerminate;
-    // No SA_RESTART: blocked accept()/recv() must return EINTR so
-    // the loops can notice the flag and drain.
+    // No SA_RESTART: a blocked epoll_wait() must return EINTR so the
+    // loop can notice the flag and drain.
     sigaction(SIGINT, &sa, nullptr);
     sigaction(SIGTERM, &sa, nullptr);
     // A client vanishing mid-response must be a write error, not a
@@ -40,119 +52,44 @@ installSignalHandlers()
     std::signal(SIGPIPE, SIG_IGN);
 }
 
-/**
- * LineSource over a connected socket: an internal buffer split on
- * newlines, refilled with blocking recv().  Oversized lines are
- * truncated at the request cap and the excess discarded, so a
- * misbehaving client costs bounded memory.
- */
-class FdLineSource : public LineSource
+double
+microsSince(std::chrono::steady_clock::time_point start)
 {
-  public:
-    explicit FdLineSource(int fd) : fd(fd) {}
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
 
-    bool
-    nextLine(std::string &line) override
-    {
-        line.clear();
-        bool truncating = false;
-        for (;;) {
-            std::size_t nl = buffer.find('\n');
-            if (nl != std::string::npos) {
-                if (!truncating)
-                    line.append(buffer, 0, nl);
-                buffer.erase(0, nl + 1);
-                return true;
-            }
-            // No newline buffered: bank what we have (or discard it,
-            // once the line has blown the cap) and read more.
-            if (!truncating) {
-                line += buffer;
-                if (line.size() > kMaxRequestBytes + 1) {
-                    line.resize(kMaxRequestBytes + 1);
-                    truncating = true;
-                }
-            }
-            buffer.clear();
-            char chunk[4096];
-            ssize_t got;
-            do {
-                got = ::recv(fd, chunk, sizeof(chunk), 0);
-            } while (got < 0 && errno == EINTR && !g_terminate);
-            if (got <= 0)
-                return !line.empty();
-            buffer.append(chunk, static_cast<std::size_t>(got));
-        }
-    }
-
-    bool
-    moreBuffered() override
-    {
-        if (!buffer.empty())
-            return true;
-        struct pollfd pfd;
-        pfd.fd = fd;
-        pfd.events = POLLIN;
-        pfd.revents = 0;
-        return ::poll(&pfd, 1, 0) > 0 && (pfd.revents & POLLIN);
-    }
-
-  private:
-    int fd;
-    std::string buffer;
-};
-
-/** Minimal buffered ostream over a socket fd. */
-class FdStreambuf : public std::streambuf
+bool
+isBlank(const std::string &line)
 {
-  public:
-    explicit FdStreambuf(int fd) : fd(fd) {}
-
-  protected:
-    int
-    overflow(int ch) override
-    {
-        if (ch != traits_type::eof()) {
-            char c = static_cast<char>(ch);
-            pending += c;
-            if (c == '\n' || pending.size() >= 1 << 16)
-                return sync() == 0 ? ch : traits_type::eof();
-        }
-        return ch;
+    for (char c : line) {
+        if (c != ' ' && c != '\t' && c != '\r')
+            return false;
     }
+    return true;
+}
 
-    std::streamsize
-    xsputn(const char *s, std::streamsize n) override
-    {
-        pending.append(s, static_cast<std::size_t>(n));
-        if (pending.size() >= 1 << 16)
-            return sync() == 0 ? n : 0;
-        return n;
-    }
+/** One response line, formatted exactly as ResponseWriter writes it. */
+std::string
+responseLine(const std::string &body, bool latency_fields,
+             double latency_us)
+{
+    if (!latency_fields)
+        return body + "\n";
+    std::ostringstream os;
+    os.write(body.data(),
+             static_cast<std::streamsize>(body.size() - 1));
+    os << ", \"latency_us\": ";
+    json::writeNumber(os, latency_us);
+    os << "}\n";
+    return os.str();
+}
 
-    int
-    sync() override
-    {
-        std::size_t off = 0;
-        while (off < pending.size()) {
-            ssize_t put = ::send(fd, pending.data() + off,
-                                 pending.size() - off, 0);
-            if (put < 0) {
-                if (errno == EINTR)
-                    continue;
-                pending.clear();
-                return -1;
-            }
-            off += static_cast<std::size_t>(put);
-        }
-        pending.clear();
-        return 0;
-    }
-
-  private:
-    int fd;
-    std::string pending;
-};
+/** epoll tags below this are the listener / wake eventfd. */
+constexpr std::uint64_t kListenerTag = 0;
+constexpr std::uint64_t kWakeTag = 1;
+constexpr std::uint64_t kFirstConnTag = 2;
 
 } // namespace
 
@@ -173,18 +110,104 @@ runStdioServer(EvalService &service, std::istream &in,
     return stats;
 }
 
-int
-runTcpServer(EvalService &service, unsigned short port,
-             std::ostream &log, const SessionOptions &opts)
+struct TcpServer::Impl
 {
-    installSignalHandlers();
-
-    int listener = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (listener < 0) {
-        log << "mech_serve: socket(): " << std::strerror(errno)
-            << "\n";
-        return 1;
+    Impl(EvalService &service_in, TcpServerConfig cfg_in,
+         std::ostream &log_in, SessionOptions opts_in)
+        : service(service_in), cfg(cfg_in), log(log_in),
+          opts(opts_in),
+          queue(AdmissionConfig{cfg_in.maxQueue, cfg_in.maxInflight,
+                                opts_in.maxBatch})
+    {
     }
+
+    /** One accepted connection.  Input state (raw/line/truncating and
+     *  the eof/broken flags) belongs to the I/O thread alone; outbuf,
+     *  busy and the response counters are shared with the dispatchers
+     *  and guarded by connMtx. */
+    struct Conn
+    {
+        int fd = -1;
+        std::uint64_t sid = 0;
+
+        std::string raw;  ///< received bytes not yet split on '\n'
+        std::string line; ///< the partial line being accumulated
+        bool truncating = false;
+        bool peerEof = false;
+        bool broken = false;
+        bool wantWrite = false;
+        std::uint64_t linesRead = 0;
+
+        std::string outbuf;
+        std::size_t busy = 0; ///< admitted lines not yet answered
+        std::uint64_t responses = 0;
+        std::uint64_t errors = 0;
+    };
+
+    EvalService &service;
+    TcpServerConfig cfg;
+    std::ostream &log;
+    SessionOptions opts;
+    AdmissionQueue queue;
+
+    int epfd = -1;
+    int listener = -1;
+    int wakeFd = -1;
+    unsigned short boundPort = 0;
+
+    std::thread io;
+    std::vector<std::thread> dispatchers;
+
+    std::atomic<bool> stopRequested{false};
+    std::atomic<bool> drainAsked{false};
+    std::atomic<bool> shutdownSeen{false};
+    bool draining = false; // I/O thread only
+
+    std::mutex connMtx;
+    std::map<std::uint64_t, std::unique_ptr<Conn>> conns;
+    std::vector<std::uint64_t> writeReady;
+    std::uint64_t nextSid = kFirstConnTag;
+
+    bool start(std::string *error);
+    void ioLoop();
+    void dispatchLoop();
+    void processBatch(const AdmissionQueue::Batch &batch);
+    void deliver(std::uint64_t sid, std::string bytes,
+                 std::size_t consumed, std::uint64_t responses,
+                 std::uint64_t errors);
+    void wake();
+
+    void acceptClients();
+    void readConn(Conn &conn);
+    void discardInput(Conn &conn);
+    void ingestLine(Conn &conn);
+    void shedLine(Conn &conn, QueuedLine line);
+    bool flushConn(Conn &conn);
+    void setWantWrite(Conn &conn, bool want);
+    void closeConn(std::uint64_t sid);
+    void beginDrain();
+    void sweepConns();
+    void drainWriteReady();
+};
+
+bool
+TcpServer::Impl::start(std::string *error)
+{
+    auto fail = [&](const char *what) {
+        *error = std::string(what) + ": " + std::strerror(errno);
+        if (listener >= 0)
+            ::close(listener);
+        if (wakeFd >= 0)
+            ::close(wakeFd);
+        if (epfd >= 0)
+            ::close(epfd);
+        listener = wakeFd = epfd = -1;
+        return false;
+    };
+
+    listener = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+    if (listener < 0)
+        return fail("socket()");
     int one = 1;
     ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one,
                  sizeof(one));
@@ -193,46 +216,605 @@ runTcpServer(EvalService &service, unsigned short port,
     std::memset(&addr, 0, sizeof(addr));
     addr.sin_family = AF_INET;
     addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(port);
+    addr.sin_port = htons(cfg.port);
     if (::bind(listener, reinterpret_cast<sockaddr *>(&addr),
-               sizeof(addr)) < 0 ||
-        ::listen(listener, 4) < 0) {
-        log << "mech_serve: cannot listen on 127.0.0.1:" << port
-            << ": " << std::strerror(errno) << "\n";
-        ::close(listener);
-        return 1;
+               sizeof(addr)) < 0) {
+        return fail("bind()");
     }
-    log << "mech_serve: listening on 127.0.0.1:" << port << "\n";
+    if (::listen(listener, 128) < 0)
+        return fail("listen()");
 
-    bool drained = false;
-    while (!g_terminate && !drained) {
-        int client = ::accept(listener, nullptr, nullptr);
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listener, reinterpret_cast<sockaddr *>(&addr),
+                      &len) < 0) {
+        return fail("getsockname()");
+    }
+    boundPort = ntohs(addr.sin_port);
+
+    wakeFd = ::eventfd(0, EFD_NONBLOCK);
+    if (wakeFd < 0)
+        return fail("eventfd()");
+    epfd = ::epoll_create1(0);
+    if (epfd < 0)
+        return fail("epoll_create1()");
+
+    epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN;
+    ev.data.u64 = kListenerTag;
+    if (::epoll_ctl(epfd, EPOLL_CTL_ADD, listener, &ev) < 0)
+        return fail("epoll_ctl(listener)");
+    ev.data.u64 = kWakeTag;
+    if (::epoll_ctl(epfd, EPOLL_CTL_ADD, wakeFd, &ev) < 0)
+        return fail("epoll_ctl(eventfd)");
+
+    if (cfg.dispatchHoldMs > 0)
+        queue.holdDispatch(true);
+
+    // Logged before the threads spawn: the I/O thread owns the log
+    // stream from here until wait() joins it.
+    log << "mech_serve: listening on 127.0.0.1:" << boundPort << " ("
+        << cfg.dispatchers << " dispatcher(s), queue " << cfg.maxQueue
+        << ", per-session " << cfg.maxInflight << ")\n";
+
+    io = std::thread([this] { ioLoop(); });
+    for (unsigned i = 0; i < cfg.dispatchers; ++i)
+        dispatchers.emplace_back([this] { dispatchLoop(); });
+    return true;
+}
+
+void
+TcpServer::Impl::wake()
+{
+    std::uint64_t one = 1;
+    ssize_t ignored [[maybe_unused]] =
+        ::write(wakeFd, &one, sizeof(one));
+}
+
+void
+TcpServer::Impl::setWantWrite(Conn &conn, bool want)
+{
+    if (conn.wantWrite == want)
+        return;
+    conn.wantWrite = want;
+    epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN | (want ? EPOLLOUT : 0u);
+    ev.data.u64 = conn.sid;
+    ::epoll_ctl(epfd, EPOLL_CTL_MOD, conn.fd, &ev);
+}
+
+bool
+TcpServer::Impl::flushConn(Conn &conn)
+{
+    // Runs on the I/O thread; connMtx held by the caller.
+    while (!conn.outbuf.empty()) {
+        ssize_t put = ::send(conn.fd, conn.outbuf.data(),
+                             conn.outbuf.size(), 0);
+        if (put < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                setWantWrite(conn, true);
+                return true;
+            }
+            conn.broken = true;
+            return false;
+        }
+        conn.outbuf.erase(0, static_cast<std::size_t>(put));
+    }
+    setWantWrite(conn, false);
+    return true;
+}
+
+void
+TcpServer::Impl::acceptClients()
+{
+    for (;;) {
+        int client =
+            ::accept4(listener, nullptr, nullptr, SOCK_NONBLOCK);
         if (client < 0) {
             if (errno == EINTR)
-                continue; // signal: loop re-checks g_terminate
-            log << "mech_serve: accept(): " << std::strerror(errno)
-                << "\n";
-            break;
+                continue;
+            return; // EAGAIN: accepted everything pending
+        }
+        auto conn = std::make_unique<Conn>();
+        conn->fd = client;
+        conn->sid = nextSid++;
+        queue.addSession(conn->sid);
+
+        epoll_event ev;
+        std::memset(&ev, 0, sizeof(ev));
+        ev.events = EPOLLIN;
+        ev.data.u64 = conn->sid;
+        if (::epoll_ctl(epfd, EPOLL_CTL_ADD, client, &ev) < 0) {
+            queue.removeSession(conn->sid);
+            ::close(client);
+            continue;
         }
         log << "mech_serve: client connected\n";
-        {
-            FdLineSource source(client);
-            FdStreambuf buf(client);
-            std::ostream out(&buf);
-            ServerSession session(service, source, out, opts);
-            SessionStats stats = session.run();
-            out.flush();
-            drained = stats.shutdownRequested;
-            log << "mech_serve: client disconnected ("
-                << stats.responses << " response(s))\n";
-        }
-        ::shutdown(client, SHUT_RDWR);
-        ::close(client);
+        std::lock_guard<std::mutex> lock(connMtx);
+        conns.emplace(conn->sid, std::move(conn));
     }
-    ::close(listener);
+}
+
+void
+TcpServer::Impl::shedLine(Conn &conn, QueuedLine line)
+{
+    // The queue refused the line (the caller already counted it in
+    // conn.busy).  Control requests must still get through (a monitor
+    // reading stats from an overloaded server, a shutdown) — parsing
+    // only happens on this slow path.
+    ParseOutcome outcome = parseRequest(line.line);
+    if (outcome.ok() &&
+        (outcome.request->type == RequestType::Info ||
+         outcome.request->type == RequestType::Stats ||
+         outcome.request->type == RequestType::Shutdown) &&
+        queue.force(conn.sid, QueuedLine{line})) {
+        return; // admitted after all: stays in flight
+    }
+    const std::string body = codedErrorResponse(
+        outcome.idJson, kOverloadedCode,
+        "server overloaded: admission queue is full, retry later");
+    service.noteShedRequests(1);
+    std::lock_guard<std::mutex> lock(connMtx);
+    --conn.busy;
+    conn.outbuf += responseLine(body, opts.latencyFields,
+                                microsSince(line.received));
+    ++conn.responses;
+    ++conn.errors;
+    flushConn(conn);
+}
+
+void
+TcpServer::Impl::ingestLine(Conn &conn)
+{
+    std::string line = std::move(conn.line);
+    conn.line.clear();
+    const bool truncated = conn.truncating;
+    conn.truncating = false;
+    if (!truncated && isBlank(line))
+        return;
+    ++conn.linesRead;
+    QueuedLine queued{std::move(line),
+                      std::chrono::steady_clock::now()};
+    // Count the line as in flight BEFORE the queue can hand it to a
+    // dispatcher: deliver() may decrement conn.busy the instant
+    // offer() succeeds, and an increment racing in afterwards would
+    // strand the connection at busy > 0 — unreapable, wedging the
+    // drain.  A refused line stays counted until shedLine() settles
+    // whether it was force-admitted or answered with an error.
+    {
+        std::lock_guard<std::mutex> lock(connMtx);
+        ++conn.busy;
+    }
+    if (queue.offer(conn.sid, queued))
+        return;
+    shedLine(conn, std::move(queued));
+}
+
+void
+TcpServer::Impl::readConn(Conn &conn)
+{
+    char chunk[1 << 16];
+    for (;;) {
+        ssize_t got = ::recv(conn.fd, chunk, sizeof(chunk), 0);
+        if (got < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno != EAGAIN && errno != EWOULDBLOCK)
+                conn.broken = true;
+            return;
+        }
+        if (got == 0) {
+            conn.peerEof = true;
+            // A final unterminated line still counts (mirroring the
+            // blocking reader's EOF behaviour).
+            if (!conn.raw.empty() || !conn.line.empty()) {
+                if (!conn.truncating)
+                    conn.line += conn.raw;
+                conn.raw.clear();
+                ingestLine(conn);
+            }
+            return;
+        }
+        conn.raw.append(chunk, static_cast<std::size_t>(got));
+        for (;;) {
+            const std::size_t nl = conn.raw.find('\n');
+            if (nl == std::string::npos) {
+                if (!conn.truncating) {
+                    conn.line += conn.raw;
+                    if (conn.line.size() > kMaxRequestBytes + 1) {
+                        // Keep the cap plus a sentinel byte so the
+                        // dispatcher reports the overflow; discard
+                        // the rest of the physical line.
+                        conn.line.resize(kMaxRequestBytes + 1);
+                        conn.truncating = true;
+                    }
+                }
+                conn.raw.clear();
+                break;
+            }
+            if (!conn.truncating)
+                conn.line.append(conn.raw, 0, nl);
+            conn.raw.erase(0, nl + 1);
+            ingestLine(conn);
+        }
+    }
+}
+
+void
+TcpServer::Impl::discardInput(Conn &conn)
+{
+    // During drain the server answers what it admitted and nothing
+    // more; unread input is consumed and dropped so level-triggered
+    // polling does not spin on it.
+    char chunk[1 << 16];
+    for (;;) {
+        ssize_t got = ::recv(conn.fd, chunk, sizeof(chunk), 0);
+        if (got < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno != EAGAIN && errno != EWOULDBLOCK)
+                conn.broken = true;
+            return;
+        }
+        if (got == 0) {
+            conn.peerEof = true;
+            return;
+        }
+    }
+}
+
+void
+TcpServer::Impl::closeConn(std::uint64_t sid)
+{
+    std::unique_ptr<Conn> conn;
+    {
+        std::lock_guard<std::mutex> lock(connMtx);
+        auto it = conns.find(sid);
+        if (it == conns.end())
+            return;
+        conn = std::move(it->second);
+        conns.erase(it);
+    }
+    queue.removeSession(sid);
+    ::epoll_ctl(epfd, EPOLL_CTL_DEL, conn->fd, nullptr);
+    ::shutdown(conn->fd, SHUT_RDWR);
+    ::close(conn->fd);
+    log << "mech_serve: client disconnected (" << conn->responses
+        << " response(s))\n";
+}
+
+void
+TcpServer::Impl::beginDrain()
+{
+    if (draining)
+        return;
+    draining = true;
+    if (listener >= 0) {
+        ::epoll_ctl(epfd, EPOLL_CTL_DEL, listener, nullptr);
+        ::close(listener);
+        listener = -1;
+    }
+    queue.stop();
+}
+
+void
+TcpServer::Impl::sweepConns()
+{
+    // Close connections with nothing left to do: the peer is done
+    // (or the server is draining), every admitted line has been
+    // answered, and the answers have left the write buffer.
+    std::vector<std::uint64_t> done;
+    {
+        std::lock_guard<std::mutex> lock(connMtx);
+        for (auto &[sid, conn] : conns) {
+            if (conn->broken ||
+                ((conn->peerEof || draining) && conn->busy == 0 &&
+                 conn->outbuf.empty())) {
+                done.push_back(sid);
+            }
+        }
+    }
+    for (std::uint64_t sid : done)
+        closeConn(sid);
+}
+
+void
+TcpServer::Impl::drainWriteReady()
+{
+    std::lock_guard<std::mutex> lock(connMtx);
+    std::vector<std::uint64_t> ready;
+    ready.swap(writeReady);
+    for (std::uint64_t sid : ready) {
+        auto it = conns.find(sid);
+        if (it != conns.end())
+            flushConn(*it->second);
+    }
+}
+
+void
+TcpServer::Impl::ioLoop()
+{
+    using clock = std::chrono::steady_clock;
+    bool holdActive = cfg.dispatchHoldMs > 0;
+    bool holdStarted = false;
+    clock::time_point holdStart;
+
+    epoll_event events[64];
+    for (;;) {
+        int timeoutMs = 200;
+        if (holdActive && holdStarted) {
+            const auto left =
+                std::chrono::milliseconds(cfg.dispatchHoldMs) -
+                (clock::now() - holdStart);
+            const int leftMs = static_cast<int>(
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    left)
+                    .count());
+            timeoutMs = std::max(0, std::min(timeoutMs, leftMs));
+        }
+        const int n = ::epoll_wait(epfd, events, 64, timeoutMs);
+        if (n < 0 && errno != EINTR)
+            break;
+
+        if (!draining &&
+            (g_terminate || stopRequested.load() ||
+             drainAsked.load())) {
+            beginDrain();
+        }
+        if (holdActive && holdStarted &&
+            clock::now() - holdStart >=
+                std::chrono::milliseconds(cfg.dispatchHoldMs)) {
+            holdActive = false;
+            queue.holdDispatch(false);
+        }
+
+        for (int i = 0; i < std::max(n, 0); ++i) {
+            const std::uint64_t tag = events[i].data.u64;
+            if (tag == kListenerTag) {
+                if (!draining)
+                    acceptClients();
+                if (holdActive && !holdStarted) {
+                    holdStarted = true;
+                    holdStart = clock::now();
+                }
+                continue;
+            }
+            if (tag == kWakeTag) {
+                std::uint64_t count;
+                while (::read(wakeFd, &count, sizeof(count)) > 0) {
+                }
+                continue;
+            }
+            Conn *conn = nullptr;
+            {
+                std::lock_guard<std::mutex> lock(connMtx);
+                auto it = conns.find(tag);
+                if (it != conns.end())
+                    conn = it->second.get();
+            }
+            if (!conn)
+                continue;
+            // The I/O thread is the only closer, so the pointer stays
+            // valid past the lock; input state is thread-private and
+            // flushConn retakes the lock for the shared half.
+            if (events[i].events & (EPOLLERR | EPOLLHUP))
+                conn->broken = true;
+            if (!conn->broken && (events[i].events & EPOLLIN)) {
+                if (draining)
+                    discardInput(*conn);
+                else
+                    readConn(*conn);
+            }
+            if (!conn->broken && (events[i].events & EPOLLOUT)) {
+                std::lock_guard<std::mutex> lock(connMtx);
+                flushConn(*conn);
+            }
+        }
+
+        drainWriteReady();
+        sweepConns();
+
+        if (draining) {
+            std::lock_guard<std::mutex> lock(connMtx);
+            if (conns.empty() && queue.pending() == 0)
+                break;
+        }
+    }
+}
+
+void
+TcpServer::Impl::deliver(std::uint64_t sid, std::string bytes,
+                         std::size_t consumed,
+                         std::uint64_t responses, std::uint64_t errors)
+{
+    {
+        std::lock_guard<std::mutex> lock(connMtx);
+        auto it = conns.find(sid);
+        if (it == conns.end())
+            return; // session disconnected mid-batch
+        Conn &conn = *it->second;
+        conn.outbuf += bytes;
+        conn.busy -= std::min(conn.busy, consumed);
+        conn.responses += responses;
+        conn.errors += errors;
+        writeReady.push_back(sid);
+    }
+    wake();
+}
+
+void
+TcpServer::Impl::processBatch(const AdmissionQueue::Batch &batch)
+{
+    // The dispatcher-side mirror of ServerSession::run(): parse,
+    // coalesce data requests, answer control requests on drained
+    // state, and emit one response line per request in order.
+    std::ostringstream out;
+    ResponseWriter writer(out, opts.latencyFields);
+    std::vector<PendingLine> pendingBatch;
+
+    auto flushPending = [&] {
+        if (pendingBatch.empty())
+            return;
+        std::vector<ServeRequest> requests;
+        requests.reserve(pendingBatch.size());
+        for (const PendingLine &line : pendingBatch) {
+            if (line.ok())
+                requests.push_back(line.request);
+        }
+        std::vector<std::string> bodies =
+            service.handleFlush(requests);
+        std::size_t next = 0;
+        for (const PendingLine &line : pendingBatch) {
+            const std::string body =
+                line.ok() ? bodies[next++]
+                          : errorResponse(line.idJson, line.error);
+            writer.write(body, microsSince(line.received));
+        }
+        pendingBatch.clear();
+    };
+
+    bool sawShutdown = false;
+    for (const QueuedLine &queued : batch.lines) {
+        PendingLine pending;
+        pending.received = queued.received;
+        if (queued.line.size() > kMaxRequestBytes) {
+            pending.error = "request line exceeds " +
+                            std::to_string(kMaxRequestBytes) +
+                            " bytes";
+        } else {
+            ParseOutcome outcome = parseRequest(queued.line);
+            pending.idJson = outcome.idJson;
+            if (!outcome.ok()) {
+                pending.error = outcome.error;
+            } else if (outcome.request->type == RequestType::Info ||
+                       outcome.request->type == RequestType::Stats ||
+                       outcome.request->type ==
+                           RequestType::Shutdown) {
+                flushPending();
+                const ServeRequest &req = *outcome.request;
+                std::string body =
+                    req.type == RequestType::Info
+                        ? service.infoResponse(req.idJson)
+                        : service.statsResponse(req.idJson, req.type);
+                writer.write(body, microsSince(pending.received));
+                if (req.type == RequestType::Shutdown) {
+                    sawShutdown = true;
+                    break;
+                }
+                continue;
+            } else {
+                pending.request = *outcome.request;
+            }
+        }
+        pendingBatch.push_back(std::move(pending));
+    }
+    flushPending();
+
+    deliver(batch.sid, out.str(), batch.lines.size(),
+            writer.written(), writer.errorsWritten());
+    if (sawShutdown) {
+        shutdownSeen.store(true);
+        drainAsked.store(true);
+        wake();
+    }
+}
+
+void
+TcpServer::Impl::dispatchLoop()
+{
+    AdmissionQueue::Batch batch;
+    while (queue.nextBatch(&batch)) {
+        processBatch(batch);
+        queue.completed(batch.sid);
+    }
+}
+
+TcpServer::TcpServer(EvalService &service, TcpServerConfig cfg,
+                     std::ostream &log, SessionOptions opts)
+    : impl(std::make_unique<Impl>(service, cfg, log, opts))
+{
+}
+
+TcpServer::~TcpServer()
+{
+    if (impl->io.joinable()) {
+        requestStop();
+        wait();
+    }
+}
+
+bool
+TcpServer::start(std::string *error)
+{
+    return impl->start(error);
+}
+
+unsigned short
+TcpServer::port() const
+{
+    return impl->boundPort;
+}
+
+void
+TcpServer::requestStop()
+{
+    impl->stopRequested.store(true);
+    if (impl->wakeFd >= 0)
+        impl->wake();
+}
+
+void
+TcpServer::wait()
+{
+    if (impl->io.joinable())
+        impl->io.join();
+    // The I/O loop has fully drained: stop the queue (idempotent) and
+    // collect the dispatchers.
+    impl->queue.stop();
+    for (std::thread &t : impl->dispatchers) {
+        if (t.joinable())
+            t.join();
+    }
+    if (impl->epfd >= 0) {
+        ::close(impl->epfd);
+        impl->epfd = -1;
+    }
+    if (impl->wakeFd >= 0) {
+        ::close(impl->wakeFd);
+        impl->wakeFd = -1;
+    }
+    if (impl->listener >= 0) {
+        ::close(impl->listener);
+        impl->listener = -1;
+    }
+}
+
+bool
+TcpServer::drainedByShutdown() const
+{
+    return impl->shutdownSeen.load();
+}
+
+int
+runTcpServer(EvalService &service, const TcpServerConfig &cfg,
+             std::ostream &log, const SessionOptions &opts)
+{
+    installSignalHandlers();
+
+    TcpServer server(service, cfg, log, opts);
+    std::string error;
+    if (!server.start(&error)) {
+        log << "mech_serve: " << error << "\n";
+        return 1;
+    }
+    server.wait();
 
     const ServiceStats svc = service.stats();
-    log << "mech_serve: " << (drained ? "drained" : "terminated")
+    log << "mech_serve: "
+        << (server.drainedByShutdown() ? "drained" : "terminated")
         << "; cache " << svc.hits << "/" << svc.requested
         << " hits across " << svc.groups << " group(s)\n";
     return 0;

@@ -1,31 +1,102 @@
 /**
  * @file
- * mech_serve front ends: the stdio loop and a plain blocking TCP
- * server (no event loop, no new dependencies).
+ * mech_serve front ends: the stdio loop and a concurrent epoll TCP
+ * server (no event-loop library, no new dependencies).
  *
  * Stdio mode serves one session over stdin/stdout — the mode CI
- * smokes and scripts pipe request files through.  TCP mode binds a
- * loopback listener and serves clients one connection at a time
- * (requests *within* a connection pipeline and batch; the evaluation
- * parallelism lives in the service's thread pool, which a sequential
- * accept loop keeps fully available to the active client).
+ * smokes and scripts pipe request files through.
  *
- * Graceful drain: a client "shutdown" request drains that session's
- * queue, answers a final "bye" accounting line, and stops the server
- * (in TCP mode, after closing the connection).  SIGINT/SIGTERM set a
- * flag the accept loop honours, so an operator's Ctrl-C never kills
- * a request mid-evaluation: the active session finishes its flush,
- * then the listener closes.
+ * TCP mode is a production-shaped front end for hundreds of
+ * concurrent sessions: one epoll I/O thread owns the listener and
+ * every connection (nonblocking reads into per-connection line
+ * buffers, buffered writes with EPOLLOUT backpressure), and a small
+ * dispatcher pool pulls admitted line batches from an AdmissionQueue
+ * and answers them through the shared EvalService.  At most one batch
+ * per session is in flight at a time, so each session's responses
+ * stay in its own request order and the per-session byte-identity
+ * contract holds at any thread or dispatcher count.  Requests beyond
+ * the admission bounds are shed with structured
+ * `{"type": "error", "code": "overloaded"}` responses; control
+ * requests (info/stats/shutdown) are never shed.
+ *
+ * Graceful drain: a client "shutdown" request answers its final "bye"
+ * accounting line, then the server stops accepting, the dispatchers
+ * finish every admitted request, write buffers flush, and the process
+ * exits.  SIGINT/SIGTERM take the same path, so an operator's Ctrl-C
+ * never kills a request mid-evaluation.
  */
 
 #ifndef MECH_SERVE_SERVER_HH
 #define MECH_SERVE_SERVER_HH
 
+#include <cstdint>
 #include <iosfwd>
+#include <memory>
+#include <string>
 
 #include "serve/session.hh"
 
 namespace mech::serve {
+
+/** TCP front-end knobs (see mech_serve --help for the flags). */
+struct TcpServerConfig
+{
+    /** Port to bind on 127.0.0.1; 0 picks an ephemeral port. */
+    unsigned short port = 0;
+
+    /** Dispatcher threads pulling batches off the admission queue. */
+    unsigned dispatchers = 1;
+
+    /** Global bound on queued request lines (admission control). */
+    std::size_t maxQueue = 1024;
+
+    /** Per-session bound on queued request lines. */
+    std::size_t maxInflight = 256;
+
+    /**
+     * Testing knob: freeze dispatch for this many milliseconds after
+     * the first connection, so overload goldens shed against a frozen
+     * queue deterministically.  0 disables.
+     */
+    unsigned dispatchHoldMs = 0;
+};
+
+/**
+ * The epoll front end as an embeddable object: benchmarks and tests
+ * run it in-process against an ephemeral port; runTcpServer() wraps
+ * it for the tool.  start() binds and spawns the threads, wait()
+ * blocks until a drain (shutdown request, requestStop(), or a
+ * termination signal) completes.
+ */
+class TcpServer
+{
+  public:
+    TcpServer(EvalService &service, TcpServerConfig cfg,
+              std::ostream &log, SessionOptions opts);
+    ~TcpServer();
+
+    TcpServer(const TcpServer &) = delete;
+    TcpServer &operator=(const TcpServer &) = delete;
+
+    /** Bind, listen and spawn the threads; false + error on failure. */
+    bool start(std::string *error);
+
+    /** The bound port (useful after binding port 0). */
+    unsigned short port() const;
+
+    /** Ask for a graceful drain (the in-process Ctrl-C). */
+    void requestStop();
+
+    /** Block until the drain completes and every thread has joined. */
+    void wait();
+
+    /** True when the drain was initiated by a shutdown request. */
+    bool drainedByShutdown() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl;
+};
 
 /**
  * Serve one stdio session: requests from @p in, responses to @p out,
@@ -37,11 +108,11 @@ SessionStats runStdioServer(EvalService &service, std::istream &in,
                             const SessionOptions &opts);
 
 /**
- * Bind 127.0.0.1:@p port and serve TCP clients until a shutdown
- * request or a termination signal.  Returns 0 on a clean drain,
- * nonzero when the listener could not be set up.
+ * Bind 127.0.0.1 per @p cfg and serve TCP clients until a shutdown
+ * request or a termination signal, then drain.  Returns 0 on a clean
+ * drain, nonzero when the listener could not be set up.
  */
-int runTcpServer(EvalService &service, unsigned short port,
+int runTcpServer(EvalService &service, const TcpServerConfig &cfg,
                  std::ostream &log, const SessionOptions &opts);
 
 } // namespace mech::serve

@@ -2,19 +2,24 @@
 
 #include <algorithm>
 #include <future>
+#include <mutex>
+#include <ostream>
 #include <set>
+#include <shared_mutex>
 #include <sstream>
 #include <unordered_set>
 #include <utility>
 
+#include "common/file_util.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "dse/study.hh"
 #include "eval/registry.hh"
+#include "search/cache_io.hh"
 #include "search/eval_cache.hh"
 #include "search/objective.hh"
-#include "search/pareto.hh"
 #include "search/space_spec.hh"
+#include "serve/shard.hh"
 #include "workload/suites.hh"
 
 namespace mech::serve {
@@ -49,12 +54,25 @@ writeNameArray(std::ostream &os, const std::vector<std::string> &names)
 /**
  * One benchmark's shared study: profiled (or artifact-loaded) once,
  * then reused by every group that names the benchmark.  `prepared`
- * tracks the L2 geometries whose MemoryStats the study has memoized,
- * so evaluation stays read-only across pool workers.
+ * tracks the L2 geometries whose MemoryStats the study has memoized.
+ *
+ * The reader-writer lock is what lets concurrent dispatcher flushes
+ * share a study: preparation (which mutates the memo) holds it
+ * exclusively, the evaluation fan-out holds it shared.  `seq` gives
+ * every study a global order; coordinators acquire their shared
+ * locks in ascending seq, so two flushes over overlapping study sets
+ * can never deadlock against a pending writer.
  */
 struct EvalService::StudyEntry
 {
     std::unique_ptr<DseStudy> study;
+
+    /** Creation order, for deadlock-free multi-study lock sequences. */
+    std::uint64_t seq = 0;
+
+    std::shared_mutex rw;
+
+    /** Guarded by rw (writers update it after prepare()). */
     std::set<std::pair<std::uint64_t, std::uint32_t>> prepared;
 };
 
@@ -73,6 +91,20 @@ struct EvalService::Group
     BackendSet backends;
     std::vector<Objective> objectives;
     EvalCache cache;
+
+    std::uint32_t
+    aggregateLen() const
+    {
+        return static_cast<std::uint32_t>(backends.size() *
+                                          objectives.size());
+    }
+
+    std::uint32_t
+    perBenchLen() const
+    {
+        return static_cast<std::uint32_t>(
+            benchNames.size() * backends.size() * objectives.size());
+    }
 };
 
 EvalService::EvalService(ServeConfig cfg_in)
@@ -92,12 +124,14 @@ EvalService::~EvalService() = default;
 void
 EvalService::buildStudies(const std::vector<std::string> &names)
 {
+    // Caller holds resolveMtx.
     std::vector<std::pair<std::string, StudyEntry *>> missing;
     for (const std::string &name : names) {
         auto it = studies.find(name);
         if (it != studies.end())
             continue;
         auto entry = std::make_unique<StudyEntry>();
+        entry->seq = studies.size();
         StudyEntry *raw = entry.get();
         studies.emplace(name, std::move(entry));
         missing.emplace_back(name, raw);
@@ -120,6 +154,37 @@ EvalService::buildStudies(const std::vector<std::string> &names)
     }
     for (auto &f : built)
         f.get();
+}
+
+void
+EvalService::loadSpill(Group &group)
+{
+    // Caller holds resolveMtx (the group is still being materialized,
+    // so no other thread can reach its cache yet).
+    if (cfg.cacheDir.empty())
+        return;
+    const std::string path = cacheSpillPath(cfg.cacheDir, group.key);
+    if (!fileExists(path))
+        return;
+    MappedFile file;
+    std::string error;
+    if (!file.open(path, &error)) {
+        warn("mech_serve: cannot map cache spill: ", error);
+        return;
+    }
+    // Decode into a staging cache: a spill rejected halfway must not
+    // leave a partial memo behind.
+    EvalCache staged;
+    if (!decodeEvalCache(file.view(), group.key, group.aggregateLen(),
+                         group.perBenchLen(), &staged, &error)) {
+        warn("mech_serve: ignoring cache spill '", path, "': ", error);
+        return;
+    }
+    const std::vector<const SearchEval *> entries = staged.entries();
+    for (const SearchEval *eval : entries)
+        group.cache.insert(*eval);
+    std::lock_guard<std::mutex> stats_lock(statsMtx);
+    counters.restored += entries.size();
 }
 
 EvalService::Group *
@@ -189,6 +254,11 @@ EvalService::resolveGroup(const ServeRequest &req, std::string *error)
         key += (i ? "," : "") + std::string((*backends)[i]->name());
     key += "|obj=" + joinNames(obj_names);
 
+    // The resolve lock covers lookup and materialization: a cold
+    // group profiles under it, which intentionally serializes other
+    // sessions' (microsecond) lookups behind first use rather than
+    // letting two sessions profile the same benchmark twice.
+    std::lock_guard<std::mutex> lock(resolveMtx);
     if (auto it = groupIndex.find(key); it != groupIndex.end())
         return it->second;
 
@@ -201,10 +271,14 @@ EvalService::resolveGroup(const ServeRequest &req, std::string *error)
         group->studies.push_back(studies.at(name).get());
     group->backends = std::move(*backends);
     group->objectives = std::move(objectives);
+    loadSpill(*group);
     Group *raw = group.get();
     groupList.push_back(std::move(group));
     groupIndex.emplace(raw->key, raw);
-    ++counters.groups;
+    {
+        std::lock_guard<std::mutex> stats_lock(statsMtx);
+        ++counters.groups;
+    }
     return raw;
 }
 
@@ -212,32 +286,34 @@ void
 EvalService::prepareGeometries(Group &group,
                                const std::vector<DesignPoint> &points)
 {
-    // One preparation list per study: only geometries that study has
-    // not memoized yet.  Preparation mutates the study, so it runs
-    // strictly before the parallel evaluation phase, one task per
-    // study (a study's geometries must be computed into its memo
-    // sequentially).
+    // One preparation task per study, each taking its study's lock
+    // exclusively: preparation mutates the study's geometry memo, so
+    // it must never overlap another flush's shared-lock evaluation of
+    // the same study.  The fresh-geometry list is computed under the
+    // lock — a concurrent flush may have prepared some of these
+    // geometries while this one was queued.
     std::vector<std::future<void>> prepared;
     for (StudyEntry *entry : group.studies) {
-        std::vector<DesignPoint> fresh;
-        std::set<std::pair<std::uint64_t, std::uint32_t>> seen;
-        for (const DesignPoint &p : points) {
-            auto geom = std::make_pair(p.l2KB, p.l2Assoc);
-            if (entry->prepared.count(geom) || seen.count(geom))
-                continue;
-            seen.insert(geom);
-            DesignPoint rep;
-            rep.l2KB = p.l2KB;
-            rep.l2Assoc = p.l2Assoc;
-            fresh.push_back(rep);
-        }
-        if (fresh.empty())
-            continue;
-        for (const auto &geom : seen)
-            entry->prepared.insert(geom);
-        DseStudy *study = entry->study.get();
-        prepared.push_back(pool.submit(
-            [study, fresh = std::move(fresh)] { study->prepare(fresh); }));
+        prepared.push_back(pool.submit([entry, &points] {
+            std::unique_lock<std::shared_mutex> lock(entry->rw);
+            std::vector<DesignPoint> fresh;
+            std::set<std::pair<std::uint64_t, std::uint32_t>> seen;
+            for (const DesignPoint &p : points) {
+                auto geom = std::make_pair(p.l2KB, p.l2Assoc);
+                if (entry->prepared.count(geom) || seen.count(geom))
+                    continue;
+                seen.insert(geom);
+                DesignPoint rep;
+                rep.l2KB = p.l2KB;
+                rep.l2Assoc = p.l2Assoc;
+                fresh.push_back(rep);
+            }
+            if (fresh.empty())
+                return;
+            entry->study->prepare(fresh);
+            for (const auto &geom : seen)
+                entry->prepared.insert(geom);
+        }));
     }
     for (auto &f : prepared)
         f.get();
@@ -246,36 +322,40 @@ EvalService::prepareGeometries(Group &group,
 std::vector<const SearchEval *>
 EvalService::evaluatePoints(Group &group,
                             const std::vector<DesignPoint> &points,
-                            std::vector<bool> *was_hit)
+                            std::vector<bool> *was_hit,
+                            FlushCounts *counts)
 {
     // Phase 1 (this thread): classify hits, intra-flush duplicates
     // and fresh misses in request order, so accounting never depends
-    // on worker scheduling.
+    // on worker scheduling.  Counts accumulate locally and merge into
+    // the service counters once — concurrent flushes each account
+    // their own traffic exactly.
+    FlushCounts local;
     std::vector<const SearchEval *> out(points.size(), nullptr);
     std::vector<std::size_t> missIdx;
     std::unordered_set<DesignPoint, DesignPointHash> fresh;
     was_hit->assign(points.size(), false);
     for (std::size_t i = 0; i < points.size(); ++i) {
-        ++counters.requested;
+        ++local.requested;
         if (const SearchEval *hit = group.cache.find(points[i])) {
             out[i] = hit;
             (*was_hit)[i] = true;
-            ++counters.hits;
+            ++local.hits;
         } else if (fresh.count(points[i])) {
             (*was_hit)[i] = true; // duplicate within this flush
-            ++counters.hits;
+            ++local.hits;
         } else {
             fresh.insert(points[i]);
             missIdx.push_back(i);
-            ++counters.misses;
+            ++local.misses;
         }
     }
 
-    // Phase 2 (pool): memoize any new L2 geometries, then evaluate
-    // the misses against the read-only studies through one bulk
-    // index-range job — no per-task futures or allocations, one
-    // scratch PointEvaluation per chunk (the same shape as
-    // SearchEvaluator::evaluateBatch).
+    // Phase 2 (pool): memoize any new L2 geometries (exclusive study
+    // locks), then evaluate the misses against the shared-locked
+    // studies through one bulk index-range job — no per-task futures
+    // or allocations, one scratch PointEvaluation per chunk (the
+    // same shape as SearchEvaluator::evaluateBatch).
     std::vector<SearchEval> computed(missIdx.size());
     if (!missIdx.empty()) {
         std::vector<DesignPoint> missPoints;
@@ -283,6 +363,18 @@ EvalService::evaluatePoints(Group &group,
         for (std::size_t idx : missIdx)
             missPoints.push_back(points[idx]);
         prepareGeometries(group, missPoints);
+
+        // Shared locks in ascending seq order (see StudyEntry), held
+        // across the whole fan-out.
+        std::vector<StudyEntry *> locked = group.studies;
+        std::sort(locked.begin(), locked.end(),
+                  [](const StudyEntry *a, const StudyEntry *b) {
+                      return a->seq < b->seq;
+                  });
+        std::vector<std::shared_lock<std::shared_mutex>> guards;
+        guards.reserve(locked.size());
+        for (StudyEntry *entry : locked)
+            guards.emplace_back(entry->rw);
 
         const Group *g = &group;
         pool.parallelFor(
@@ -330,6 +422,15 @@ EvalService::evaluatePoints(Group &group,
                         "fresh serve evaluation missing from cache");
         }
     }
+
+    {
+        std::lock_guard<std::mutex> lock(statsMtx);
+        counters.requested += local.requested;
+        counters.hits += local.hits;
+        counters.misses += local.misses;
+    }
+    if (counts)
+        *counts = local;
     return out;
 }
 
@@ -359,23 +460,6 @@ predictorsProfiled(const DseStudy &study,
     return true;
 }
 
-/** Emit {"<obj>": v, ...} for one objective-value slice. */
-void
-writeObjectives(std::ostream &os,
-                const std::vector<Objective> &objs,
-                const std::vector<double> &values, std::size_t base)
-{
-    os << "{ ";
-    for (std::size_t k = 0; k < objs.size(); ++k) {
-        if (k)
-            os << ", ";
-        json::writeString(os, objs[k].name);
-        os << ": ";
-        json::writeNumber(os, values[base + k]);
-    }
-    os << " }";
-}
-
 } // namespace
 
 std::string
@@ -398,16 +482,16 @@ EvalService::evalResponse(const ServeRequest &req, Group &group,
             os << ", ";
         json::writeString(os, std::string(group.backends[be]->name()));
         os << ": { \"objectives\": ";
-        writeObjectives(os, group.objectives, eval.aggregate,
-                        be * k_objs);
+        writeObjectiveObject(os, group.objectives, eval.aggregate,
+                             be * k_objs);
         os << ", \"per_benchmark\": { ";
         for (std::size_t b = 0; b < group.benchNames.size(); ++b) {
             if (b)
                 os << ", ";
             json::writeString(os, group.benchNames[b]);
             os << ": ";
-            writeObjectives(os, group.objectives, eval.perBench,
-                            (b * n_be + be) * k_objs);
+            writeObjectiveObject(os, group.objectives, eval.perBench,
+                                 (b * n_be + be) * k_objs);
         }
         os << " } }";
     }
@@ -468,72 +552,36 @@ EvalService::batchResponse(const ServeRequest &req, Group &group,
     for (std::uint64_t i = 0; i < n; ++i)
         points.push_back(spec->at(i));
 
-    const std::uint64_t req_before = counters.requested;
-    const std::uint64_t hits_before = counters.hits;
-    const std::uint64_t miss_before = counters.misses;
+    // Per-call accounting: under concurrent sessions the global
+    // counters move underneath us, so the response's "cache" object
+    // reports this flush's own classification, which is exact.
+    FlushCounts flush;
     std::vector<bool> was_hit;
     std::vector<const SearchEval *> evals =
-        evaluatePoints(group, points, &was_hit);
+        evaluatePoints(group, points, &was_hit, &flush);
 
-    // Frontier over the fan-out, on the "lower is better" scale of
-    // the single backend's objectives; indices ascend, so frontier
-    // entries come back in enumeration order.
+    // The response body is assembled by the same frontierResponse()
+    // the sharded scatter-gather path uses: one serializer, so the
+    // two stay byte-identical by construction.
     const std::size_t k_objs = group.objectives.size();
-    std::vector<std::vector<double>> costs;
-    costs.reserve(evals.size());
+    std::vector<FrontierEntry> entries;
+    entries.reserve(evals.size());
     for (const SearchEval *eval : evals) {
-        std::vector<double> row(k_objs);
-        for (std::size_t k = 0; k < k_objs; ++k)
-            row[k] = group.objectives[k].normalized(eval->aggregate[k]);
-        costs.push_back(std::move(row));
-    }
-    std::vector<std::size_t> frontier = paretoFrontier(costs);
-
-    std::size_t best = 0;
-    for (std::size_t i = 1; i < evals.size(); ++i) {
-        if (costs[i][0] < costs[best][0])
-            best = i;
+        FrontierEntry e;
+        e.pointKey = eval->point.toKey();
+        e.label = eval->point.label();
+        e.objectives.assign(eval->aggregate.begin(),
+                            eval->aggregate.begin() +
+                                static_cast<std::ptrdiff_t>(k_objs));
+        entries.push_back(std::move(e));
     }
 
     *ok = true;
-    std::vector<std::string> obj_names;
-    for (const Objective &obj : group.objectives)
-        obj_names.push_back(obj.name);
-
-    auto entry = [&](std::ostream &os, std::size_t idx) {
-        os << "{ \"point\": ";
-        json::writeString(os, evals[idx]->point.toKey());
-        os << ", \"label\": ";
-        json::writeString(os, evals[idx]->point.label());
-        os << ", \"objectives\": ";
-        writeObjectives(os, group.objectives, evals[idx]->aggregate, 0);
-        os << " }";
-    };
-
-    std::ostringstream os;
-    os << responseHead(req.idJson, "frontier") << ", \"space\": ";
-    json::writeString(os, spec->describe());
-    os << ", \"space_size\": " << n;
-    os << ", \"backend\": ";
-    json::writeString(os, std::string(group.backends[0]->name()));
-    os << ", \"objectives\": ";
-    writeNameArray(os, obj_names);
-    os << ", \"bench\": ";
-    writeNameArray(os, group.benchNames);
-    os << ", \"evaluations\": " << n;
-    os << ", \"cache\": { \"requested\": "
-       << counters.requested - req_before
-       << ", \"hits\": " << counters.hits - hits_before
-       << ", \"misses\": " << counters.misses - miss_before << " }";
-    os << ", \"best\": ";
-    entry(os, best);
-    os << ", \"frontier\": [";
-    for (std::size_t i = 0; i < frontier.size(); ++i) {
-        os << (i ? ", " : "");
-        entry(os, frontier[i]);
-    }
-    os << "]}";
-    return os.str();
+    return frontierResponse(
+        req.idJson, spec->describe(), n,
+        std::string(group.backends[0]->name()), group.objectives,
+        group.benchNames, entries,
+        GatherCounts{flush.requested, flush.hits, flush.misses});
 }
 
 std::vector<std::string>
@@ -541,6 +589,11 @@ EvalService::handleFlush(const std::vector<ServeRequest> &requests)
 {
     // Per-request slots, filled out of order, emitted in order.
     std::vector<std::string> responses(requests.size());
+
+    // This flush's own control-plane accounting, merged under one
+    // lock at the end so concurrent flushes never interleave
+    // half-counted requests.
+    std::uint64_t evalReqs = 0, batchReqs = 0, errorReqs = 0;
 
     // Pending eval requests per group, coalesced across the flush.
     // A batch request of the same group is a barrier: pending evals
@@ -580,7 +633,7 @@ EvalService::handleFlush(const std::vector<ServeRequest> &requests)
         Group *group = resolveGroup(req, &error);
         if (!group) {
             responses[i] = errorResponse(req.idJson, error);
-            ++counters.errors;
+            ++errorReqs;
             continue;
         }
         if (std::find(groupOrder.begin(), groupOrder.end(), group) ==
@@ -595,25 +648,25 @@ EvalService::handleFlush(const std::vector<ServeRequest> &requests)
                 responses[i] = errorResponse(
                     req.idJson, "invalid design point '" +
                                     point.toKey() + "': " + why);
-                ++counters.errors;
+                ++errorReqs;
                 continue;
             }
             if (!predictorsProfiled(*group->studies[0]->study,
                                     {point.predictor}, &error)) {
                 responses[i] = errorResponse(req.idJson, error);
-                ++counters.errors;
+                ++errorReqs;
                 continue;
             }
             pending[group].push_back({i, point});
-            ++counters.evalRequests;
+            ++evalReqs;
         } else if (req.type == RequestType::Batch) {
             flushGroup(group);
             bool ok = false;
             responses[i] = batchResponse(req, *group, &ok);
             if (ok)
-                ++counters.batchRequests;
+                ++batchReqs;
             else
-                ++counters.errors;
+                ++errorReqs;
         } else {
             panic("control request reached handleFlush");
         }
@@ -621,7 +674,56 @@ EvalService::handleFlush(const std::vector<ServeRequest> &requests)
 
     for (Group *group : groupOrder)
         flushGroup(group);
+
+    {
+        std::lock_guard<std::mutex> lock(statsMtx);
+        counters.evalRequests += evalReqs;
+        counters.batchRequests += batchReqs;
+        counters.errors += errorReqs;
+    }
     return responses;
+}
+
+void
+EvalService::noteShedRequests(std::uint64_t n)
+{
+    std::lock_guard<std::mutex> lock(statsMtx);
+    counters.errors += n;
+    counters.shed += n;
+}
+
+std::size_t
+EvalService::persistCaches(std::ostream *log) const
+{
+    if (cfg.cacheDir.empty())
+        return 0;
+    std::string error;
+    if (!ensureDirectory(cfg.cacheDir, &error)) {
+        warn("mech_serve: cannot create cache dir: ", error);
+        return 0;
+    }
+    std::size_t written = 0;
+    std::lock_guard<std::mutex> lock(resolveMtx);
+    for (const auto &group : groupList) {
+        if (group->cache.size() == 0)
+            continue;
+        const std::string bytes =
+            encodeEvalCache(group->cache, group->key,
+                            group->aggregateLen(), group->perBenchLen());
+        const std::string path =
+            cacheSpillPath(cfg.cacheDir, group->key);
+        if (!atomicWriteFile(path, bytes, &error)) {
+            warn("mech_serve: cannot write cache spill: ", error);
+            continue;
+        }
+        if (log) {
+            *log << "mech_serve: spilled " << group->cache.size()
+                 << " point(s) of group " << group->key << " to "
+                 << path << "\n";
+        }
+        ++written;
+    }
+    return written;
 }
 
 std::string
@@ -661,10 +763,11 @@ EvalService::statsResponse(const std::string &id_json,
                        type == RequestType::Shutdown ? "bye" : "stats");
     os << ", \"requests\": { \"eval\": " << s.evalRequests
        << ", \"batch\": " << s.batchRequests
-       << ", \"errors\": " << s.errors << " }";
+       << ", \"errors\": " << s.errors << ", \"shed\": " << s.shed
+       << " }";
     os << ", \"cache\": { \"requested\": " << s.requested
        << ", \"hits\": " << s.hits << ", \"misses\": " << s.misses
-       << ", \"hit_rate\": ";
+       << ", \"restored\": " << s.restored << ", \"hit_rate\": ";
     json::writeNumber(os, s.hitRate());
     os << " }, \"groups\": " << s.groups
        << ", \"cached_points\": " << s.cachedPoints << "}";
@@ -674,7 +777,14 @@ EvalService::statsResponse(const std::string &id_json,
 ServiceStats
 EvalService::stats() const
 {
-    ServiceStats s = counters;
+    ServiceStats s;
+    {
+        std::lock_guard<std::mutex> lock(statsMtx);
+        s = counters;
+    }
+    // Sequential (never nested) acquisition: statsMtx above, then
+    // resolveMtx for the group list.
+    std::lock_guard<std::mutex> lock(resolveMtx);
     s.cachedPoints = 0;
     for (const auto &group : groupList)
         s.cachedPoints += group->cache.size();

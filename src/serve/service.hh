@@ -19,20 +19,38 @@
  *   - one ThreadPool shared by every group, used only to compute
  *     cache misses (and to build studies).
  *
- * Determinism: handleFlush() classifies hits and misses and inserts
- * results on the calling thread in request order — the exact
- * three-phase dance of SearchEvaluator::evaluateBatch() — so
- * response bodies and hit/miss accounting are byte-identical for any
- * worker count.  No response field depends on the thread count or
- * the wall clock (latency is the session layer's concern).
+ * Concurrency: handleFlush() is safe to call from any number of
+ * dispatcher threads at once (the epoll front end runs several).
+ * Registry maps sit behind a resolve mutex, traffic counters behind
+ * a stats mutex, and each study behind a reader-writer lock —
+ * geometry preparation takes it exclusively, the evaluation fan-out
+ * holds it shared (in a global study order, so concurrent flushes
+ * over overlapping study sets cannot deadlock).
+ *
+ * Determinism: within one flush, hits and misses are classified and
+ * inserted on the calling thread in request order — the exact
+ * three-phase dance of SearchEvaluator::evaluateBatch() — so for a
+ * single client session response bodies are byte-identical at any
+ * worker count.  Across concurrent sessions the "cached" flags
+ * truthfully reflect arrival interleaving (a point another session
+ * just computed is a hit), which is inherently timing-dependent;
+ * every numeric result is interleaving-independent.
+ *
+ * Warm-cache persistence: with a cache directory configured, each
+ * group's EvalCache can be spilled on drain (persistCaches) and is
+ * transparently reloaded when the group re-materializes after a
+ * restart — see search/cache_io.hh for the format and its
+ * invalidation rules.
  */
 
 #ifndef MECH_SERVE_SERVICE_HH
 #define MECH_SERVE_SERVICE_HH
 
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -61,6 +79,13 @@ struct ServeConfig
 
     /** Largest SpaceSpec a batch request may fan out. */
     std::uint64_t maxSpacePoints = 100000;
+
+    /**
+     * Directory of .mcache warm-cache spills: groups reload their
+     * memo from here on first use, persistCaches() writes spills
+     * back on drain.  Empty disables persistence.
+     */
+    std::string cacheDir;
 
     /** Benchmark set for requests that name none. */
     std::vector<std::string> defaultBench{"jpeg_c", "sha"};
@@ -91,11 +116,17 @@ struct ServiceStats
     /** Requests answered with an error response. */
     std::uint64_t errors = 0;
 
+    /** Of those errors, requests shed by admission control. */
+    std::uint64_t shed = 0;
+
     /** Distinct (bench, backends, objectives) groups materialized. */
     std::uint64_t groups = 0;
 
     /** Memoized design points across all groups. */
     std::uint64_t cachedPoints = 0;
+
+    /** Points reloaded from warm-cache spills (--cache-dir). */
+    std::uint64_t restored = 0;
 
     /** Hits over requested (0 before any request). */
     double
@@ -125,7 +156,8 @@ class EvalService
      * order: a "result" line per eval, a "frontier" line per batch,
      * or an "error" line for any request that fails resolution.
      * Bodies carry no latency fields (the ResponseWriter appends
-     * those) and no thread-count-dependent data.
+     * those) and no thread-count-dependent data.  Callable
+     * concurrently from multiple dispatcher threads.
      */
     std::vector<std::string>
     handleFlush(const std::vector<ServeRequest> &requests);
@@ -140,6 +172,21 @@ class EvalService
     std::string statsResponse(const std::string &id_json,
                               RequestType type) const;
 
+    /**
+     * Account @p n requests rejected by admission control (they were
+     * answered with "overloaded" errors at the server layer and never
+     * reached handleFlush).
+     */
+    void noteShedRequests(std::uint64_t n);
+
+    /**
+     * Spill every group's EvalCache to the configured cache
+     * directory (no-op without one).  Returns the number of spill
+     * files written; failures warn and continue.  The front ends
+     * call this once on graceful drain.
+     */
+    std::size_t persistCaches(std::ostream *log = nullptr) const;
+
     /** Current accounting snapshot. */
     ServiceStats stats() const;
 
@@ -149,13 +196,23 @@ class EvalService
   private:
     struct Group;
     struct StudyEntry;
-    struct Resolved;
+
+    /** Per-flush cache accounting (per call, not global deltas). */
+    struct FlushCounts
+    {
+        std::uint64_t requested = 0;
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+    };
 
     /** Resolve names; null plus @p error on failure. */
     Group *resolveGroup(const ServeRequest &req, std::string *error);
 
     /** The study-pool entry for @p bench, building it on first use. */
     void buildStudies(const std::vector<std::string> &names);
+
+    /** Reload @p group's memo from its spill file, if one is valid. */
+    void loadSpill(Group &group);
 
     /** Memoize any unprepared L2 geometries of @p points. */
     void prepareGeometries(Group &group,
@@ -165,11 +222,13 @@ class EvalService
      * Evaluate @p points through @p group's memo (deterministic
      * three-phase hit/miss split).  @p was_hit gets one flag per
      * point: true when it was answered without a fresh evaluation.
+     * @p counts (optional) receives this call's own accounting.
      */
     std::vector<const SearchEval *>
     evaluatePoints(Group &group,
                    const std::vector<DesignPoint> &points,
-                   std::vector<bool> *was_hit);
+                   std::vector<bool> *was_hit,
+                   FlushCounts *counts = nullptr);
 
     std::string evalResponse(const ServeRequest &req, Group &group,
                              const SearchEval &eval, bool was_hit);
@@ -180,9 +239,16 @@ class EvalService
 
     ServeConfig cfg;
     ThreadPool pool;
+
+    /** Guards studies, groupList and groupIndex (a leaf-ward lock:
+     *  statsMtx may nest inside it, never the reverse). */
+    mutable std::mutex resolveMtx;
     std::map<std::string, std::unique_ptr<StudyEntry>> studies;
     std::vector<std::unique_ptr<Group>> groupList;
     std::map<std::string, Group *> groupIndex;
+
+    /** Guards counters; strictly a leaf lock. */
+    mutable std::mutex statsMtx;
     ServiceStats counters;
 };
 

@@ -22,10 +22,12 @@
  * nonzero on any slowdown beyond --max-slowdown — the CI perf gate.
  */
 
+#include <atomic>
 #include <functional>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/bench.hh"
@@ -46,6 +48,7 @@ struct Options
     double minTimeMs = 50.0;
     double maxSlowdown = 2.0;
     double minScaling = 0.0;
+    double minSaturation = 0.0;
     unsigned threads = 0;
     std::string jsonPath;
     std::string baselinePath;
@@ -360,6 +363,101 @@ runServeThroughput(Fixture &fx, const bench::MeasureOptions &opts,
                m.rate(static_cast<double>(n_requests)), "requests/s");
 }
 
+void
+runServeSaturation(Fixture &fx, const bench::MeasureOptions &opts,
+                   bench::BenchReport &report)
+{
+    // The TCP front end under concurrent load: an in-process epoll
+    // server on an ephemeral port, then a ladder of 1/8/64/256
+    // loopback clients splitting the same warm request set.  The
+    // derived saturation_efficiency (throughput at 64 clients over
+    // one client) is what the --min-saturation CI gate protects: an
+    // accept loop or dispatcher that serializes sessions collapses
+    // under concurrency even when the single-client number looks
+    // healthy.
+    serve::ServeConfig cfg;
+    cfg.traceLen = fx.instructions();
+    cfg.threads = fx.threads();
+    cfg.defaultBench = {kBenchName};
+    serve::EvalService service(cfg);
+
+    serve::SessionOptions sopts;
+    sopts.latencyFields = false;
+
+    // Per-connection chatter would swamp the report output.
+    std::ostream null_log(nullptr);
+    serve::TcpServerConfig tcp; // port 0: ephemeral
+    tcp.dispatchers = std::min(4u, std::max(1u, fx.threads()));
+    serve::TcpServer server(service, tcp, null_log, sopts);
+    std::string error;
+    if (!server.start(&error))
+        fatal("serve_saturation: ", error);
+    const unsigned short port = server.port();
+
+    const auto space = table2Space();
+    const std::size_t n_requests = 1024;
+    std::vector<std::string> requests;
+    requests.reserve(n_requests);
+    for (std::size_t i = 0; i < n_requests; ++i) {
+        requests.push_back("{\"id\": " + std::to_string(i) +
+                           ", \"type\": \"eval\", \"point\": \"" +
+                           space[i % space.size()].toKey() + "\"}");
+    }
+
+    // One timed unit: `clients` connections, each pipelining its
+    // slice of the request set, all joined.  Connection setup is part
+    // of the measurement — the accept path is half the point.
+    auto slam = [&](std::size_t clients) {
+        std::vector<std::thread> workers;
+        workers.reserve(clients);
+        std::atomic<std::size_t> failures{0};
+        for (std::size_t c = 0; c < clients; ++c) {
+            const std::size_t lo = c * n_requests / clients;
+            const std::size_t hi = (c + 1) * n_requests / clients;
+            workers.emplace_back([&, lo, hi] {
+                std::vector<std::string> slice(
+                    requests.begin() +
+                        static_cast<std::ptrdiff_t>(lo),
+                    requests.begin() +
+                        static_cast<std::ptrdiff_t>(hi));
+                serve::LoopbackClient client;
+                std::vector<std::string> responses;
+                std::string err;
+                if (!client.connect(port, &err) ||
+                    !client.run(slice, &responses, &err)) {
+                    failures.fetch_add(1);
+                }
+            });
+        }
+        for (std::thread &t : workers)
+            t.join();
+        if (failures.load() != 0)
+            fatal("serve_saturation: ", failures.load(),
+                  " client(s) failed");
+    };
+    slam(1); // warm: profiles the study, fills the cache
+
+    double rate_one = 0.0;
+    double rate_64 = 0.0;
+    for (std::size_t clients : {1u, 8u, 64u, 256u}) {
+        auto m = bench::measure([&] { slam(clients); }, opts);
+        const double rate =
+            m.rate(static_cast<double>(n_requests));
+        report.add(kSuite, "serve_saturation",
+                   "clients_" + std::to_string(clients), rate,
+                   "requests/s");
+        if (clients == 1)
+            rate_one = rate;
+        if (clients == 64)
+            rate_64 = rate;
+    }
+    report.add(kSuite, "serve_saturation", "saturation_efficiency",
+               rate_one > 0.0 ? rate_64 / rate_one : 0.0, "speedup");
+
+    server.requestStop();
+    server.wait();
+}
+
 std::vector<NamedBenchmark>
 allBenchmarks()
 {
@@ -389,6 +487,9 @@ allBenchmarks()
         {"serve_throughput",
          "warm mech_serve session throughput (requests/s)",
          runServeThroughput},
+        {"serve_saturation",
+         "TCP front end under 1..256 concurrent loopback clients",
+         runServeSaturation},
     };
 }
 
@@ -425,6 +526,10 @@ main(int argc, char **argv)
                "fail unless dse_scaling/scaling_efficiency of THIS "
                "run reaches the ratio (0 = no gate)",
                &opt.minScaling);
+    parser.add("min-saturation", "ratio",
+               "fail unless serve_saturation/saturation_efficiency "
+               "of THIS run reaches the ratio (0 = no gate)",
+               &opt.minSaturation);
     parser.add("threads", "N",
                "top worker count for the multi-threaded benchmarks "
                "(0 = all hardware threads)",
@@ -537,6 +642,34 @@ main(int argc, char **argv)
             return 1;
         }
         std::cout << "scaling gate passed\n";
+    }
+
+    // Same shape as the scaling gate: an absolute floor on how the
+    // TCP front end holds up under concurrency, independent of the
+    // baseline machine's raw throughput.
+    if (opt.minSaturation > 0.0) {
+        const bench::BenchRecord *eff = nullptr;
+        for (const bench::BenchRecord &r : report.results) {
+            if (r.benchmark == "serve_saturation" &&
+                r.metric == "saturation_efficiency") {
+                eff = &r;
+            }
+        }
+        if (!eff) {
+            fatal("--min-saturation needs the serve_saturation "
+                  "benchmark (is it excluded by --filter?)");
+        }
+        std::cout << "\nsaturation gate: " << eff->value
+                  << "x at 64 clients (floor " << opt.minSaturation
+                  << "x)\n";
+        if (eff->value < opt.minSaturation) {
+            std::cerr << "mech_bench: saturation efficiency "
+                      << eff->value
+                      << "x is below the --min-saturation "
+                      << opt.minSaturation << "x floor\n";
+            return 1;
+        }
+        std::cout << "saturation gate passed\n";
     }
     return 0;
 }

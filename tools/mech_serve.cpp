@@ -19,6 +19,7 @@
  * reserved for the response stream.
  */
 
+#include <algorithm>
 #include <iostream>
 #include <string>
 
@@ -36,8 +37,13 @@ main(int argc, char **argv)
     InstCount instructions = 50000;
     std::uint64_t max_space = 100000;
     std::uint64_t max_batch = 64;
+    std::uint64_t max_queue = 1024;
+    std::uint64_t max_inflight = 256;
     unsigned threads = 0;
+    unsigned dispatchers = 0;
+    unsigned dispatch_hold_ms = 0;
     unsigned port = 0;
+    std::string cache_dir;
     bool deterministic = false;
 
     cli::ArgParser parser(
@@ -75,6 +81,30 @@ main(int argc, char **argv)
     parser.add("max-space", "N",
                "largest space a batch request may fan out",
                &max_space);
+    parser.add("max-queue", "N",
+               "admission control: total request lines queued across "
+               "all TCP sessions before shedding with "
+               "\"overloaded\" errors",
+               &max_queue);
+    parser.add("max-inflight", "N",
+               "admission control: queued request lines any one TCP "
+               "session may hold",
+               &max_inflight);
+    parser.add("dispatchers", "N",
+               "dispatcher threads answering TCP sessions (0 = "
+               "derive from --threads); per-session responses are "
+               "byte-identical for any value",
+               &dispatchers);
+    parser.add("dispatch-hold-ms", "N",
+               "testing knob: freeze dispatch for N ms after the "
+               "first TCP connection so overload goldens are "
+               "deterministic",
+               &dispatch_hold_ms);
+    parser.add("cache-dir", "dir",
+               "persistent warm cache: reload .mcache spills from "
+               "this directory on first use and write them back on "
+               "drain",
+               &cache_dir);
     parser.addFlag("deterministic",
                    "omit per-response latency fields, making the "
                    "response stream byte-reproducible",
@@ -87,6 +117,12 @@ main(int argc, char **argv)
         fatal("--max-batch must be positive");
     if (max_space == 0)
         fatal("--max-space must be positive");
+    if (max_queue == 0)
+        fatal("--max-queue must be positive");
+    if (max_inflight == 0)
+        fatal("--max-inflight must be positive");
+    if (dispatchers > 64)
+        fatal("--dispatchers capped at 64");
     if (instructions < 1000)
         fatal("--instructions too small for a meaningful profile");
 
@@ -96,6 +132,7 @@ main(int argc, char **argv)
     cfg.threads = ThreadPool::sanitizeWorkerCount(
         static_cast<long long>(threads));
     cfg.maxSpacePoints = max_space;
+    cfg.cacheDir = cache_dir;
     // Resolve the default sets now: a typoed --bench/--backend/
     // --objective must fail at startup like every other tool, not
     // surface request by request once the daemon is already up.
@@ -122,12 +159,25 @@ main(int argc, char **argv)
               << cfg.threads << " worker thread(s), batch cap "
               << max_batch << "\n";
 
+    int rc = 0;
     if (port != 0) {
-        return serve::runTcpServer(
-            service, static_cast<unsigned short>(port), std::cerr,
-            opts);
+        serve::TcpServerConfig tcp;
+        tcp.port = static_cast<unsigned short>(port);
+        tcp.dispatchers =
+            dispatchers != 0
+                ? dispatchers
+                : std::min(4u, std::max(1u, cfg.threads));
+        tcp.maxQueue = max_queue;
+        tcp.maxInflight = max_inflight;
+        tcp.dispatchHoldMs = dispatch_hold_ms;
+        rc = serve::runTcpServer(service, tcp, std::cerr, opts);
+    } else {
+        serve::runStdioServer(service, std::cin, std::cout, std::cerr,
+                              opts);
     }
-    serve::runStdioServer(service, std::cin, std::cout, std::cerr,
-                          opts);
-    return 0;
+    // Spill the warm caches after the drain (no-op without
+    // --cache-dir): the next start with the same directory answers
+    // repeat points without re-simulating.
+    service.persistCaches(&std::cerr);
+    return rc;
 }
