@@ -14,13 +14,28 @@
  *
  * Non-terminating status channels: warn() for suspicious-but-survivable
  * conditions and inform() for plain status messages.
+ *
+ * Leveled logging: MECH_LOG(level) streams a diagnostic line to
+ * stderr when the global verbosity gate (setLogLevel / --log-level)
+ * admits it; a suppressed statement costs one relaxed atomic load
+ * and never evaluates its stream arguments.
+ * MECH_LOG_RATELIMITED(level, ms) additionally throttles its own
+ * call site to one line per @p ms milliseconds, reporting how many
+ * lines the throttle swallowed — the right tool for per-request
+ * conditions (shed floods, slow-client warnings) that must not turn
+ * an overload into a logging storm.  Note the rate-limited form
+ * expands to two statements; use it inside braces.
  */
 
 #ifndef MECH_COMMON_LOGGING_HH
 #define MECH_COMMON_LOGGING_HH
 
+#include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <cstdlib>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -96,6 +111,205 @@ inform(const Args &...args)
 {
     std::cout << "info: " << detail::formatMessage(args...) << std::endl;
 }
+
+/** Verbosity levels for MECH_LOG, most to least severe. */
+enum class LogLevel : int
+{
+    Error = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+    Trace = 4,
+};
+
+namespace detail {
+
+/** The global verbosity gate (default: Info and above). */
+inline std::atomic<int> &
+logLevelVar()
+{
+    static std::atomic<int> level{static_cast<int>(LogLevel::Info)};
+    return level;
+}
+
+/** Lowercase prefix tag for a level ("error", "warn", ...). */
+inline const char *
+logLevelTag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Error:
+        return "error";
+      case LogLevel::Warn:
+        return "warn";
+      case LogLevel::Info:
+        return "info";
+      case LogLevel::Debug:
+        return "debug";
+      case LogLevel::Trace:
+        return "trace";
+    }
+    return "?";
+}
+
+} // namespace detail
+
+/** Set the global verbosity: messages above @p level are dropped. */
+inline void
+setLogLevel(LogLevel level)
+{
+    detail::logLevelVar().store(static_cast<int>(level),
+                                std::memory_order_relaxed);
+}
+
+/** The current global verbosity. */
+inline LogLevel
+logLevel()
+{
+    return static_cast<LogLevel>(
+        detail::logLevelVar().load(std::memory_order_relaxed));
+}
+
+/** True when a message at @p level would currently be emitted. */
+inline bool
+logEnabled(LogLevel level)
+{
+    return static_cast<int>(level) <=
+           detail::logLevelVar().load(std::memory_order_relaxed);
+}
+
+/** Parse a --log-level argument; nullopt for unknown names. */
+inline std::optional<LogLevel>
+parseLogLevel(const std::string &name)
+{
+    if (name == "error")
+        return LogLevel::Error;
+    if (name == "warn" || name == "warning")
+        return LogLevel::Warn;
+    if (name == "info")
+        return LogLevel::Info;
+    if (name == "debug")
+        return LogLevel::Debug;
+    if (name == "trace")
+        return LogLevel::Trace;
+    return std::nullopt;
+}
+
+namespace detail {
+
+/**
+ * One in-flight MECH_LOG statement: accumulates the streamed
+ * fragments and emits them as a single stderr write on destruction,
+ * so concurrent threads' lines never interleave mid-line.
+ */
+class LogLine
+{
+  public:
+    explicit LogLine(LogLevel level) : level(level) {}
+
+    LogLine(const LogLine &) = delete;
+    LogLine &operator=(const LogLine &) = delete;
+
+    ~LogLine()
+    {
+        std::string out = logLevelTag(level);
+        out += ": ";
+        out += oss.str();
+        if (suppressed > 0) {
+            out += " (";
+            out += std::to_string(suppressed);
+            out += " similar line(s) suppressed)";
+        }
+        out += "\n";
+        std::cerr << out << std::flush;
+    }
+
+    std::ostream &stream() { return oss; }
+
+    /** Annotate the line with a rate limiter's swallowed count. */
+    LogLine &
+    noteSuppressed(std::uint64_t n)
+    {
+        suppressed = n;
+        return *this;
+    }
+
+  private:
+    LogLevel level;
+    std::ostringstream oss;
+    std::uint64_t suppressed = 0;
+};
+
+/**
+ * Per-call-site throttle for MECH_LOG_RATELIMITED: allow() admits at
+ * most one line per interval and reports how many calls the throttle
+ * swallowed since the last admitted one.
+ */
+class LogRateLimiter
+{
+  public:
+    explicit LogRateLimiter(std::uint64_t interval_ms)
+        : intervalMs(interval_ms)
+    {
+    }
+
+    bool
+    allow(std::uint64_t *suppressed_out)
+    {
+        const std::uint64_t now = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count());
+        std::uint64_t last = lastEmitMs.load(std::memory_order_relaxed);
+        if (last != 0 && now < last + intervalMs) {
+            suppressedCount.fetch_add(1, std::memory_order_relaxed);
+            return false;
+        }
+        if (!lastEmitMs.compare_exchange_strong(
+                last, now, std::memory_order_relaxed)) {
+            // Another thread won the slot for this interval.
+            suppressedCount.fetch_add(1, std::memory_order_relaxed);
+            return false;
+        }
+        *suppressed_out =
+            suppressedCount.exchange(0, std::memory_order_relaxed);
+        return true;
+    }
+
+  private:
+    const std::uint64_t intervalMs;
+    std::atomic<std::uint64_t> lastEmitMs{0};
+    std::atomic<std::uint64_t> suppressedCount{0};
+};
+
+} // namespace detail
+
+/**
+ * Leveled diagnostic line: MECH_LOG(Info) << "x = " << x;
+ * Streams to stderr; suppressed levels never evaluate the operands.
+ */
+#define MECH_LOG(level)                                                     \
+    if (!::mech::logEnabled(::mech::LogLevel::level))                       \
+        ;                                                                   \
+    else                                                                    \
+        ::mech::detail::LogLine(::mech::LogLevel::level).stream()
+
+/**
+ * Like MECH_LOG, but this call site emits at most one line per
+ * @p interval_ms milliseconds; swallowed lines are counted and noted
+ * on the next emitted one.  Expands to two statements — call it from
+ * braced scope, not a dangling if.
+ */
+#define MECH_LOG_RATELIMITED(level, interval_ms)                            \
+    static ::mech::detail::LogRateLimiter mechLogLimiter_##__LINE__{        \
+        interval_ms};                                                       \
+    std::uint64_t mechLogSuppressed_##__LINE__ = 0;                         \
+    if (!::mech::logEnabled(::mech::LogLevel::level) ||                     \
+        !mechLogLimiter_##__LINE__.allow(&mechLogSuppressed_##__LINE__))    \
+        ;                                                                   \
+    else                                                                    \
+        ::mech::detail::LogLine(::mech::LogLevel::level)                    \
+            .noteSuppressed(mechLogSuppressed_##__LINE__)                   \
+            .stream()
 
 /**
  * Panic when @p cond is false.  Unlike assert(), this check is active

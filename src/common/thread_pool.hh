@@ -31,6 +31,7 @@
 #define MECH_COMMON_THREAD_POOL_HH
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
@@ -44,7 +45,82 @@
 #include <utility>
 #include <vector>
 
+#include "obs/registry.hh"
+#include "obs/trace.hh"
+
 namespace mech {
+
+namespace detail {
+
+/** The pool's process-wide observability instruments (all pools
+ *  share them; updates are relaxed atomics, registration happens
+ *  once under the registry mutex). */
+struct PoolObs
+{
+    obs::Gauge &queueDepth;
+    obs::Gauge &busyWorkers;
+    obs::Counter &chunksRun;
+    obs::LatencyHistogram &chunkUs;
+
+    static PoolObs &
+    get()
+    {
+        static PoolObs o{
+            obs::MetricsRegistry::global().gauge(
+                "pool.queue_depth",
+                "Tasks waiting in the ThreadPool submit() queue"),
+            obs::MetricsRegistry::global().gauge(
+                "pool.busy_workers",
+                "Threads currently executing pool work"),
+            obs::MetricsRegistry::global().counter(
+                "pool.chunks_run", "parallelFor chunks executed"),
+            obs::MetricsRegistry::global().histogram(
+                "pool.chunk_us",
+                "parallelFor chunk execution latency in microseconds"),
+        };
+        return o;
+    }
+};
+
+/**
+ * Scope guard timing one unit of pool work: marks a worker busy,
+ * and on exit records the chunk latency histogram, the chunk
+ * counter, and (when tracing) a "parallelFor.chunk" trace span.
+ * All of it stays on the observability channel — no effect on the
+ * work's results or ordering.
+ */
+class ChunkScope
+{
+  public:
+    ChunkScope() : start(std::chrono::steady_clock::now())
+    {
+        PoolObs::get().busyWorkers.add(1);
+    }
+
+    ChunkScope(const ChunkScope &) = delete;
+    ChunkScope &operator=(const ChunkScope &) = delete;
+
+    ~ChunkScope()
+    {
+        const auto end = std::chrono::steady_clock::now();
+        const std::uint64_t us = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                end - start)
+                .count());
+        PoolObs &o = PoolObs::get();
+        o.busyWorkers.sub(1);
+        o.chunksRun.inc();
+        o.chunkUs.record(us);
+        if (obs::TraceRecorder *rec = obs::TraceRecorder::current())
+            rec->complete("parallelFor.chunk", "pool",
+                          rec->tsOf(start), us);
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start;
+};
+
+} // namespace detail
 
 /** Fixed-size thread pool: FIFO task queue + bulk index-range jobs. */
 class ThreadPool
@@ -105,6 +181,7 @@ class ThreadPool
             std::lock_guard<std::mutex> lock(mtx);
             if (!stopping) {
                 queue.emplace([task] { (*task)(); });
+                detail::PoolObs::get().queueDepth.add(1);
                 cv.notify_one();
                 return fut;
             }
@@ -138,6 +215,7 @@ class ThreadPool
             return;
         chunk = std::max<std::size_t>(1, chunk);
         if (threads.empty() || n <= chunk) {
+            detail::ChunkScope scope;
             fn(std::size_t{0}, n);
             return;
         }
@@ -273,6 +351,7 @@ class ThreadPool
 
             std::exception_ptr err;
             try {
+                detail::ChunkScope scope;
                 job.invoke(job.ctx, begin, end);
             } catch (...) {
                 err = std::current_exception();
@@ -316,8 +395,12 @@ class ThreadPool
             if (!queue.empty()) {
                 std::function<void()> job = std::move(queue.front());
                 queue.pop();
+                detail::PoolObs::get().queueDepth.sub(1);
                 lock.unlock();
-                job();
+                {
+                    detail::ChunkScope scope;
+                    job();
+                }
                 lock.lock();
                 continue;
             }

@@ -6,6 +6,8 @@
 
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
 
 namespace mech {
 
@@ -53,6 +55,19 @@ std::vector<StudyResult>
 StudyRunner::evaluateAll(const std::vector<DesignPoint> &points,
                          unsigned nthreads)
 {
+    obs::TraceSpan span("study.evaluateAll", "dse");
+    {
+        static obs::Counter &sweeps =
+            obs::MetricsRegistry::global().counter(
+                "dse.sweeps", "evaluateAll sweeps run");
+        static obs::Counter &evals =
+            obs::MetricsRegistry::global().counter(
+                "dse.points_evaluated",
+                "(benchmark x point) evaluations requested of "
+                "evaluateAll");
+        sweeps.inc();
+        evals.inc(benches.size() * points.size());
+    }
     std::vector<StudyResult> results(benches.size());
     ThreadPool &pool = poolFor(nthreads);
 

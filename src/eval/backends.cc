@@ -22,9 +22,13 @@
 
 #include "eval/registry.hh"
 
+#include <chrono>
+
 #include "common/cli.hh"
 #include "common/logging.hh"
 #include "model/inorder_model.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
 #include "ooo/ooo_model.hh"
 #include "oosim/oosim.hh"
 #include "sim/inorder_sim.hh"
@@ -32,6 +36,53 @@
 namespace mech {
 
 namespace {
+
+/** Per-backend evaluation instruments, registered on first use. */
+struct BackendEvalObs
+{
+    obs::Counter &evals;
+    obs::LatencyHistogram &us;
+
+    static BackendEvalObs
+    make(const std::string &name)
+    {
+        auto &reg = obs::MetricsRegistry::global();
+        return BackendEvalObs{
+            reg.counter("eval.backend." + name + ".evals",
+                        "Design-point evaluations through the '" +
+                            name + "' backend"),
+            reg.histogram("eval.backend." + name + ".us",
+                          "Per-point evaluation latency of the '" +
+                              name + "' backend, microseconds"),
+        };
+    }
+};
+
+/** Counts one evaluation, times it, and traces it as a span. */
+class BackendEvalScope
+{
+  public:
+    BackendEvalScope(BackendEvalObs &obs, const char *span_name)
+        : obs(obs), span(span_name, "eval"),
+          start(std::chrono::steady_clock::now())
+    {
+        obs.evals.inc();
+    }
+
+    ~BackendEvalScope()
+    {
+        const auto us =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        obs.us.record(static_cast<std::uint64_t>(us));
+    }
+
+  private:
+    BackendEvalObs &obs;
+    obs::TraceSpan span;
+    std::chrono::steady_clock::time_point start;
+};
 
 /** Activity counts for a run of @p cycles over the profiled workload. */
 ActivityCounts
@@ -99,6 +150,8 @@ class ModelBackend : public EvalBackend
     evaluate(const EvalRequest &req) const override
     {
         checkRequest(req, *this);
+        static BackendEvalObs obs = BackendEvalObs::make("model");
+        BackendEvalScope scope(obs, "backend.model");
         ModelResult m = evaluateInOrder(*req.program, *req.memory,
                                         *req.branch,
                                         machineFor(req.point));
@@ -132,6 +185,8 @@ class InOrderSimBackend : public EvalBackend
     evaluate(const EvalRequest &req) const override
     {
         checkRequest(req, *this);
+        static BackendEvalObs obs = BackendEvalObs::make("sim");
+        BackendEvalScope scope(obs, "backend.sim");
         SimResult sim =
             simulateInOrder(*req.trace, simConfigFor(req.point));
         EvalResult res;
@@ -162,6 +217,8 @@ class OoOModelBackend : public EvalBackend
     evaluate(const EvalRequest &req) const override
     {
         checkRequest(req, *this);
+        static BackendEvalObs obs = BackendEvalObs::make("ooo");
+        BackendEvalScope scope(obs, "backend.ooo");
         ModelResult m = evaluateOutOfOrder(*req.program, *req.memory,
                                            *req.branch,
                                            machineFor(req.point),
@@ -197,6 +254,8 @@ class OoOSimBackend : public EvalBackend
     evaluate(const EvalRequest &req) const override
     {
         checkRequest(req, *this);
+        static BackendEvalObs obs = BackendEvalObs::make("oosim");
+        BackendEvalScope scope(obs, "backend.oosim");
         OoOSimResult sim =
             simulateOutOfOrder(*req.trace, oooSimConfigFor(req.point));
         EvalResult res;

@@ -48,6 +48,9 @@
 #include "isa/static_inst.hh"
 #include "model/cpi_stack.hh"
 #include "model/inorder_model.hh"
+#include "obs/metrics.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
 #include "ooo/ooo_model.hh"
 #include "ooo/ooo_params.hh"
 #include "oosim/oosim.hh"

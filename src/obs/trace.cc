@@ -1,0 +1,123 @@
+#include "obs/trace.hh"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/json.hh"
+
+namespace mech::obs {
+
+std::atomic<TraceRecorder *> TraceRecorder::installed{nullptr};
+
+TraceRecorder::TraceRecorder()
+    : epoch(std::chrono::steady_clock::now())
+{
+    events.reserve(4096);
+}
+
+TraceRecorder::~TraceRecorder()
+{
+    // Uninstall defensively: a recorder must never dangle as the
+    // process-wide target.
+    TraceRecorder *self = this;
+    installed.compare_exchange_strong(self, nullptr);
+}
+
+void
+TraceRecorder::install(TraceRecorder *recorder)
+{
+    installed.store(recorder, std::memory_order_release);
+}
+
+TraceRecorder *
+TraceRecorder::current()
+{
+    return installed.load(std::memory_order_acquire);
+}
+
+std::uint32_t
+traceThreadId()
+{
+    static std::atomic<std::uint32_t> next{1};
+    thread_local std::uint32_t id =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+void
+TraceRecorder::complete(const char *name, const char *category,
+                        std::uint64_t ts_us, std::uint64_t dur_us)
+{
+    const std::uint32_t tid = traceThreadId();
+    std::lock_guard<std::mutex> lock(mtx);
+    if (events.size() >= kMaxEvents) {
+        ++dropped;
+        return;
+    }
+    TraceEvent ev;
+    ev.name = name;
+    ev.category = category;
+    ev.tsUs = ts_us;
+    ev.durUs = dur_us;
+    ev.tid = tid;
+    events.push_back(std::move(ev));
+}
+
+std::size_t
+TraceRecorder::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return events.size();
+}
+
+std::uint64_t
+TraceRecorder::droppedCount() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return dropped;
+}
+
+void
+TraceRecorder::writeJson(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    os << "{\"traceEvents\": [";
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const TraceEvent &ev = events[i];
+        if (i)
+            os << ",";
+        os << "\n{\"name\": ";
+        json::writeString(os, ev.name);
+        os << ", \"cat\": ";
+        json::writeString(os, ev.category);
+        os << ", \"ph\": \"X\", \"ts\": " << ev.tsUs
+           << ", \"dur\": " << ev.durUs
+           << ", \"pid\": 1, \"tid\": " << ev.tid << "}";
+    }
+    os << "\n], \"displayTimeUnit\": \"ms\", \"otherData\": "
+          "{\"generator\": \"mechsim\", \"dropped_events\": "
+       << dropped << "}}\n";
+}
+
+bool
+TraceRecorder::writeJsonFile(const std::string &path,
+                             std::string *error) const
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os) {
+        if (error)
+            *error = "cannot open '" + path + "' for writing";
+        return false;
+    }
+    writeJson(os);
+    os.flush();
+    if (!os) {
+        if (error)
+            *error = "write to '" + path + "' failed";
+        return false;
+    }
+    return true;
+}
+
+} // namespace mech::obs

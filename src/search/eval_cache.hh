@@ -29,10 +29,12 @@
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "dse/design_space.hh"
+#include "obs/registry.hh"
 
 namespace mech {
 
@@ -71,10 +73,24 @@ class EvalCache
     const SearchEval *
     find(const DesignPoint &point) const
     {
-        const Shard &shard = shardFor(point);
-        std::lock_guard<std::mutex> lock(shard.mtx);
-        auto it = shard.index.find(point);
-        return it == shard.index.end() ? nullptr : it->second;
+        const std::size_t s =
+            DesignPointHash{}(point) & (kShards - 1);
+        const Shard &shard = shards[s];
+        const SearchEval *hit;
+        {
+            std::lock_guard<std::mutex> lock(shard.mtx);
+            auto it = shard.index.find(point);
+            hit = it == shard.index.end() ? nullptr : it->second;
+        }
+        CacheObs &o = cacheObs();
+        if (hit) {
+            o.hits.inc();
+            o.shards[s].hits.inc();
+        } else {
+            o.misses.inc();
+            o.shards[s].misses.inc();
+        }
+        return hit;
     }
 
     /**
@@ -86,12 +102,17 @@ class EvalCache
     const SearchEval &
     insert(SearchEval eval)
     {
-        Shard &shard = shardFor(eval.point);
+        const std::size_t s =
+            DesignPointHash{}(eval.point) & (kShards - 1);
+        Shard &shard = shards[s];
         std::lock_guard<std::mutex> lock(shard.mtx);
         if (auto it = shard.index.find(eval.point);
             it != shard.index.end()) {
             return *it->second;
         }
+        CacheObs &o = cacheObs();
+        o.inserts.inc();
+        o.shards[s].inserts.inc();
         shard.store.push_back(std::move(eval));
         SearchEval &stored = shard.store.back();
         {
@@ -133,16 +154,52 @@ class EvalCache
             index;
     };
 
-    Shard &
-    shardFor(const DesignPoint &point)
+    /**
+     * Process-wide cache observability: aggregate and per-shard
+     * hit/miss/insert counters, shared by every EvalCache instance
+     * (serve groups come and go; the counters are cumulative).
+     * Updates are relaxed atomics outside the shard locks.
+     */
+    struct CacheObs
     {
-        return shards[DesignPointHash{}(point) & (kShards - 1)];
-    }
+        struct ShardObs
+        {
+            obs::Counter &hits;
+            obs::Counter &misses;
+            obs::Counter &inserts;
+        };
 
-    const Shard &
-    shardFor(const DesignPoint &point) const
+        obs::Counter &hits;
+        obs::Counter &misses;
+        obs::Counter &inserts;
+        std::vector<ShardObs> shards;
+    };
+
+    static CacheObs &
+    cacheObs()
     {
-        return shards[DesignPointHash{}(point) & (kShards - 1)];
+        static CacheObs o = [] {
+            obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+            CacheObs obs{
+                reg.counter("evalcache.hits",
+                            "EvalCache lookups answered from the memo"),
+                reg.counter("evalcache.misses",
+                            "EvalCache lookups that missed"),
+                reg.counter("evalcache.inserts",
+                            "Fresh evaluations inserted into EvalCache"),
+                {}};
+            obs.shards.reserve(kShards);
+            for (std::size_t s = 0; s < kShards; ++s) {
+                const std::string p =
+                    "evalcache.shard" + std::to_string(s);
+                obs.shards.push_back(CacheObs::ShardObs{
+                    reg.counter(p + ".hits"),
+                    reg.counter(p + ".misses"),
+                    reg.counter(p + ".inserts")});
+            }
+            return obs;
+        }();
+        return o;
     }
 
     std::array<Shard, kShards> shards;

@@ -3,7 +3,41 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/registry.hh"
+
 namespace mech::serve {
+
+namespace {
+
+/** Admission-layer instruments (shed is counted by the front end,
+ *  which alone knows whether a refused line was finally shed or
+ *  force-admitted as a control request). */
+struct AdmissionObs
+{
+    obs::Gauge &queueDepth;
+    obs::Counter &admitted;
+    obs::LatencyHistogram &queueWaitUs;
+
+    static AdmissionObs &
+    get()
+    {
+        static AdmissionObs o{
+            obs::MetricsRegistry::global().gauge(
+                "admission.queue_depth",
+                "Request lines queued across all sessions"),
+            obs::MetricsRegistry::global().counter(
+                "admission.admitted",
+                "Request lines accepted into the admission queue"),
+            obs::MetricsRegistry::global().histogram(
+                "admission.queue_wait_us",
+                "Queue residency from admission to dispatch in "
+                "microseconds"),
+        };
+        return o;
+    }
+};
+
+} // namespace
 
 AdmissionQueue::AdmissionQueue(AdmissionConfig cfg_in)
     : cfg(cfg_in)
@@ -35,6 +69,8 @@ AdmissionQueue::removeSession(std::uint64_t sid)
     if (it == sessions.end())
         return;
     totalQueued -= it->second.lines.size();
+    AdmissionObs::get().queueDepth.sub(
+        static_cast<std::int64_t>(it->second.lines.size()));
     if (stopped)
         cv.notify_all();
     if (it->second.inRing) {
@@ -64,6 +100,9 @@ AdmissionQueue::offer(std::uint64_t sid, QueuedLine line)
     }
     session.lines.push_back(std::move(line));
     ++totalQueued;
+    AdmissionObs &o = AdmissionObs::get();
+    o.queueDepth.add(1);
+    o.admitted.inc();
     armLocked(sid, session);
     return true;
 }
@@ -79,6 +118,9 @@ AdmissionQueue::force(std::uint64_t sid, QueuedLine line)
         return false;
     it->second.lines.push_back(std::move(line));
     ++totalQueued;
+    AdmissionObs &o = AdmissionObs::get();
+    o.queueDepth.add(1);
+    o.admitted.inc();
     armLocked(sid, it->second);
     return true;
 }
@@ -118,11 +160,18 @@ AdmissionQueue::nextBatch(Batch *out)
     const std::size_t n =
         std::min(cfg.maxBatch, session.lines.size());
     out->lines.reserve(n);
+    AdmissionObs &o = AdmissionObs::get();
+    const auto now = std::chrono::steady_clock::now();
     for (std::size_t i = 0; i < n; ++i) {
+        o.queueWaitUs.record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                now - session.lines.front().received)
+                .count()));
         out->lines.push_back(std::move(session.lines.front()));
         session.lines.pop_front();
     }
     totalQueued -= n;
+    o.queueDepth.sub(static_cast<std::int64_t>(n));
     if (stopped && totalQueued == 0)
         cv.notify_all(); // release dispatchers waiting out the drain
     return true;

@@ -22,7 +22,11 @@
 #include <unistd.h>
 
 #include "common/json.hh"
+#include "common/logging.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
 #include "serve/admission.hh"
+#include "serve/serve_obs.hh"
 
 namespace mech::serve {
 
@@ -91,6 +95,12 @@ constexpr std::uint64_t kListenerTag = 0;
 constexpr std::uint64_t kWakeTag = 1;
 constexpr std::uint64_t kFirstConnTag = 2;
 
+/** High-bit namespace for the metrics endpoint's epoll tags: the
+ *  metrics listener is the bare bit, accepted metrics connections
+ *  are bit | id.  NDJSON session ids never reach 2^63. */
+constexpr std::uint64_t kMetricsTagBit = std::uint64_t{1} << 63;
+constexpr std::uint64_t kMetricsListenerTag = kMetricsTagBit;
+
 } // namespace
 
 SessionStats
@@ -150,10 +160,27 @@ struct TcpServer::Impl
     SessionOptions opts;
     AdmissionQueue queue;
 
+    /** One connection to the metrics endpoint (I/O thread only).
+     *  HTTP/1.0: read one request, write one response, close. */
+    struct MetricsConn
+    {
+        int fd = -1;
+        std::uint64_t tag = 0;
+        std::string inbuf;
+        std::string outbuf;
+        bool responded = false;
+        bool wantWrite = false;
+    };
+
     int epfd = -1;
     int listener = -1;
     int wakeFd = -1;
     unsigned short boundPort = 0;
+
+    int metricsListener = -1;
+    unsigned short metricsBoundPort = 0;
+    std::map<std::uint64_t, MetricsConn> metricsConns;
+    std::uint64_t nextMetricsId = 1;
 
     std::thread io;
     std::vector<std::thread> dispatchers;
@@ -178,6 +205,10 @@ struct TcpServer::Impl
     void wake();
 
     void acceptClients();
+    void acceptMetricsClients();
+    void handleMetricsConn(std::uint64_t tag, std::uint32_t events);
+    void closeMetricsConn(std::uint64_t tag);
+    std::string metricsHttpResponse(const std::string &request) const;
     void readConn(Conn &conn);
     void discardInput(Conn &conn);
     void ingestLine(Conn &conn);
@@ -197,13 +228,19 @@ TcpServer::Impl::start(std::string *error)
         *error = std::string(what) + ": " + std::strerror(errno);
         if (listener >= 0)
             ::close(listener);
+        if (metricsListener >= 0)
+            ::close(metricsListener);
         if (wakeFd >= 0)
             ::close(wakeFd);
         if (epfd >= 0)
             ::close(epfd);
-        listener = wakeFd = epfd = -1;
+        listener = metricsListener = wakeFd = epfd = -1;
         return false;
     };
+
+    // Register the front end's instruments up front: a scrape that
+    // arrives before any traffic must still see every series.
+    ServeObs::get();
 
     listener = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
     if (listener < 0)
@@ -231,6 +268,35 @@ TcpServer::Impl::start(std::string *error)
     }
     boundPort = ntohs(addr.sin_port);
 
+    if (cfg.metricsPort >= 0) {
+        metricsListener =
+            ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+        if (metricsListener < 0)
+            return fail("socket(metrics)");
+        ::setsockopt(metricsListener, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+        sockaddr_in maddr;
+        std::memset(&maddr, 0, sizeof(maddr));
+        maddr.sin_family = AF_INET;
+        maddr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        maddr.sin_port =
+            htons(static_cast<unsigned short>(cfg.metricsPort));
+        if (::bind(metricsListener,
+                   reinterpret_cast<sockaddr *>(&maddr),
+                   sizeof(maddr)) < 0) {
+            return fail("bind(metrics)");
+        }
+        if (::listen(metricsListener, 16) < 0)
+            return fail("listen(metrics)");
+        socklen_t mlen = sizeof(maddr);
+        if (::getsockname(metricsListener,
+                          reinterpret_cast<sockaddr *>(&maddr),
+                          &mlen) < 0) {
+            return fail("getsockname(metrics)");
+        }
+        metricsBoundPort = ntohs(maddr.sin_port);
+    }
+
     wakeFd = ::eventfd(0, EFD_NONBLOCK);
     if (wakeFd < 0)
         return fail("eventfd()");
@@ -247,6 +313,11 @@ TcpServer::Impl::start(std::string *error)
     ev.data.u64 = kWakeTag;
     if (::epoll_ctl(epfd, EPOLL_CTL_ADD, wakeFd, &ev) < 0)
         return fail("epoll_ctl(eventfd)");
+    if (metricsListener >= 0) {
+        ev.data.u64 = kMetricsListenerTag;
+        if (::epoll_ctl(epfd, EPOLL_CTL_ADD, metricsListener, &ev) < 0)
+            return fail("epoll_ctl(metrics)");
+    }
 
     if (cfg.dispatchHoldMs > 0)
         queue.holdDispatch(true);
@@ -256,6 +327,10 @@ TcpServer::Impl::start(std::string *error)
     log << "mech_serve: listening on 127.0.0.1:" << boundPort << " ("
         << cfg.dispatchers << " dispatcher(s), queue " << cfg.maxQueue
         << ", per-session " << cfg.maxInflight << ")\n";
+    if (metricsListener >= 0) {
+        log << "mech_serve: metrics on http://127.0.0.1:"
+            << metricsBoundPort << "/metrics\n";
+    }
 
     io = std::thread([this] { ioLoop(); });
     for (unsigned i = 0; i < cfg.dispatchers; ++i)
@@ -301,6 +376,7 @@ TcpServer::Impl::flushConn(Conn &conn)
             conn.broken = true;
             return false;
         }
+        ServeObs::get().bytesOut.inc(static_cast<std::uint64_t>(put));
         conn.outbuf.erase(0, static_cast<std::size_t>(put));
     }
     setWantWrite(conn, false);
@@ -332,10 +408,162 @@ TcpServer::Impl::acceptClients()
             ::close(client);
             continue;
         }
-        log << "mech_serve: client connected\n";
+        ServeObs::get().connections.add(1);
+        MECH_LOG(Debug)
+            << "mech_serve: client connected (session " << conn->sid
+            << ")";
         std::lock_guard<std::mutex> lock(connMtx);
         conns.emplace(conn->sid, std::move(conn));
     }
+}
+
+void
+TcpServer::Impl::acceptMetricsClients()
+{
+    for (;;) {
+        int client = ::accept4(metricsListener, nullptr, nullptr,
+                               SOCK_NONBLOCK);
+        if (client < 0) {
+            if (errno == EINTR)
+                continue;
+            return; // EAGAIN: accepted everything pending
+        }
+        MetricsConn conn;
+        conn.fd = client;
+        conn.tag = kMetricsTagBit | nextMetricsId++;
+
+        epoll_event ev;
+        std::memset(&ev, 0, sizeof(ev));
+        ev.events = EPOLLIN;
+        ev.data.u64 = conn.tag;
+        if (::epoll_ctl(epfd, EPOLL_CTL_ADD, client, &ev) < 0) {
+            ::close(client);
+            continue;
+        }
+        metricsConns.emplace(conn.tag, conn);
+    }
+}
+
+std::string
+TcpServer::Impl::metricsHttpResponse(const std::string &request) const
+{
+    // A deliberately tiny HTTP/1.0 server: one GET, one response,
+    // close.  Anything that is not "GET /metrics" gets a 404.
+    const std::size_t eol = request.find_first_of("\r\n");
+    const std::string head = request.substr(
+        0, eol == std::string::npos ? request.size() : eol);
+    std::string path;
+    if (head.compare(0, 4, "GET ") == 0) {
+        const std::size_t sp = head.find(' ', 4);
+        path = head.substr(4, sp == std::string::npos ? std::string::npos
+                                                      : sp - 4);
+    }
+
+    std::string body;
+    const char *status;
+    const char *contentType;
+    if (path == "/metrics") {
+        std::ostringstream os;
+        obs::MetricsRegistry::global().renderPrometheus(os);
+        body = os.str();
+        status = "200 OK";
+        contentType = "text/plain; version=0.0.4; charset=utf-8";
+    } else {
+        body = "not found: only GET /metrics is served\n";
+        status = "404 Not Found";
+        contentType = "text/plain; charset=utf-8";
+    }
+
+    std::ostringstream resp;
+    resp << "HTTP/1.0 " << status << "\r\n"
+         << "Content-Type: " << contentType << "\r\n"
+         << "Content-Length: " << body.size() << "\r\n"
+         << "Connection: close\r\n\r\n"
+         << body;
+    return resp.str();
+}
+
+void
+TcpServer::Impl::handleMetricsConn(std::uint64_t tag,
+                                   std::uint32_t events)
+{
+    auto it = metricsConns.find(tag);
+    if (it == metricsConns.end())
+        return;
+    MetricsConn &conn = it->second;
+
+    if (events & (EPOLLERR | EPOLLHUP)) {
+        closeMetricsConn(tag);
+        return;
+    }
+    if (!conn.responded && (events & EPOLLIN)) {
+        char chunk[4096];
+        bool eof = false;
+        for (;;) {
+            ssize_t got = ::recv(conn.fd, chunk, sizeof(chunk), 0);
+            if (got < 0) {
+                if (errno == EINTR)
+                    continue;
+                if (errno != EAGAIN && errno != EWOULDBLOCK) {
+                    closeMetricsConn(tag);
+                    return;
+                }
+                break;
+            }
+            if (got == 0) {
+                eof = true;
+                break;
+            }
+            conn.inbuf.append(chunk, static_cast<std::size_t>(got));
+            if (conn.inbuf.size() > (1u << 16)) {
+                closeMetricsConn(tag); // no legitimate scrape is 64K
+                return;
+            }
+        }
+        const bool complete =
+            conn.inbuf.find("\r\n\r\n") != std::string::npos ||
+            conn.inbuf.find("\n\n") != std::string::npos || eof;
+        if (complete) {
+            conn.outbuf = metricsHttpResponse(conn.inbuf);
+            conn.responded = true;
+        }
+    }
+    if (!conn.responded)
+        return;
+    while (!conn.outbuf.empty()) {
+        ssize_t put = ::send(conn.fd, conn.outbuf.data(),
+                             conn.outbuf.size(), 0);
+        if (put < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                if (!conn.wantWrite) {
+                    conn.wantWrite = true;
+                    epoll_event ev;
+                    std::memset(&ev, 0, sizeof(ev));
+                    ev.events = EPOLLIN | EPOLLOUT;
+                    ev.data.u64 = conn.tag;
+                    ::epoll_ctl(epfd, EPOLL_CTL_MOD, conn.fd, &ev);
+                }
+                return;
+            }
+            closeMetricsConn(tag);
+            return;
+        }
+        conn.outbuf.erase(0, static_cast<std::size_t>(put));
+    }
+    closeMetricsConn(tag); // response fully written: HTTP/1.0 close
+}
+
+void
+TcpServer::Impl::closeMetricsConn(std::uint64_t tag)
+{
+    auto it = metricsConns.find(tag);
+    if (it == metricsConns.end())
+        return;
+    ::epoll_ctl(epfd, EPOLL_CTL_DEL, it->second.fd, nullptr);
+    ::close(it->second.fd);
+    metricsConns.erase(it);
 }
 
 void
@@ -357,6 +585,15 @@ TcpServer::Impl::shedLine(Conn &conn, QueuedLine line)
         outcome.idJson, kOverloadedCode,
         "server overloaded: admission queue is full, retry later");
     service.noteShedRequests(1);
+    ServeObs &sobs = ServeObs::get();
+    sobs.shed.inc();
+    sobs.inflight.sub(1);
+    {
+        MECH_LOG_RATELIMITED(Warn, 1000)
+            << "mech_serve: shedding requests: admission queue full "
+               "(session "
+            << conn.sid << ")";
+    }
     std::lock_guard<std::mutex> lock(connMtx);
     --conn.busy;
     conn.outbuf += responseLine(body, opts.latencyFields,
@@ -388,6 +625,7 @@ TcpServer::Impl::ingestLine(Conn &conn)
         std::lock_guard<std::mutex> lock(connMtx);
         ++conn.busy;
     }
+    ServeObs::get().inflight.add(1);
     if (queue.offer(conn.sid, queued))
         return;
     shedLine(conn, std::move(queued));
@@ -418,6 +656,7 @@ TcpServer::Impl::readConn(Conn &conn)
             }
             return;
         }
+        ServeObs::get().bytesIn.inc(static_cast<std::uint64_t>(got));
         conn.raw.append(chunk, static_cast<std::size_t>(got));
         for (;;) {
             const std::size_t nl = conn.raw.find('\n');
@@ -482,8 +721,15 @@ TcpServer::Impl::closeConn(std::uint64_t sid)
     ::epoll_ctl(epfd, EPOLL_CTL_DEL, conn->fd, nullptr);
     ::shutdown(conn->fd, SHUT_RDWR);
     ::close(conn->fd);
-    log << "mech_serve: client disconnected (" << conn->responses
-        << " response(s))\n";
+    ServeObs &sobs = ServeObs::get();
+    sobs.connections.sub(1);
+    // Lines the session still had in flight will never be answered:
+    // settle the gauge so a mid-batch disconnect cannot leak it.
+    if (conn->busy > 0)
+        sobs.inflight.sub(static_cast<std::int64_t>(conn->busy));
+    MECH_LOG(Debug)
+        << "mech_serve: client disconnected (session " << sid << ", "
+        << conn->responses << " response(s))";
 }
 
 void
@@ -497,6 +743,13 @@ TcpServer::Impl::beginDrain()
         ::close(listener);
         listener = -1;
     }
+    if (metricsListener >= 0) {
+        ::epoll_ctl(epfd, EPOLL_CTL_DEL, metricsListener, nullptr);
+        ::close(metricsListener);
+        metricsListener = -1;
+    }
+    while (!metricsConns.empty())
+        closeMetricsConn(metricsConns.begin()->first);
     queue.stop();
 }
 
@@ -588,6 +841,15 @@ TcpServer::Impl::ioLoop()
                 }
                 continue;
             }
+            if (tag == kMetricsListenerTag) {
+                if (!draining && metricsListener >= 0)
+                    acceptMetricsClients();
+                continue;
+            }
+            if (tag & kMetricsTagBit) {
+                handleMetricsConn(tag, events[i].events);
+                continue;
+            }
             Conn *conn = nullptr;
             {
                 std::lock_guard<std::mutex> lock(connMtx);
@@ -630,6 +892,8 @@ TcpServer::Impl::deliver(std::uint64_t sid, std::string bytes,
                          std::size_t consumed,
                          std::uint64_t responses, std::uint64_t errors)
 {
+    obs::TraceSpan span("request.flush", "serve");
+    std::size_t settled = 0;
     {
         std::lock_guard<std::mutex> lock(connMtx);
         auto it = conns.find(sid);
@@ -637,11 +901,15 @@ TcpServer::Impl::deliver(std::uint64_t sid, std::string bytes,
             return; // session disconnected mid-batch
         Conn &conn = *it->second;
         conn.outbuf += bytes;
-        conn.busy -= std::min(conn.busy, consumed);
+        settled = std::min(conn.busy, consumed);
+        conn.busy -= settled;
         conn.responses += responses;
         conn.errors += errors;
         writeReady.push_back(sid);
     }
+    if (settled > 0)
+        ServeObs::get().inflight.sub(
+            static_cast<std::int64_t>(settled));
     wake();
 }
 
@@ -651,6 +919,18 @@ TcpServer::Impl::processBatch(const AdmissionQueue::Batch &batch)
     // The dispatcher-side mirror of ServerSession::run(): parse,
     // coalesce data requests, answer control requests on drained
     // state, and emit one response line per request in order.
+    if (obs::TraceRecorder *rec = obs::TraceRecorder::current();
+        rec && !batch.lines.empty()) {
+        // Retrospective span: the time this batch's oldest line spent
+        // queued before a dispatcher picked it up.
+        const auto received = batch.lines.front().received;
+        const double waited =
+            std::max(0.0, microsSince(received));
+        rec->complete("request.admit", "serve", rec->tsOf(received),
+                      static_cast<std::uint64_t>(waited));
+    }
+    obs::TraceSpan dispatchSpan("request.dispatch", "serve");
+
     std::ostringstream out;
     ResponseWriter writer(out, opts.latencyFields);
     std::vector<PendingLine> pendingBatch;
@@ -666,6 +946,7 @@ TcpServer::Impl::processBatch(const AdmissionQueue::Batch &batch)
         }
         std::vector<std::string> bodies =
             service.handleFlush(requests);
+        obs::TraceSpan serializeSpan("request.serialize", "serve");
         std::size_t next = 0;
         for (const PendingLine &line : pendingBatch) {
             const std::string body =
@@ -685,7 +966,10 @@ TcpServer::Impl::processBatch(const AdmissionQueue::Batch &batch)
                             std::to_string(kMaxRequestBytes) +
                             " bytes";
         } else {
-            ParseOutcome outcome = parseRequest(queued.line);
+            ParseOutcome outcome = [&] {
+                obs::TraceSpan parseSpan("request.parse", "serve");
+                return parseRequest(queued.line);
+            }();
             pending.idJson = outcome.idJson;
             if (!outcome.ok()) {
                 pending.error = outcome.error;
@@ -698,7 +982,8 @@ TcpServer::Impl::processBatch(const AdmissionQueue::Batch &batch)
                 std::string body =
                     req.type == RequestType::Info
                         ? service.infoResponse(req.idJson)
-                        : service.statsResponse(req.idJson, req.type);
+                        : service.statsResponse(req.idJson, req.type,
+                                                opts.latencyFields);
                 writer.write(body, microsSince(pending.received));
                 if (req.type == RequestType::Shutdown) {
                     sawShutdown = true;
@@ -758,6 +1043,12 @@ TcpServer::port() const
     return impl->boundPort;
 }
 
+unsigned short
+TcpServer::metricsPort() const
+{
+    return impl->metricsBoundPort;
+}
+
 void
 TcpServer::requestStop()
 {
@@ -789,6 +1080,10 @@ TcpServer::wait()
     if (impl->listener >= 0) {
         ::close(impl->listener);
         impl->listener = -1;
+    }
+    if (impl->metricsListener >= 0) {
+        ::close(impl->metricsListener);
+        impl->metricsListener = -1;
     }
 }
 

@@ -59,6 +59,14 @@ struct TcpServerConfig
      * queue deterministically.  0 disables.
      */
     unsigned dispatchHoldMs = 0;
+
+    /**
+     * Port for the plaintext HTTP/1.0 metrics endpoint (GET /metrics
+     * answers Prometheus text exposition), served by the same epoll
+     * loop on 127.0.0.1.  -1 disables; 0 picks an ephemeral port
+     * (see TcpServer::metricsPort()).
+     */
+    int metricsPort = -1;
 };
 
 /**
@@ -83,6 +91,9 @@ class TcpServer
 
     /** The bound port (useful after binding port 0). */
     unsigned short port() const;
+
+    /** The bound metrics port (0 when the endpoint is disabled). */
+    unsigned short metricsPort() const;
 
     /** Ask for a graceful drain (the in-process Ctrl-C). */
     void requestStop();

@@ -13,12 +13,14 @@
 #include "common/file_util.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "obs/trace.hh"
 #include "dse/study.hh"
 #include "eval/registry.hh"
 #include "search/cache_io.hh"
 #include "search/eval_cache.hh"
 #include "search/objective.hh"
 #include "search/space_spec.hh"
+#include "serve/serve_obs.hh"
 #include "serve/shard.hh"
 #include "workload/suites.hh"
 
@@ -91,6 +93,10 @@ struct EvalService::Group
     BackendSet backends;
     std::vector<Objective> objectives;
     EvalCache cache;
+
+    /** This group's own hit/miss traffic (guarded by statsMtx). */
+    std::uint64_t hitCount = 0;
+    std::uint64_t missCount = 0;
 
     std::uint32_t
     aggregateLen() const
@@ -166,6 +172,7 @@ EvalService::loadSpill(Group &group)
     const std::string path = cacheSpillPath(cfg.cacheDir, group.key);
     if (!fileExists(path))
         return;
+    obs::TraceSpan span("cache.load", "cache");
     MappedFile file;
     std::string error;
     if (!file.open(path, &error)) {
@@ -330,6 +337,7 @@ EvalService::evaluatePoints(Group &group,
     // on worker scheduling.  Counts accumulate locally and merge into
     // the service counters once — concurrent flushes each account
     // their own traffic exactly.
+    obs::TraceSpan span("service.evaluate", "serve");
     FlushCounts local;
     std::vector<const SearchEval *> out(points.size(), nullptr);
     std::vector<std::size_t> missIdx;
@@ -428,6 +436,8 @@ EvalService::evaluatePoints(Group &group,
         counters.requested += local.requested;
         counters.hits += local.hits;
         counters.misses += local.misses;
+        group.hitCount += local.hits;
+        group.missCount += local.misses;
     }
     if (counts)
         *counts = local;
@@ -587,6 +597,7 @@ EvalService::batchResponse(const ServeRequest &req, Group &group,
 std::vector<std::string>
 EvalService::handleFlush(const std::vector<ServeRequest> &requests)
 {
+    obs::TraceSpan span("service.flush", "serve");
     // Per-request slots, filled out of order, emitted in order.
     std::vector<std::string> responses(requests.size());
 
@@ -697,6 +708,7 @@ EvalService::persistCaches(std::ostream *log) const
 {
     if (cfg.cacheDir.empty())
         return 0;
+    obs::TraceSpan span("cache.spill", "cache");
     std::string error;
     if (!ensureDirectory(cfg.cacheDir, &error)) {
         warn("mech_serve: cannot create cache dir: ", error);
@@ -753,9 +765,24 @@ EvalService::infoResponse(const std::string &id_json) const
     return os.str();
 }
 
+namespace {
+
+/** Emit { "count": N, "p50": ..., "p95": ..., "p99": ... }. */
+void
+writeQuantileObject(std::ostream &os, const obs::LatencyHistogram &h)
+{
+    const obs::HistogramSnapshot snap = h.snapshot();
+    os << "{ \"count\": " << snap.count()
+       << ", \"p50\": " << snap.quantile(0.50)
+       << ", \"p95\": " << snap.quantile(0.95)
+       << ", \"p99\": " << snap.quantile(0.99) << " }";
+}
+
+} // namespace
+
 std::string
 EvalService::statsResponse(const std::string &id_json,
-                           RequestType type) const
+                           RequestType type, bool timing) const
 {
     const ServiceStats s = stats();
     std::ostringstream os;
@@ -770,7 +797,68 @@ EvalService::statsResponse(const std::string &id_json,
        << ", \"restored\": " << s.restored << ", \"hit_rate\": ";
     json::writeNumber(os, s.hitRate());
     os << " }, \"groups\": " << s.groups
-       << ", \"cached_points\": " << s.cachedPoints << "}";
+       << ", \"cached_points\": " << s.cachedPoints;
+
+    // Uptime is wall clock, so deterministic mode pins it to 0 — the
+    // field order stays identical either way, keeping goldens stable.
+    std::uint64_t uptime_ms = 0;
+    if (timing) {
+        uptime_ms = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - startTime)
+                .count());
+    }
+    os << ", \"uptime_ms\": " << uptime_ms;
+
+    // Per-group cache occupancy and hit-rate, in materialization
+    // order (deterministic for a single session; under concurrent
+    // sessions it truthfully reflects arrival order, like "groups").
+    os << ", \"group_caches\": [";
+    {
+        std::lock_guard<std::mutex> lock(resolveMtx);
+        std::lock_guard<std::mutex> stats_lock(statsMtx);
+        for (std::size_t i = 0; i < groupList.size(); ++i) {
+            const Group &g = *groupList[i];
+            const std::uint64_t lookups = g.hitCount + g.missCount;
+            if (i)
+                os << ", ";
+            os << "{ \"key\": ";
+            json::writeString(os, g.key);
+            os << ", \"points\": " << g.cache.size()
+               << ", \"hits\": " << g.hitCount
+               << ", \"misses\": " << g.missCount
+               << ", \"hit_rate\": ";
+            json::writeNumber(
+                os, lookups ? static_cast<double>(g.hitCount) /
+                                  static_cast<double>(lookups)
+                            : 0.0);
+            os << " }";
+        }
+    }
+    os << "]";
+
+    // Latency quantiles are wall clock through and through; they
+    // only appear in timing mode, where responses already carry
+    // latency_us fields.  (Named distinctly from the scalar
+    // "latency_us" the response writer appends, so the stats object
+    // never carries a duplicate key.)
+    if (timing) {
+        ServeObs &o = ServeObs::get();
+        os << ", \"latency_quantiles_us\": { \"result\": ";
+        writeQuantileObject(os, o.latencyResult);
+        os << ", \"frontier\": ";
+        writeQuantileObject(os, o.latencyFrontier);
+        os << ", \"control\": ";
+        writeQuantileObject(os, o.latencyControl);
+        os << ", \"error\": ";
+        writeQuantileObject(os, o.latencyError);
+        os << ", \"queue_wait\": ";
+        writeQuantileObject(
+            os, obs::MetricsRegistry::global().histogram(
+                    "admission.queue_wait_us"));
+        os << " }";
+    }
+    os << "}";
     return os.str();
 }
 

@@ -46,6 +46,7 @@
 #ifndef MECH_SERVE_SERVICE_HH
 #define MECH_SERVE_SERVICE_HH
 
+#include <chrono>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
@@ -167,10 +168,16 @@ class EvalService
 
     /**
      * Answer a stats request, or — for @p type Shutdown — the final
-     * "bye" accounting line of a graceful drain.
+     * "bye" accounting line of a graceful drain.  The response
+     * carries the traffic counters, uptime, and per-group cache
+     * occupancy/hit-rate; with @p timing set (the server's
+     * non-deterministic mode) it additionally reports wall-clock
+     * latency-histogram quantiles.  With @p timing false every field
+     * is deterministic (uptime_ms reads 0), so golden streams stay
+     * byte-identical.
      */
     std::string statsResponse(const std::string &id_json,
-                              RequestType type) const;
+                              RequestType type, bool timing) const;
 
     /**
      * Account @p n requests rejected by admission control (they were
@@ -247,9 +254,13 @@ class EvalService
     std::vector<std::unique_ptr<Group>> groupList;
     std::map<std::string, Group *> groupIndex;
 
-    /** Guards counters; strictly a leaf lock. */
+    /** Guards counters and per-group traffic; strictly a leaf lock. */
     mutable std::mutex statsMtx;
     ServiceStats counters;
+
+    /** Service construction time, for the stats uptime field. */
+    const std::chrono::steady_clock::time_point startTime =
+        std::chrono::steady_clock::now();
 };
 
 } // namespace mech::serve

@@ -5,6 +5,8 @@
 
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "obs/trace.hh"
+#include "serve/serve_obs.hh"
 
 namespace mech::serve {
 
@@ -37,6 +39,7 @@ ResponseWriter::write(const std::string &body, double latency_us)
     MECH_ASSERT(!body.empty() && body.back() == '}',
                 "response body must be a JSON object");
     ++count;
+    recordResponseLatency(body, latency_us);
     // A cheap, structural check: every error body starts with the
     // same head the protocol serializer produced.
     if (body.find("\"type\": \"error\"") != std::string::npos &&
@@ -94,6 +97,7 @@ ServerSession::flushQueue()
 {
     if (queue.empty())
         return;
+    obs::TraceSpan span("session.flush", "serve");
     std::vector<PendingLine> lines = queue.take();
 
     // The service answers the well-formed requests as one coalesced
@@ -148,7 +152,8 @@ ServerSession::run()
                 std::string body =
                     req.type == RequestType::Info
                         ? service.infoResponse(req.idJson)
-                        : service.statsResponse(req.idJson, req.type);
+                        : service.statsResponse(req.idJson, req.type,
+                                                opts.latencyFields);
                 writer.write(body, microsSince(pending.received));
                 writer.flush();
                 if (req.type == RequestType::Shutdown) {

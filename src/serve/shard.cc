@@ -1,6 +1,7 @@
 #include "serve/shard.hh"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <sstream>
 
@@ -194,7 +195,8 @@ LoopbackClient::connect(unsigned short port, std::string *error)
 bool
 LoopbackClient::run(const std::vector<std::string> &lines,
                     std::vector<std::string> *responses,
-                    std::string *error, std::size_t window)
+                    std::string *error, std::size_t window,
+                    std::vector<double> *latencies_us)
 {
     if (fd < 0) {
         *error = "not connected";
@@ -202,8 +204,28 @@ LoopbackClient::run(const std::vector<std::string> &lines,
     }
     if (window == 0)
         window = 1;
+    using clock = std::chrono::steady_clock;
     std::size_t sent = 0;
     std::string inbuf;
+    std::vector<clock::time_point> sendTimes;
+    if (latencies_us)
+        sendTimes.reserve(lines.size());
+    // Responses arrive strictly in request order, so response j pairs
+    // with send time j when measuring client-observed latency.
+    auto noteLatencies = [&](std::size_t before) {
+        if (!latencies_us)
+            return;
+        const clock::time_point now = clock::now();
+        for (std::size_t j = before; j < responses->size(); ++j) {
+            const double us =
+                j < sendTimes.size()
+                    ? std::chrono::duration<double, std::micro>(
+                          now - sendTimes[j])
+                          .count()
+                    : 0.0;
+            latencies_us->push_back(us);
+        }
+    };
     while (responses->size() < lines.size()) {
         // Top up the window, then flush it in one send.
         std::string burst;
@@ -213,9 +235,11 @@ LoopbackClient::run(const std::vector<std::string> &lines,
             burst += '\n';
             ++sent;
         }
-        if (!burst.empty() &&
-            !sendAll(fd, burst.data(), burst.size(), error)) {
-            return false;
+        if (!burst.empty()) {
+            if (!sendAll(fd, burst.data(), burst.size(), error))
+                return false;
+            if (latencies_us)
+                sendTimes.resize(sent, clock::now());
         }
 
         char chunk[1 << 16];
@@ -228,7 +252,9 @@ LoopbackClient::run(const std::vector<std::string> &lines,
             return false;
         }
         if (got == 0) {
+            const std::size_t before = responses->size();
             splitLines(inbuf, responses);
+            noteLatencies(before);
             if (responses->size() == lines.size())
                 return true;
             *error = "server closed after " +
@@ -237,7 +263,9 @@ LoopbackClient::run(const std::vector<std::string> &lines,
             return false;
         }
         inbuf.append(chunk, static_cast<std::size_t>(got));
+        const std::size_t before = responses->size();
         splitLines(inbuf, responses);
+        noteLatencies(before);
     }
     return true;
 }

@@ -106,10 +106,17 @@ class LoopbackClient
      * Pipeline @p lines and collect exactly one response line each,
      * in order.  Returns false (with the responses gathered so far)
      * on a connection error or a premature server close.
+     *
+     * With @p latencies_us, additionally records one client-observed
+     * send-to-receive latency (microseconds) per gathered response,
+     * in response order — the client half of the replay summary
+     * table.  Purely observational: the request/response byte
+     * streams are identical either way.
      */
     bool run(const std::vector<std::string> &lines,
              std::vector<std::string> *responses, std::string *error,
-             std::size_t window = 64);
+             std::size_t window = 64,
+             std::vector<double> *latencies_us = nullptr);
 
     /**
      * Flood mode: write every line immediately, half-close, and read

@@ -12,13 +12,20 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <set>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include "common/json.hh"
+#include "obs/registry.hh"
 #include "search/space_spec.hh"
 #include "serve/admission.hh"
 #include "serve/protocol.hh"
@@ -424,6 +431,119 @@ TEST(ServeTcp, WarmCacheRestartServesFromSpill)
         strip(w);
         EXPECT_EQ(c, w);
     }
+}
+
+// ---------------------------------------------------------------------
+// Metrics endpoint (HTTP/1.0 Prometheus exposition)
+// ---------------------------------------------------------------------
+
+/** One blocking HTTP/1.0 GET against 127.0.0.1:@p port. */
+std::string
+httpGet(unsigned short port, const std::string &path)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return "";
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        ::close(fd);
+        return "";
+    }
+    const std::string request =
+        "GET " + path + " HTTP/1.0\r\nHost: localhost\r\n\r\n";
+    std::size_t off = 0;
+    while (off < request.size()) {
+        const ssize_t put =
+            ::send(fd, request.data() + off, request.size() - off, 0);
+        if (put < 0) {
+            if (errno == EINTR)
+                continue;
+            ::close(fd);
+            return "";
+        }
+        off += static_cast<std::size_t>(put);
+    }
+    std::string response;
+    for (;;) {
+        char chunk[1 << 14];
+        const ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (got < 0 && errno == EINTR)
+            continue;
+        if (got <= 0)
+            break;
+        response.append(chunk, static_cast<std::size_t>(got));
+    }
+    ::close(fd);
+    return response;
+}
+
+TEST(ServeTcp, MetricsEndpointServesValidExposition)
+{
+    TcpServerConfig tcp;
+    tcp.metricsPort = 0; // ephemeral
+    ServerFixture fx(tcp);
+    ASSERT_GT(fx.server.metricsPort(), 0);
+
+    // A scrape works before any traffic has arrived...
+    const std::string cold =
+        httpGet(static_cast<unsigned short>(fx.server.metricsPort()),
+                "/metrics");
+    EXPECT_NE(cold.find("HTTP/1.0 200 OK"), std::string::npos);
+
+    // ...and after traffic the serve series carry samples.
+    SpaceSpec spec = SpaceSpec::table2();
+    std::vector<std::string> lines;
+    for (int i = 0; i < 8; ++i)
+        lines.push_back(evalLine(i, spec.at(i % spec.size())));
+    runClient(fx.server.port(), lines);
+
+    const std::string response =
+        httpGet(static_cast<unsigned short>(fx.server.metricsPort()),
+                "/metrics");
+    ASSERT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+    EXPECT_NE(response.find("Content-Type: text/plain"),
+              std::string::npos);
+    const std::size_t split = response.find("\r\n\r\n");
+    ASSERT_NE(split, std::string::npos);
+    const std::string body = response.substr(split + 4);
+
+    std::string error;
+    EXPECT_TRUE(obs::validateExposition(body, &error)) << error;
+    for (const char *series :
+         {"mech_serve_latency_result_bucket", "mech_serve_connections",
+          "mech_serve_bytes_in", "mech_serve_shed",
+          "mech_admission_queue_depth", "mech_admission_admitted",
+          "mech_evalcache_hits", "mech_evalcache_misses"}) {
+        EXPECT_NE(body.find(series), std::string::npos)
+            << "missing series " << series;
+    }
+}
+
+TEST(ServeTcp, MetricsEndpointRejectsUnknownPath)
+{
+    TcpServerConfig tcp;
+    tcp.metricsPort = 0;
+    ServerFixture fx(tcp);
+    ASSERT_GT(fx.server.metricsPort(), 0);
+
+    const std::string response =
+        httpGet(static_cast<unsigned short>(fx.server.metricsPort()),
+                "/nope");
+    EXPECT_NE(response.find("HTTP/1.0 404 Not Found"),
+              std::string::npos);
+
+    // NDJSON sessions are unaffected by metrics traffic.
+    SpaceSpec spec = SpaceSpec::table2();
+    const auto responses =
+        runClient(fx.server.port(), {evalLine(1, spec.at(0))});
+    ASSERT_EQ(responses.size(), 1u);
+    EXPECT_NE(responses[0].find("\"type\": \"result\""),
+              std::string::npos);
 }
 
 // ---------------------------------------------------------------------

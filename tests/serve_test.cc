@@ -237,6 +237,80 @@ TEST(ServeSession, AnswersInRequestOrderWithCacheFlags)
     EXPECT_EQ(r4.get("cache")->get("misses")->number, 1.0);
 }
 
+TEST(ServeSession, StatsCarryUptimeAndGroupCacheOccupancy)
+{
+    EvalService service(testConfig());
+    const std::string point = defaultDesignPoint().toKey();
+    std::string requests;
+    requests += "{\"id\": 1, \"type\": \"eval\", \"point\": \"" +
+                point + "\"}\n";
+    requests += "{\"id\": 2, \"type\": \"eval\", \"point\": \"" +
+                point + "\"}\n";
+    requests += "{\"id\": 3, \"type\": \"stats\"}\n";
+
+    std::vector<std::string> lines = serveLines(requests, service);
+    ASSERT_EQ(lines.size(), 3u);
+    json::Value stats = parsedResponse(lines[2]);
+
+    // Deterministic mode pins wall clock to 0 and omits the latency
+    // quantiles entirely — the response bytes carry no timing.
+    ASSERT_NE(stats.get("uptime_ms"), nullptr);
+    EXPECT_EQ(stats.get("uptime_ms")->number, 0.0);
+    EXPECT_EQ(stats.get("latency_quantiles_us"), nullptr);
+
+    const json::Value *groups = stats.get("group_caches");
+    ASSERT_NE(groups, nullptr);
+    ASSERT_TRUE(groups->isArray());
+    ASSERT_EQ(groups->array.size(), 1u);
+    const json::Value &g = groups->array[0];
+    EXPECT_FALSE(g.get("key")->string.empty());
+    EXPECT_EQ(g.get("points")->number, 1.0);
+    EXPECT_EQ(g.get("hits")->number, 1.0);
+    EXPECT_EQ(g.get("misses")->number, 1.0);
+    EXPECT_EQ(g.get("hit_rate")->number, 0.5);
+}
+
+TEST(ServeSession, TimingStatsReportLatencyQuantiles)
+{
+    EvalService service(testConfig());
+    const std::string point = defaultDesignPoint().toKey();
+    std::string requests;
+    requests += "{\"id\": 1, \"type\": \"eval\", \"point\": \"" +
+                point + "\"}\n";
+    requests += "{\"id\": 2, \"type\": \"stats\"}\n";
+
+    std::istringstream in(requests);
+    std::ostringstream out;
+    IstreamLineSource source(in);
+    SessionOptions opts;
+    opts.latencyFields = true;
+    ServerSession session(service, source, out, opts);
+    session.run();
+
+    std::vector<std::string> lines;
+    std::istringstream split(out.str());
+    std::string line;
+    while (std::getline(split, line))
+        lines.push_back(line);
+    ASSERT_EQ(lines.size(), 2u);
+
+    json::Value stats = parsedResponse(lines[1]);
+    const json::Value *q = stats.get("latency_quantiles_us");
+    ASSERT_NE(q, nullptr);
+    for (const char *kind :
+         {"result", "frontier", "control", "error", "queue_wait"}) {
+        ASSERT_NE(q->get(kind), nullptr) << kind;
+        ASSERT_NE(q->get(kind)->get("count"), nullptr) << kind;
+        EXPECT_LE(q->get(kind)->get("p50")->number,
+                  q->get(kind)->get("p99")->number)
+            << kind;
+    }
+    // This session answered at least one eval in timing mode, so the
+    // result histogram cannot be empty.  (The instruments are
+    // process-wide, so other tests may have added more.)
+    EXPECT_GE(q->get("result")->get("count")->number, 1.0);
+}
+
 TEST(ServeSession, MalformedServiceInputsYieldStructuredErrors)
 {
     EvalService service(testConfig());

@@ -23,12 +23,16 @@
  */
 
 #include <atomic>
+#include <chrono>
 #include <functional>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <sys/resource.h>
 
 #include "common/bench.hh"
 #include "harness.hh"
@@ -53,8 +57,34 @@ struct Options
     std::string jsonPath;
     std::string baselinePath;
     std::string filter;
+    std::string traceOut;
     bool list = false;
 };
+
+/**
+ * Process-level accounting records: peak resident set and CPU
+ * utilization (process CPU seconds over wall seconds — above 1.0
+ * means the multi-threaded benchmarks actually ran in parallel).
+ * Informational rather than gated: they have no counterpart in older
+ * baselines, and compareToBaseline treats unmatched records as such.
+ */
+void
+addProcessRecords(bench::BenchReport &report, double wall_seconds)
+{
+    struct rusage ru;
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return;
+    // ru_maxrss is kilobytes on Linux.
+    report.add(kSuite, "process", "max_rss",
+               static_cast<double>(ru.ru_maxrss) * 1024.0, "bytes");
+    const double cpu =
+        static_cast<double>(ru.ru_utime.tv_sec) +
+        static_cast<double>(ru.ru_utime.tv_usec) / 1e6 +
+        static_cast<double>(ru.ru_stime.tv_sec) +
+        static_cast<double>(ru.ru_stime.tv_usec) / 1e6;
+    report.add(kSuite, "process", "cpu_utilization",
+               wall_seconds > 0.0 ? cpu / wall_seconds : 0.0, "ratio");
+}
 
 /**
  * Shared lazily-built inputs so benchmarks reuse one trace/study.
@@ -537,6 +567,10 @@ main(int argc, char **argv)
     parser.add("filter", "substr",
                "only run benchmarks whose name contains this",
                &opt.filter);
+    parser.add("trace-out", "file",
+               "write a Chrome Trace Event Format JSON of evaluation "
+               "spans on exit (chrome://tracing)",
+               &opt.traceOut);
     parser.addFlag("list", "list benchmark names and exit", &opt.list);
     parser.parse(argc, argv);
 
@@ -571,6 +605,13 @@ main(int argc, char **argv)
               << report.buildType << ", git " << report.gitSha
               << "\n\n";
 
+    std::unique_ptr<obs::TraceRecorder> recorder;
+    if (!opt.traceOut.empty()) {
+        recorder = std::make_unique<obs::TraceRecorder>();
+        obs::TraceRecorder::install(recorder.get());
+    }
+
+    const auto wallStart = std::chrono::steady_clock::now();
     bool ran_any = false;
     for (const auto &b : benchmarks) {
         if (!opt.filter.empty() &&
@@ -588,6 +629,30 @@ main(int argc, char **argv)
     }
     if (!ran_any)
         fatal("--filter '", opt.filter, "' matched no benchmarks");
+
+    const double wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wallStart)
+            .count();
+    {
+        const std::size_t before = report.results.size();
+        addProcessRecords(report, wallSeconds);
+        for (std::size_t i = before; i < report.results.size(); ++i) {
+            const bench::BenchRecord &r = report.results[i];
+            std::cout << "  " << r.benchmark << "/" << r.metric << ": "
+                      << r.value << " " << r.unit << "\n";
+        }
+    }
+
+    if (recorder) {
+        obs::TraceRecorder::install(nullptr);
+        std::string traceError;
+        if (!recorder->writeJsonFile(opt.traceOut, &traceError))
+            warn("mech_bench: --trace-out: ", traceError);
+        else
+            std::cout << "wrote " << recorder->eventCount()
+                      << " trace event(s) to " << opt.traceOut << "\n";
+    }
 
     if (!opt.jsonPath.empty()) {
         try {

@@ -18,6 +18,7 @@
  */
 
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -35,6 +36,8 @@ main(int argc, char **argv)
     std::string backend = "model";
     std::string profile_dir;
     std::string json_path;
+    std::string trace_out;
+    std::string log_level;
     InstCount instructions = 50000;
     std::uint64_t budget = 2000;
     std::uint64_t seed = 1;
@@ -87,12 +90,29 @@ main(int argc, char **argv)
                "write the search artifact here (schema-versioned, "
                "thread-count independent)",
                &json_path);
+    parser.add("trace-out", "file",
+               "write a Chrome Trace Event Format JSON of evaluation "
+               "spans on exit (chrome://tracing)",
+               &trace_out);
+    parser.add("log-level", "level",
+               "stderr verbosity: error, warn, info, debug or trace "
+               "(default info)",
+               &log_level);
     parser.addFlag("list-strategies",
                    "list search strategies and exit",
                    &list_strategies);
     parser.addFlag("list-objectives",
                    "list objectives and exit", &list_objectives);
     parser.parse(argc, argv);
+
+    if (!log_level.empty()) {
+        const auto level = parseLogLevel(log_level);
+        if (!level) {
+            fatal("unknown --log-level '", log_level,
+                  "' (use error, warn, info, debug or trace)");
+        }
+        setLogLevel(*level);
+    }
 
     if (list_strategies) {
         for (const std::string &name : strategyNames()) {
@@ -141,7 +161,23 @@ main(int argc, char **argv)
               << ", seed " << seed << ", " << opts.threads
               << " worker thread(s)\n\n";
 
+    std::unique_ptr<obs::TraceRecorder> recorder;
+    if (!trace_out.empty()) {
+        recorder = std::make_unique<obs::TraceRecorder>();
+        obs::TraceRecorder::install(recorder.get());
+    }
+
     SearchResult result = runSearch(spec, strategy, evaluator, opts);
+    if (recorder) {
+        obs::TraceRecorder::install(nullptr);
+        std::string error;
+        if (!recorder->writeJsonFile(trace_out, &error))
+            warn("mech_search: --trace-out: ", error);
+        else
+            std::cerr << "mech_search: wrote "
+                      << recorder->eventCount()
+                      << " trace event(s) to " << trace_out << "\n";
+    }
     printSearchResult(result, std::cout);
 
     if (!json_path.empty()) {

@@ -21,6 +21,7 @@
 
 #include <algorithm>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "mech/mech.hh"
@@ -43,7 +44,10 @@ main(int argc, char **argv)
     unsigned dispatchers = 0;
     unsigned dispatch_hold_ms = 0;
     unsigned port = 0;
+    int metrics_port = -1;
     std::string cache_dir;
+    std::string trace_out;
+    std::string log_level;
     bool deterministic = false;
 
     cli::ArgParser parser(
@@ -105,14 +109,38 @@ main(int argc, char **argv)
                "this directory on first use and write them back on "
                "drain",
                &cache_dir);
+    parser.add("metrics-port", "N",
+               "with --port: also serve a Prometheus text exposition "
+               "at http://127.0.0.1:N/metrics (0 = ephemeral port)",
+               &metrics_port);
+    parser.add("trace-out", "file",
+               "write a Chrome Trace Event Format JSON of "
+               "request/evaluation spans on exit (chrome://tracing)",
+               &trace_out);
+    parser.add("log-level", "level",
+               "stderr verbosity: error, warn, info, debug or trace "
+               "(default info)",
+               &log_level);
     parser.addFlag("deterministic",
                    "omit per-response latency fields, making the "
                    "response stream byte-reproducible",
                    &deterministic);
     parser.parse(argc, argv);
 
+    if (!log_level.empty()) {
+        const auto level = parseLogLevel(log_level);
+        if (!level) {
+            fatal("unknown --log-level '", log_level,
+                  "' (use error, warn, info, debug or trace)");
+        }
+        setLogLevel(*level);
+    }
     if (port > 65535)
         fatal("--port must be below 65536");
+    if (metrics_port > 65535)
+        fatal("--metrics-port must be below 65536");
+    if (metrics_port >= 0 && port == 0)
+        fatal("--metrics-port requires the TCP front end (--port)");
     if (max_batch == 0)
         fatal("--max-batch must be positive");
     if (max_space == 0)
@@ -152,6 +180,15 @@ main(int argc, char **argv)
     opts.maxBatch = max_batch;
     opts.latencyFields = !deterministic;
 
+    // The recorder outlives the service so drain-time spans (cache
+    // spills) land in the file; a null recorder keeps every span a
+    // single relaxed load.
+    std::unique_ptr<obs::TraceRecorder> recorder;
+    if (!trace_out.empty()) {
+        recorder = std::make_unique<obs::TraceRecorder>();
+        obs::TraceRecorder::install(recorder.get());
+    }
+
     serve::EvalService service(cfg);
     std::cerr << "mech_serve: defaults bench=" << bench_csv
               << " backends=" << backends_csv
@@ -170,6 +207,7 @@ main(int argc, char **argv)
         tcp.maxQueue = max_queue;
         tcp.maxInflight = max_inflight;
         tcp.dispatchHoldMs = dispatch_hold_ms;
+        tcp.metricsPort = metrics_port;
         rc = serve::runTcpServer(service, tcp, std::cerr, opts);
     } else {
         serve::runStdioServer(service, std::cin, std::cout, std::cerr,
@@ -179,5 +217,15 @@ main(int argc, char **argv)
     // --cache-dir): the next start with the same directory answers
     // repeat points without re-simulating.
     service.persistCaches(&std::cerr);
+
+    if (recorder) {
+        std::string error;
+        if (!recorder->writeJsonFile(trace_out, &error))
+            warn("mech_serve: --trace-out: ", error);
+        else
+            std::cerr << "mech_serve: wrote "
+                      << recorder->eventCount() << " trace event(s) to "
+                      << trace_out << "\n";
+    }
     return rc;
 }

@@ -33,6 +33,55 @@ namespace {
 
 using namespace mech;
 
+/**
+ * One shard's worth of client-observed replay accounting: latencies
+ * land in a log2 histogram (so the quantiles match the server's own
+ * observability conventions) and shed responses are counted by their
+ * structured "overloaded" code.
+ */
+struct ShardSummary
+{
+    std::string target;
+    std::size_t requests = 0;
+    std::size_t responses = 0;
+    std::size_t shed = 0;
+    obs::LatencyHistogram latency;
+
+    void
+    note(const std::vector<std::string> &reply_lines,
+         const std::vector<double> &latencies_us)
+    {
+        responses += reply_lines.size();
+        for (const std::string &r : reply_lines) {
+            if (r.find("\"code\": \"overloaded\"") != std::string::npos)
+                ++shed;
+        }
+        for (double us : latencies_us) {
+            latency.record(us <= 0.0
+                               ? 0
+                               : static_cast<std::uint64_t>(us));
+        }
+    }
+};
+
+/** The per-shard latency/shed summary table (stderr, not protocol). */
+void
+printShardSummary(const std::vector<ShardSummary> &shards,
+                  std::ostream &os)
+{
+    TextTable table({"shard", "requests", "responses", "shed",
+                     "p50_us", "p95_us", "p99_us"});
+    for (const ShardSummary &s : shards) {
+        table.addRow({s.target, std::to_string(s.requests),
+                      std::to_string(s.responses),
+                      std::to_string(s.shed),
+                      std::to_string(s.latency.quantile(0.50)),
+                      std::to_string(s.latency.quantile(0.95)),
+                      std::to_string(s.latency.quantile(0.99))});
+    }
+    table.print(os);
+}
+
 /** Read non-blank request lines from @p path. */
 std::vector<std::string>
 readRequestFile(const std::string &path)
@@ -64,16 +113,27 @@ runReplay(unsigned short port, const std::string &path, bool flood,
     if (!client.connect(port, &error))
         fatal("mech_shard: ", error);
     std::vector<std::string> responses;
+    std::vector<double> latencies;
     const bool ok =
         flood ? client.flood(lines, &responses, &error)
               : client.run(lines, &responses, &error,
-                           static_cast<std::size_t>(window));
+                           static_cast<std::size_t>(window),
+                           &latencies);
     for (const std::string &response : responses)
         std::cout << response << "\n";
     if (!ok)
         fatal("mech_shard: replay failed: ", error);
     std::cerr << "mech_shard: replayed " << lines.size()
               << " line(s), " << responses.size() << " response(s)\n";
+
+    // Client-observed accounting; flood mode has no send-to-receive
+    // pairing (the whole file goes out at once), so its latency
+    // columns read 0 and only the shed count is meaningful.
+    std::vector<ShardSummary> shards(1);
+    shards[0].target = "127.0.0.1:" + std::to_string(port);
+    shards[0].requests = lines.size();
+    shards[0].note(responses, latencies);
+    printShardSummary(shards, std::cerr);
     return 0;
 }
 
@@ -106,6 +166,7 @@ main(int argc, char **argv)
     std::string backends_csv = "model";
     std::string objectives_csv = "cpi";
     std::string replay_file;
+    std::string log_level;
     std::uint64_t max_space = 100000;
     std::uint64_t window = 64;
     unsigned port = 0;
@@ -147,7 +208,20 @@ main(int argc, char **argv)
                    "send a shutdown request to every shard after the "
                    "gather",
                    &send_shutdown);
+    parser.add("log-level", "level",
+               "stderr verbosity: error, warn, info, debug or trace "
+               "(default info)",
+               &log_level);
     parser.parse(argc, argv);
+
+    if (!log_level.empty()) {
+        const auto level = parseLogLevel(log_level);
+        if (!level) {
+            fatal("unknown --log-level '", log_level,
+                  "' (use error, warn, info, debug or trace)");
+        }
+        setLogLevel(*level);
+    }
 
     if (!replay_file.empty()) {
         if (port == 0 || port > 65535)
@@ -216,6 +290,7 @@ main(int argc, char **argv)
     std::vector<serve::FrontierEntry> entries(n);
     serve::GatherCounts counts;
     counts.requested = n;
+    std::vector<ShardSummary> summaries(ports.size());
     for (std::size_t s = 0; s < ports.size(); ++s) {
         std::vector<std::string> lines;
         lines.reserve(shardIdx[s].size());
@@ -240,10 +315,16 @@ main(int argc, char **argv)
         if (!client.connect(ports[s], &error))
             fatal("mech_shard: shard ", s, ": ", error);
         std::vector<std::string> responses;
+        std::vector<double> latencies;
         if (!client.run(lines, &responses, &error,
-                        static_cast<std::size_t>(window))) {
+                        static_cast<std::size_t>(window),
+                        &latencies)) {
             fatal("mech_shard: shard ", s, " failed: ", error);
         }
+        summaries[s].target =
+            "127.0.0.1:" + std::to_string(ports[s]);
+        summaries[s].requests = lines.size();
+        summaries[s].note(responses, latencies);
         std::cerr << "mech_shard: shard " << s << " (port "
                   << ports[s] << "): " << responses.size()
                   << " point(s)\n";
@@ -288,6 +369,7 @@ main(int argc, char **argv)
                      "", spec->describe(), n, backend_name, objectives,
                      bench_names, entries, counts)
               << "\n";
+    printShardSummary(summaries, std::cerr);
 
     if (send_shutdown) {
         for (std::size_t s = 0; s < ports.size(); ++s) {
