@@ -35,6 +35,9 @@ struct Args
 
     /** Path for the machine-readable JSON artifact ("" = none). */
     std::string jsonPath;
+
+    /** Loaded `.mdesc` machine description ("" = built-in params). */
+    std::string mdescPath;
 };
 
 /**
@@ -89,11 +92,18 @@ parseArgs(int argc, char **argv, const std::string &prog,
                "also write the run's headline numbers as a "
                "schema-versioned JSON artifact (docs/benchmarking.md)",
                &args.jsonPath);
+    parser.add("mdesc", "file",
+               "run on a characterized .mdesc machine description "
+               "instead of the built-in Table 1 parameters (see "
+               "tools/mech_characterize)",
+               &args.mdescPath);
     if (extra_options)
         extra_options(parser);
     parser.parse(argc, argv);
     args.threads = ThreadPool::sanitizeWorkerCount(
         static_cast<long long>(args.threads));
+    if (!args.mdescPath.empty())
+        applyMachineDescription(args.mdescPath);
     return args;
 }
 

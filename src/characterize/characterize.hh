@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Machine characterization: infer a MachineDescription by measuring
+ * microbenchmark kernels on a cycle-accurate backend.
+ *
+ * The inverse of the usual flow.  Normally a hand-written
+ * MachineParams configures a simulator; here a battery of targeted
+ * kernels (kernels.hh) runs through a chosen backend and the observed
+ * cycle counts are solved back into the parameters — the PALMED /
+ * OSACA approach applied to this repo's own reference pipelines.
+ * Against the built-in backends the inferred description must land
+ * exactly on the configured parameters (CI enforces it); pointed at a
+ * different simulator the same battery would characterize *that*
+ * machine, which is what turns machine_params.hh into data.
+ *
+ * Method: every kernel is measured at two lengths and the
+ * cycles-per-instruction *slope* between them is used, so cold-cache,
+ * cold-predictor and pipeline-fill constants cancel.  On an in-order
+ * core, independent-stream slopes read issue width and memory-stage
+ * occupancies; on an out-of-order core the same quantities come from
+ * dependency-chained loads (occupancy = load-to-use latency) and
+ * mixed-class streams (effective width with every FU class below its
+ * cap).  Execution latencies come from dependency chains on both.
+ * The memory ladder is resolved bottom-up: an L1-resident pattern
+ * gives dl1, a 2x-L1D working set gives the L2 hit latency, a
+ * fresh-line stride gives L2 + memory + 1/64 TLB, and a fresh-page
+ * stride adds a TLB miss per access; slope differences separate the
+ * three penalties.
+ *
+ * Measurement fans out over the shared ThreadPool; results land in
+ * preassigned slots and inference is a pure function of them, so the
+ * inferred description is bit-identical at any thread count.
+ */
+
+#ifndef MECH_CHARACTERIZE_CHARACTERIZE_HH
+#define MECH_CHARACTERIZE_CHARACTERIZE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "characterize/mdesc.hh"
+#include "common/thread_pool.hh"
+#include "dse/design_space.hh"
+#include "ooo/ooo_params.hh"
+
+namespace mech {
+
+/** Options for one characterization run. */
+struct CharacterizeConfig
+{
+    /** Backend to measure: "sim" or "oosim". */
+    std::string backend = "sim";
+
+    /** Design point to configure the backend with. */
+    DesignPoint point = defaultDesignPoint();
+
+    /** Shorter kernel length (past every cold-start effect). */
+    std::size_t lenA = 4096;
+
+    /** Longer kernel length (the slope divides lenB - lenA). */
+    std::size_t lenB = 8192;
+};
+
+/** One kernel's measured cycle count. */
+struct KernelMeasurement
+{
+    /** Kernel name, e.g. "chain/IntMult/b". */
+    std::string kernel;
+
+    /** Kernel length in instructions. */
+    InstCount instructions = 0;
+
+    /** Cycles the backend reported. */
+    double cycles = 0.0;
+};
+
+/** A characterization run's complete outcome. */
+struct CharacterizeResult
+{
+    /** The inferred machine description (with throughputs). */
+    MachineDescription description;
+
+    /** Every kernel measurement, in kernel-battery order. */
+    std::vector<KernelMeasurement> measurements;
+};
+
+/**
+ * Run the kernel battery through @p cfg's backend and infer the
+ * machine description.  The backend is configured exactly as every
+ * other tool would configure it — through the design point and the
+ * process-wide activeLatencySpec() — so `--check` compares the
+ * inference against the parameters the backends actually expose.
+ * Deterministic for a given config at any pool size.
+ */
+CharacterizeResult characterize(const CharacterizeConfig &cfg,
+                                ThreadPool &pool);
+
+/**
+ * The issue throughput (IPC) an independent stream of class @p oc
+ * can sustain on the out-of-order pipeline: the minimum of width,
+ * the class's (fully pipelined) FU count, and the result buses.
+ * The oosim CI leg checks inferred throughputs against this.
+ */
+double expectedOooStreamIpc(OpClass oc, const MachineParams &machine,
+                            const OooParams &ooo);
+
+} // namespace mech
+
+#endif // MECH_CHARACTERIZE_CHARACTERIZE_HH

@@ -1,0 +1,156 @@
+#include "characterize/kernels.hh"
+
+#include "common/logging.hh"
+
+namespace mech {
+
+namespace {
+
+/** 4 KiB instruction window: 1024 4-byte slots, 64 lines. */
+constexpr Addr kPcBase = 0x1000;
+constexpr std::size_t kPcSlots = 1024;
+
+/** Per-pattern data regions, spaced so strides never collide. */
+constexpr Addr kL1Base = 0x10000000;
+constexpr Addr kL2Base = 0x20000000;
+constexpr Addr kMemBase = 0x30000000;
+constexpr Addr kPageBase = 0x40000000;
+constexpr Addr kStoreBase = 0x50000000;
+constexpr Addr kMixBase = 0x60000000;
+
+Addr
+pcOf(std::size_t i)
+{
+    return kPcBase + static_cast<Addr>(i % kPcSlots) * 4;
+}
+
+Addr
+loadAddr(LoadPattern pattern, std::size_t i)
+{
+    switch (pattern) {
+      case LoadPattern::L1Hit:
+        // One 64 B line, revisited forever.
+        return kL1Base + static_cast<Addr>(i % 16) * 4;
+      case LoadPattern::L2Hit:
+        // Cycle a 64 KiB working set at line stride: twice the 32 KiB
+        // 4-way L1D (every set sees 16 lines per pass -> always
+        // misses after the cold pass), comfortably inside any Table 2
+        // L2, and only 16 pages (resident in a 32-entry DTLB).
+        return kL2Base + static_cast<Addr>(i % 1024) * 64;
+      case LoadPattern::Memory:
+        // A fresh line every access: misses L2 forever; a new page
+        // only every 64th access.
+        return kMemBase + static_cast<Addr>(i) * 64;
+      case LoadPattern::FreshPage:
+        // A fresh page every access: L2 miss plus TLB miss each time.
+        return kPageBase + static_cast<Addr>(i) * 4096;
+    }
+    panic("unknown load pattern");
+}
+
+DynInstr
+makeInstr(OpClass oc, std::size_t i, Addr data_base)
+{
+    DynInstr di;
+    di.pc = pcOf(i);
+    di.op = oc;
+    switch (oc) {
+      case OpClass::Store:
+        di.effAddr = data_base + static_cast<Addr>(i % 16) * 4;
+        break;
+      case OpClass::Load:
+        di.effAddr = data_base + static_cast<Addr>(i % 16) * 4;
+        di.dst = static_cast<RegIndex>(i % 8);
+        break;
+      case OpClass::Branch:
+        // Never taken: predicted correctly after warmup, no target.
+        break;
+      case OpClass::Nop:
+        break;
+      default:
+        di.dst = static_cast<RegIndex>(i % 8);
+        break;
+    }
+    return di;
+}
+
+} // namespace
+
+Trace
+streamKernel(OpClass oc, std::size_t n)
+{
+    if (oc == OpClass::Load)
+        return loadStreamKernel(LoadPattern::L1Hit, n);
+    Trace trace;
+    trace.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        trace.push(makeInstr(oc, i, kStoreBase));
+    return trace;
+}
+
+Trace
+chainKernel(OpClass oc, std::size_t n)
+{
+    if (oc == OpClass::Load)
+        return loadChainKernel(LoadPattern::L1Hit, n);
+    MECH_ASSERT(isLongLatencyClass(oc) || oc == OpClass::IntAlu,
+                "only value-producing classes chain (got ",
+                opClassName(oc), ")");
+    Trace trace;
+    trace.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        DynInstr di;
+        di.pc = pcOf(i);
+        di.op = oc;
+        di.dst = 0;
+        di.src1 = 0; // reads the previous iteration's result
+        trace.push(di);
+    }
+    return trace;
+}
+
+Trace
+loadStreamKernel(LoadPattern pattern, std::size_t n)
+{
+    Trace trace;
+    trace.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        DynInstr di;
+        di.pc = pcOf(i);
+        di.op = OpClass::Load;
+        di.effAddr = loadAddr(pattern, i);
+        di.dst = static_cast<RegIndex>(i % 8);
+        trace.push(di);
+    }
+    return trace;
+}
+
+Trace
+loadChainKernel(LoadPattern pattern, std::size_t n)
+{
+    Trace trace;
+    trace.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        DynInstr di;
+        di.pc = pcOf(i);
+        di.op = OpClass::Load;
+        di.effAddr = loadAddr(pattern, i);
+        di.dst = 0;
+        di.src1 = 0; // address depends on the previous load's value
+        trace.push(di);
+    }
+    return trace;
+}
+
+Trace
+mixKernel(const std::vector<OpClass> &pattern, std::size_t n)
+{
+    MECH_ASSERT(!pattern.empty(), "mix kernel needs a pattern");
+    Trace trace;
+    trace.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        trace.push(makeInstr(pattern[i % pattern.size()], i, kMixBase));
+    return trace;
+}
+
+} // namespace mech

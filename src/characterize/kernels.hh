@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Synthetic microbenchmark kernels for machine characterization.
+ *
+ * PALMED-style characterization infers a machine description from the
+ * cycle counts of *targeted* instruction streams; these generators
+ * emit those streams as ordinary Traces, so they run through any
+ * registered backend unchanged.  Three shapes cover the parameter
+ * space:
+ *
+ *  - streams: independent instructions of one class (round-robin
+ *    destinations, no sources) measure sustained issue throughput —
+ *    width on an in-order core, FU/port/bus pressure on an
+ *    out-of-order one;
+ *  - chains: each instruction consumes the previous one's result, so
+ *    the cycles-per-instruction slope *is* the class's effective
+ *    latency;
+ *  - mixes: a repeating multi-class pattern whose per-class pressure
+ *    stays below every FU cap, exposing the core's effective width
+ *    even when no single class can sustain it.
+ *
+ * Load kernels additionally choose an address pattern that pins every
+ * steady-state access to one hierarchy level (L1 hit, L2 hit, memory,
+ * or memory plus a TLB miss per access), so the memory-latency ladder
+ * can be read off slope differences.  Every kernel keeps its
+ * instruction addresses inside one 4 KiB window (64 lines: L1I- and
+ * ITLB-resident after warmup) and contains no taken branches, so the
+ * front end never perturbs the quantity being measured; cold-cache
+ * and pipeline-fill constants are cancelled by measuring each kernel
+ * at two lengths and differencing.
+ *
+ * All kernels satisfy validateTrace() and are pure functions of their
+ * arguments.
+ */
+
+#ifndef MECH_CHARACTERIZE_KERNELS_HH
+#define MECH_CHARACTERIZE_KERNELS_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "isa/op_class.hh"
+#include "trace/trace.hh"
+
+namespace mech {
+
+/** Steady-state hierarchy level a load kernel's accesses resolve at. */
+enum class LoadPattern : std::uint8_t {
+    L1Hit,    ///< one line, revisited: L1D hits
+    L2Hit,    ///< cycle 2x the L1D capacity: L1 misses, L2 hits
+    Memory,   ///< fresh line each access: L2 misses, 1/64 TLB misses
+    FreshPage ///< fresh page each access: L2 miss + TLB miss every time
+};
+
+/**
+ * @p n independent instructions of class @p oc.
+ *
+ * Destinations round-robin over r0..r7 (no WAW serialization), no
+ * source registers.  Loads use the L1Hit pattern; stores write one
+ * resident line.
+ */
+Trace streamKernel(OpClass oc, std::size_t n);
+
+/**
+ * A dependency chain of @p n instructions of class @p oc: every
+ * instruction reads the register the previous one wrote.  Only
+ * value-producing classes (the six execute classes and loads) chain.
+ */
+Trace chainKernel(OpClass oc, std::size_t n);
+
+/** @p n independent loads with the given address pattern. */
+Trace loadStreamKernel(LoadPattern pattern, std::size_t n);
+
+/** @p n address-pattern loads chained through a register. */
+Trace loadChainKernel(LoadPattern pattern, std::size_t n);
+
+/**
+ * @p n instructions cycling the class pattern @p pattern.  All
+ * independent; loads hit L1, branches are never taken.
+ */
+Trace mixKernel(const std::vector<OpClass> &pattern, std::size_t n);
+
+} // namespace mech
+
+#endif // MECH_CHARACTERIZE_KERNELS_HH

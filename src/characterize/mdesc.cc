@@ -1,0 +1,356 @@
+#include "characterize/mdesc.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/file_util.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace mech {
+
+namespace {
+
+/** Schema order of the machine-parameter fields (writer and reader
+ *  both walk this table, so they can never disagree). */
+struct MachineField
+{
+    const char *name;
+    double (*get)(const MachineParams &);
+    void (*set)(MachineParams &, double);
+    bool isInteger; ///< cycle counts and widths, vs. freq_ghz
+};
+
+constexpr MachineField kMachineFields[] = {
+    {"width", [](const MachineParams &m) { return double(m.width); },
+     [](MachineParams &m, double v) { m.width = std::uint32_t(v); },
+     true},
+    {"frontend_depth",
+     [](const MachineParams &m) { return double(m.frontendDepth); },
+     [](MachineParams &m, double v) {
+         m.frontendDepth = std::uint32_t(v);
+     },
+     true},
+    {"lat_int_mult",
+     [](const MachineParams &m) { return double(m.latIntMult); },
+     [](MachineParams &m, double v) { m.latIntMult = Cycles(v); },
+     true},
+    {"lat_int_div",
+     [](const MachineParams &m) { return double(m.latIntDiv); },
+     [](MachineParams &m, double v) { m.latIntDiv = Cycles(v); }, true},
+    {"lat_fp_alu",
+     [](const MachineParams &m) { return double(m.latFpAlu); },
+     [](MachineParams &m, double v) { m.latFpAlu = Cycles(v); }, true},
+    {"lat_fp_mult",
+     [](const MachineParams &m) { return double(m.latFpMult); },
+     [](MachineParams &m, double v) { m.latFpMult = Cycles(v); }, true},
+    {"lat_fp_div",
+     [](const MachineParams &m) { return double(m.latFpDiv); },
+     [](MachineParams &m, double v) { m.latFpDiv = Cycles(v); }, true},
+    {"dl1_hit_cycles",
+     [](const MachineParams &m) { return double(m.dl1HitCycles); },
+     [](MachineParams &m, double v) { m.dl1HitCycles = Cycles(v); },
+     true},
+    {"l2_hit_cycles",
+     [](const MachineParams &m) { return double(m.l2HitCycles); },
+     [](MachineParams &m, double v) { m.l2HitCycles = Cycles(v); },
+     true},
+    {"mem_cycles",
+     [](const MachineParams &m) { return double(m.memCycles); },
+     [](MachineParams &m, double v) { m.memCycles = Cycles(v); }, true},
+    {"tlb_miss_cycles",
+     [](const MachineParams &m) { return double(m.tlbMissCycles); },
+     [](MachineParams &m, double v) { m.tlbMissCycles = Cycles(v); },
+     true},
+    {"freq_ghz", [](const MachineParams &m) { return m.freqGHz; },
+     [](MachineParams &m, double v) { m.freqGHz = v; }, false},
+};
+
+[[noreturn]] void
+reject(const std::string &what)
+{
+    throw MdescError("mdesc: " + what);
+}
+
+/** The object member @p key of @p obj, or a rejection. */
+const json::Value &
+member(const json::Value &obj, const char *context, const char *key)
+{
+    const json::Value *v = obj.get(key);
+    if (!v)
+        reject(std::string(context) + ": missing key '" + key + "'");
+    return *v;
+}
+
+/** Reject any key of @p obj outside @p allowed. */
+void
+rejectUnknownKeys(const json::Value &obj, const char *context,
+                  const std::vector<std::string_view> &allowed)
+{
+    for (const auto &[key, value] : obj.object) {
+        bool known = false;
+        for (std::string_view a : allowed)
+            known = known || key == a;
+        if (!known)
+            reject(std::string(context) + ": unknown key '" + key + "'");
+    }
+}
+
+/** A member that must be a string. */
+const std::string &
+stringMember(const json::Value &obj, const char *context,
+             const char *key)
+{
+    const json::Value &v = member(obj, context, key);
+    if (!v.isString())
+        reject(std::string(context) + ": '" + key +
+               "' must be a string");
+    return v.string;
+}
+
+/** A member that must be a non-negative whole number. */
+std::uint64_t
+u64Member(const json::Value &obj, const char *context, const char *key)
+{
+    const json::Value &v = member(obj, context, key);
+    auto u = v.asU64();
+    if (!u)
+        reject(std::string(context) + ": '" + key +
+               "' must be a non-negative integer");
+    return *u;
+}
+
+} // namespace
+
+std::string
+writeMdesc(const MachineDescription &desc)
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"format\": \"mdesc\",\n";
+    os << "  \"version\": " << kMdescFormatVersion << ",\n";
+    os << "  \"source\": {\n";
+    os << "    \"backend\": ";
+    json::writeString(os, desc.sourceBackend);
+    os << ",\n    \"point\": ";
+    json::writeString(os, desc.sourcePoint);
+    os << "\n  },\n";
+    os << "  \"machine\": {\n";
+    bool first = true;
+    for (const MachineField &f : kMachineFields) {
+        os << (first ? "" : ",\n") << "    \"" << f.name << "\": ";
+        if (f.isInteger)
+            os << static_cast<std::uint64_t>(f.get(desc.machine));
+        else
+            json::writeNumber(os, f.get(desc.machine));
+        first = false;
+    }
+    os << "\n  }";
+    if (desc.hasThroughput) {
+        os << ",\n  \"throughput\": {\n";
+        first = true;
+        for (OpClass oc : kAllOpClasses) {
+            os << (first ? "" : ",\n") << "    \"" << opClassName(oc)
+               << "\": ";
+            json::writeNumber(
+                os, desc.throughput[static_cast<std::size_t>(oc)]);
+            first = false;
+        }
+        os << "\n  }";
+    }
+    os << "\n}\n";
+    return os.str();
+}
+
+MachineDescription
+parseMdesc(std::string_view text)
+{
+    std::string error;
+    auto root = json::parse(text, &error);
+    if (!root)
+        reject("not valid JSON: " + error);
+    if (!root->isObject())
+        reject("top level must be an object");
+    rejectUnknownKeys(*root, "top level",
+                      {"format", "version", "source", "machine",
+                       "throughput"});
+
+    if (stringMember(*root, "top level", "format") != "mdesc")
+        reject("'format' must be \"mdesc\"");
+    const std::uint64_t version =
+        u64Member(*root, "top level", "version");
+    if (version == 0)
+        reject("'version' must be >= 1");
+    if (version > kMdescFormatVersion)
+        reject("written by future format version " +
+               std::to_string(version) + " (supported: " +
+               std::to_string(kMdescFormatVersion) + ")");
+
+    MachineDescription desc;
+
+    const json::Value &source = member(*root, "top level", "source");
+    if (!source.isObject())
+        reject("'source' must be an object");
+    rejectUnknownKeys(source, "source", {"backend", "point"});
+    desc.sourceBackend = stringMember(source, "source", "backend");
+    desc.sourcePoint = stringMember(source, "source", "point");
+
+    const json::Value &machine = member(*root, "top level", "machine");
+    if (!machine.isObject())
+        reject("'machine' must be an object");
+    {
+        std::vector<std::string_view> allowed;
+        for (const MachineField &f : kMachineFields)
+            allowed.push_back(f.name);
+        rejectUnknownKeys(machine, "machine", allowed);
+    }
+    for (const MachineField &f : kMachineFields) {
+        if (f.isInteger) {
+            const std::uint64_t v = u64Member(machine, "machine",
+                                              f.name);
+            // Every integer field is a u32 width/depth or a cycle
+            // count that later arithmetic treats as a small number;
+            // 2^32 comfortably bounds both.
+            if (v > UINT32_MAX)
+                reject(std::string("machine: '") + f.name +
+                       "' out of range");
+            f.set(desc.machine, static_cast<double>(v));
+        } else {
+            const json::Value &v = member(machine, "machine", f.name);
+            if (!v.isNumber())
+                reject(std::string("machine: '") + f.name +
+                       "' must be a number");
+            f.set(desc.machine, v.number);
+        }
+    }
+
+    // Range checks mirroring MachineParams::validate(), but reported
+    // through MdescError: a bad file is user input, not a config bug.
+    const MachineParams &m = desc.machine;
+    if (m.width < 1 || m.width > 16)
+        reject("machine: 'width' out of supported range [1,16]");
+    if (m.frontendDepth < 2)
+        reject("machine: 'frontend_depth' must be >= 2");
+    if (m.latIntMult < 1 || m.latIntDiv < 1 || m.latFpAlu < 1 ||
+        m.latFpMult < 1 || m.latFpDiv < 1) {
+        reject("machine: execution latencies must be >= 1 cycle");
+    }
+    if (m.dl1HitCycles < 1 || m.l2HitCycles < 1)
+        reject("machine: cache latencies must be >= 1 cycle");
+    if (!std::isfinite(m.freqGHz) || m.freqGHz <= 0.0)
+        reject("machine: 'freq_ghz' must be finite and positive");
+
+    if (const json::Value *tp = root->get("throughput")) {
+        if (!tp->isObject())
+            reject("'throughput' must be an object");
+        std::vector<std::string_view> allowed;
+        for (OpClass oc : kAllOpClasses)
+            allowed.push_back(opClassName(oc));
+        rejectUnknownKeys(*tp, "throughput", allowed);
+        for (OpClass oc : kAllOpClasses) {
+            const char *name = opClassName(oc).data();
+            const json::Value &v = member(*tp, "throughput", name);
+            if (!v.isNumber() || !std::isfinite(v.number) ||
+                v.number < 0.0) {
+                reject(std::string("throughput: '") + name +
+                       "' must be a finite non-negative number");
+            }
+            desc.throughput[static_cast<std::size_t>(oc)] = v.number;
+        }
+        desc.hasThroughput = true;
+    }
+
+    if (!desc.sourceBackend.empty() &&
+        desc.sourceBackend != "sim" && desc.sourceBackend != "oosim") {
+        reject("source: unknown backend '" + desc.sourceBackend + "'");
+    }
+    if (!desc.sourcePoint.empty() &&
+        !DesignPoint::fromKey(desc.sourcePoint)) {
+        reject("source: unparseable point key '" + desc.sourcePoint +
+               "'");
+    }
+
+    return desc;
+}
+
+void
+saveMdesc(const MachineDescription &desc, const std::string &path)
+{
+    std::string error;
+    if (!atomicWriteFile(path, writeMdesc(desc), &error))
+        throw MdescError("cannot write '" + path + "': " + error);
+}
+
+MachineDescription
+loadMdesc(const std::string &path)
+{
+    MappedFile file;
+    std::string error;
+    if (!file.open(path, &error))
+        throw MdescError("cannot read '" + path + "': " + error);
+    return parseMdesc(file.view());
+}
+
+MachineDescription
+applyMachineDescription(const std::string &path)
+{
+    try {
+        MachineDescription desc = loadMdesc(path);
+        setActiveLatencySpec(latencySpecFor(desc));
+        return desc;
+    } catch (const MdescError &e) {
+        fatal("--mdesc ", path, ": ", e.what());
+    }
+}
+
+LatencySpec
+latencySpecFor(const MachineDescription &desc)
+{
+    const MachineParams &m = desc.machine;
+    const double f = m.freqGHz;
+    // cycles / freq converts back through nsToCycles() exactly: the
+    // product (c/f)*f lands within one ulp of c, well inside the
+    // converter's 1e-9 guard band.
+    LatencySpec spec;
+    spec.l2Ns = static_cast<double>(m.l2HitCycles) / f;
+    spec.memNs = static_cast<double>(m.memCycles) / f;
+    spec.tlbNs = static_cast<double>(m.tlbMissCycles) / f;
+    spec.intMultNs = static_cast<double>(m.latIntMult) / f;
+    spec.intDivNs = static_cast<double>(m.latIntDiv) / f;
+    spec.fpAluNs = static_cast<double>(m.latFpAlu) / f;
+    spec.fpMultNs = static_cast<double>(m.latFpMult) / f;
+    spec.fpDivNs = static_cast<double>(m.latFpDiv) / f;
+    spec.dl1Cycles = m.dl1HitCycles;
+    return spec;
+}
+
+DesignPoint
+designPointFor(const MachineDescription &desc)
+{
+    DesignPoint point = defaultDesignPoint();
+    if (!desc.sourcePoint.empty()) {
+        auto parsed = DesignPoint::fromKey(desc.sourcePoint);
+        if (parsed)
+            point = *parsed;
+    }
+    point.width = desc.machine.width;
+    point.depth = desc.machine.frontendDepth + 3;
+    point.freqGHz = desc.machine.freqGHz;
+    return point;
+}
+
+std::vector<FieldDivergence>
+compareMachineParams(const MachineParams &configured,
+                     const MachineParams &inferred, double tolerance)
+{
+    std::vector<FieldDivergence> out;
+    for (const MachineField &f : kMachineFields) {
+        const double c = f.get(configured);
+        const double i = f.get(inferred);
+        if (std::abs(i - c) > tolerance)
+            out.push_back({f.name, c, i});
+    }
+    return out;
+}
+
+} // namespace mech

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Serializable machine descriptions: the `.mdesc` format.
+ *
+ * The paper consumes a hand-written machine description (Table 1 ->
+ * machine_params.hh).  The characterization subsystem *infers* that
+ * description from microbenchmarks (characterize.hh) and needs to hand
+ * it to every other tool; `.mdesc` is the exchange format.  Unlike the
+ * binary `.mprof`/`.mcache` artifacts, a machine description is tiny
+ * and meant for humans to read and diff (and check into a repo as the
+ * definition of a core), so the format is JSON text on the shared
+ * src/common/json parser — endian concerns never arise and `git diff`
+ * shows exactly which latency changed.
+ *
+ * The writer is canonical: fixed key order, fixed indentation, exact
+ * shortest-form numbers.  load -> save therefore reproduces the input
+ * byte for byte, which the round-trip tests and the CI gate rely on.
+ *
+ * The reader is strict where the serve-layer JSON is tolerant: a
+ * machine description feeds fatal-free config into every backend, so
+ * unknown keys, missing fields, wrong types, out-of-range values,
+ * future format versions, truncation and trailing bytes are all
+ * rejected with MdescError rather than guessed around.
+ */
+
+#ifndef MECH_CHARACTERIZE_MDESC_HH
+#define MECH_CHARACTERIZE_MDESC_HH
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dse/design_space.hh"
+#include "isa/machine_params.hh"
+#include "isa/op_class.hh"
+
+namespace mech {
+
+/** Error raised for any malformed or unreadable description. */
+class MdescError : public std::runtime_error
+{
+  public:
+    explicit MdescError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/** Current `.mdesc` format version. */
+inline constexpr std::uint32_t kMdescFormatVersion = 1;
+
+/** File extension of machine-description artifacts. */
+inline constexpr const char *kMdescExtension = ".mdesc";
+
+/** A complete serializable machine description. */
+struct MachineDescription
+{
+    /** The machine parameters (inferred or hand-written). */
+    MachineParams machine;
+
+    /**
+     * Backend the description was inferred on ("sim", "oosim"), or
+     * empty for a hand-written description.
+     */
+    std::string sourceBackend;
+
+    /**
+     * DesignPoint::toKey() of the measurement point, or empty.  Kept
+     * so designPointFor() can reconstruct the non-core axes (L2
+     * geometry, predictor) the machine parameters do not carry.
+     */
+    std::string sourcePoint;
+
+    /** True when @c throughput carries measured values. */
+    bool hasThroughput = false;
+
+    /**
+     * Sustained issue throughput (IPC) of an independent stream of
+     * each op class, indexed by static_cast<size_t>(OpClass).  On an
+     * in-order core this reflects width and execute/memory-stage
+     * serialization; on an out-of-order core it exposes the FU/port
+     * pressure axes (min of width, FU count, result buses).
+     */
+    std::array<double, kNumOpClasses> throughput{};
+
+    bool operator==(const MachineDescription &other) const = default;
+};
+
+/** Serialize @p desc to canonical `.mdesc` text. */
+std::string writeMdesc(const MachineDescription &desc);
+
+/**
+ * Parse `.mdesc` text.
+ *
+ * Throws MdescError on anything other than a complete, well-typed,
+ * in-range, current-version document: unknown or missing keys at any
+ * level, wrong value types, non-integer cycle counts, out-of-range
+ * parameters, future versions, truncated input, trailing bytes.
+ */
+MachineDescription parseMdesc(std::string_view text);
+
+/** Write @p desc to @p path atomically.  Throws MdescError on I/O. */
+void saveMdesc(const MachineDescription &desc, const std::string &path);
+
+/** Load a description from @p path.  Throws MdescError. */
+MachineDescription loadMdesc(const std::string &path);
+
+/**
+ * The `--mdesc` load path every tool shares: load @p path and install
+ * its latency table as the process-wide activeLatencySpec(), so all
+ * subsequent machineFor()/simConfigFor()/oooSimConfigFor() calls —
+ * and therefore every backend, study, bench and serve request —
+ * evaluate the loaded description.  Returns the description so
+ * callers can also adopt designPointFor() as their default point.
+ * Calls fatal() on an unreadable or malformed file (user input);
+ * call during single-threaded startup.
+ */
+MachineDescription applyMachineDescription(const std::string &path);
+
+/**
+ * The latency spec that reproduces @p desc's cycle counts through
+ * machineFor(): nanosecond values chosen so the ns -> cycles
+ * conversion at desc.machine.freqGHz recovers every cycle count
+ * exactly (cycles / freq is within the converter's guard band).
+ */
+LatencySpec latencySpecFor(const MachineDescription &desc);
+
+/**
+ * A design point matching @p desc: core axes (width, depth, freq)
+ * from the machine parameters, non-core axes (L2 geometry, predictor,
+ * OoO structures) from sourcePoint when present, defaults otherwise.
+ * machineFor(designPointFor(d), latencySpecFor(d)) == d.machine.
+ */
+DesignPoint designPointFor(const MachineDescription &desc);
+
+/** One diverging field of a parameter comparison. */
+struct FieldDivergence
+{
+    /** Field name as spelled in the `.mdesc` schema. */
+    std::string field;
+
+    /** The configured (reference) value. */
+    double configured = 0.0;
+
+    /** The inferred (measured) value. */
+    double inferred = 0.0;
+};
+
+/**
+ * Compare two parameter sets field by field; returns the fields where
+ * |inferred - configured| exceeds @p tolerance, in schema order.
+ */
+std::vector<FieldDivergence>
+compareMachineParams(const MachineParams &configured,
+                     const MachineParams &inferred,
+                     double tolerance = 0.0);
+
+} // namespace mech
+
+#endif // MECH_CHARACTERIZE_MDESC_HH

@@ -34,7 +34,27 @@ freqForDepth(std::uint32_t depth)
     }
 }
 
+/** The installed process-wide default spec (see activeLatencySpec). */
+LatencySpec &
+activeSpecStorage()
+{
+    static LatencySpec spec;
+    return spec;
+}
+
 } // namespace
+
+const LatencySpec &
+activeLatencySpec()
+{
+    return activeSpecStorage();
+}
+
+void
+setActiveLatencySpec(const LatencySpec &spec)
+{
+    activeSpecStorage() = spec;
+}
 
 std::string
 DesignPoint::label() const
@@ -250,7 +270,7 @@ machineFor(const DesignPoint &point, const LatencySpec &spec)
     m.latFpAlu = nsToCycles(spec.fpAluNs, point.freqGHz);
     m.latFpMult = nsToCycles(spec.fpMultNs, point.freqGHz);
     m.latFpDiv = nsToCycles(spec.fpDivNs, point.freqGHz);
-    m.dl1HitCycles = 1;
+    m.dl1HitCycles = spec.dl1Cycles;
     m.l2HitCycles = nsToCycles(spec.l2Ns, point.freqGHz);
     m.memCycles = nsToCycles(spec.memNs, point.freqGHz);
     m.tlbMissCycles = nsToCycles(spec.tlbNs, point.freqGHz);

@@ -113,7 +113,34 @@ struct LatencySpec
     double fpAluNs = 4.0;
     double fpMultNs = 5.0;
     double fpDivNs = 24.0;
+
+    /**
+     * L1D-hit memory-stage occupancy, in cycles applied as-is (no
+     * frequency conversion — Table 2 pins the L1 at one cycle
+     * regardless of clock, and converting a nanosecond spec would
+     * silently move the default configurations at 0.6/0.8 GHz).
+     * Loaded machine descriptions (.mdesc) override it.
+     */
+    Cycles dl1Cycles = 1;
+
+    bool operator==(const LatencySpec &other) const = default;
 };
+
+/**
+ * The process-wide latency spec that machineFor()/simConfigFor()/
+ * oooSimConfigFor() default to.  Defaults to LatencySpec{}; tools
+ * loading a `.mdesc` machine description install its latency table
+ * here once at startup (before any threads evaluate), which routes
+ * every backend, study and serve path onto the loaded description
+ * without threading a spec through each call site.
+ */
+const LatencySpec &activeLatencySpec();
+
+/**
+ * Install @p spec as the process-wide default.  Not thread-safe:
+ * call during single-threaded startup, before evaluations begin.
+ */
+void setActiveLatencySpec(const LatencySpec &spec);
 
 /** The full 192-point space in deterministic order. */
 std::vector<DesignPoint> table2Space();
@@ -123,14 +150,14 @@ DesignPoint defaultDesignPoint();
 
 /** Core machine parameters for a design point (ns -> cycles). */
 MachineParams machineFor(const DesignPoint &point,
-                         const LatencySpec &spec = LatencySpec{});
+                         const LatencySpec &spec = activeLatencySpec());
 
 /** Cache hierarchy geometry for a design point. */
 HierarchyConfig hierarchyFor(const DesignPoint &point);
 
 /** Complete simulator configuration for a design point. */
 SimConfig simConfigFor(const DesignPoint &point,
-                       const LatencySpec &spec = LatencySpec{});
+                       const LatencySpec &spec = activeLatencySpec());
 
 } // namespace mech
 

@@ -81,6 +81,8 @@ struct MachineParams
     /** Total pipeline depth (front end + execute/memory/writeback). */
     std::uint32_t depth() const { return frontendDepth + 3; }
 
+    bool operator==(const MachineParams &other) const = default;
+
     /** Validate invariants; calls fatal() on a bad configuration. */
     void
     validate() const

@@ -25,6 +25,9 @@
 #include "cache/miss_stream.hh"
 #include "cache/stack_sim.hh"
 #include "cache/tlb.hh"
+#include "characterize/characterize.hh"
+#include "characterize/kernels.hh"
+#include "characterize/mdesc.hh"
 #include "common/bench.hh"
 #include "common/cli.hh"
 #include "common/file_util.hh"

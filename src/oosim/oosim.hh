@@ -137,7 +137,8 @@ OoOSimResult simulateOutOfOrder(const Trace &trace,
 
 /** Complete out-of-order simulator configuration for a design point. */
 OoOSimConfig oooSimConfigFor(const DesignPoint &point,
-                             const LatencySpec &spec = LatencySpec{});
+                             const LatencySpec &spec =
+                                 activeLatencySpec());
 
 } // namespace mech
 

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "characterize/mdesc.hh"
 #include "common/cli.hh"
 #include "common/logging.hh"
 #include "common/numfmt.hh"
@@ -183,6 +184,20 @@ SpaceSpec::tryParse(const std::string &text, std::string *error)
         return table2();
     if (text == "wide")
         return wide();
+    if (text.rfind("mdesc:", 0) == 0) {
+        // A characterized machine description pins the space to the
+        // single point it describes.  Pure: the file's latency table
+        // is NOT installed here (specs parse concurrently in the
+        // serve layer); tools install latencies via --mdesc.
+        try {
+            const MachineDescription desc =
+                loadMdesc(text.substr(6));
+            return single(designPointFor(desc));
+        } catch (const MdescError &e) {
+            *error = e.what();
+            return std::nullopt;
+        }
+    }
 
     SpaceSpec spec;
     std::string body = text;

@@ -35,7 +35,11 @@
  *   - an omitted axis defaults to the Table 2 default point's value
  *     (for the out-of-order axes, the OooParams defaults);
  *   - a preset name ("table2", "wide") may be used instead of a
- *     grammar string.
+ *     grammar string, as may "mdesc:<path>", which pins the space to
+ *     the single design point of a characterized machine description
+ *     (see characterize/mdesc.hh).  Loading the point is pure — it
+ *     does not install the file's latency table; pass --mdesc to the
+ *     tool for that.
  */
 
 #ifndef MECH_SEARCH_SPACE_SPEC_HH

@@ -10,6 +10,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "characterize/mdesc.hh"
 #include "common/file_util.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
@@ -123,6 +124,9 @@ EvalService::EvalService(ServeConfig cfg_in)
                 "service needs a default backend set");
     MECH_ASSERT(!cfg.defaultObjectives.empty(),
                 "service needs a default objective set");
+    // Single-threaded here: no request can race the install.
+    if (!cfg.mdescPath.empty())
+        applyMachineDescription(cfg.mdescPath);
 }
 
 EvalService::~EvalService() = default;

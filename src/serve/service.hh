@@ -96,6 +96,14 @@ struct ServeConfig
 
     /** Objective set for requests that name none. */
     std::vector<std::string> defaultObjectives{"cpi"};
+
+    /**
+     * Optional `.mdesc` machine description to serve: loaded at
+     * construction and installed as the process-wide latency spec,
+     * so every backend evaluates the described machine.  Empty
+     * serves the built-in Table 1 parameters.
+     */
+    std::string mdescPath;
 };
 
 /** Service-wide evaluation-traffic accounting (all deterministic). */

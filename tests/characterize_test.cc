@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Tests for the characterization subsystem (characterize/).  The
+ * headline property is exactness: against the repo's own backends the
+ * inferred MachineParams must equal the configured ones field for
+ * field, on the in-order pipeline at several design points and on the
+ * out-of-order pipeline at the default point.  Also covered: the
+ * kernel generators emit validateTrace()-clean traces, measured
+ * out-of-order stream throughputs match the FU/port-pressure
+ * prediction, and inference is bit-identical at any thread count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "characterize/characterize.hh"
+#include "characterize/kernels.hh"
+#include "eval/registry.hh"
+#include "trace/trace.hh"
+
+namespace mech {
+namespace {
+
+/** Characterize @p backend at @p point and expect zero divergence. */
+void
+expectExactInference(std::string_view backend,
+                     const DesignPoint &point)
+{
+    CharacterizeConfig cfg;
+    cfg.backend = std::string(backend);
+    cfg.point = point;
+    ThreadPool pool(3);
+    const CharacterizeResult result = characterize(cfg, pool);
+    const MachineParams configured = machineFor(point);
+    const auto diffs = compareMachineParams(
+        configured, result.description.machine);
+    for (const FieldDivergence &f : diffs) {
+        ADD_FAILURE() << backend << " at " << point.label() << ": "
+                      << f.field << " configured " << f.configured
+                      << " inferred " << f.inferred;
+    }
+    EXPECT_EQ(result.description.sourceBackend, backend);
+    EXPECT_EQ(result.description.sourcePoint, point.toKey());
+    EXPECT_TRUE(result.description.hasThroughput);
+}
+
+TEST(Characterize, InOrderInferenceIsExactAtDefaultPoint)
+{
+    expectExactInference(kSimBackend, defaultDesignPoint());
+}
+
+TEST(Characterize, InOrderInferenceIsExactAtNarrowSlowPoint)
+{
+    DesignPoint point = defaultDesignPoint();
+    point.width = 2;
+    point.depth = 5;
+    point.freqGHz = 0.6;
+    expectExactInference(kSimBackend, point);
+}
+
+TEST(Characterize, InOrderInferenceIsExactAtScalarPoint)
+{
+    DesignPoint point = defaultDesignPoint();
+    point.width = 1;
+    point.depth = 7;
+    point.freqGHz = 0.8;
+    point.l2KB = 128;
+    point.l2Assoc = 16;
+    expectExactInference(kSimBackend, point);
+}
+
+TEST(Characterize, OutOfOrderInferenceIsExactAtDefaultPoint)
+{
+    expectExactInference(kOoOSimBackend, defaultDesignPoint());
+}
+
+TEST(Characterize, OutOfOrderThroughputMatchesPortPressure)
+{
+    CharacterizeConfig cfg;
+    cfg.backend = kOoOSimBackend;
+    ThreadPool pool(3);
+    const CharacterizeResult result = characterize(cfg, pool);
+    const MachineParams machine = machineFor(cfg.point);
+    for (OpClass oc : kAllOpClasses) {
+        // Fully serialized classes sustain 1/latency, everything
+        // else the min of width, FU count and result buses; ceil
+        // effects at non-divisible lengths stay well inside 0.01.
+        double expect =
+            expectedOooStreamIpc(oc, machine, cfg.point.ooo);
+        if (isLongLatencyClass(oc))
+            expect = 1.0;
+        EXPECT_NEAR(
+            result.description
+                .throughput[static_cast<std::size_t>(oc)],
+            expect, 0.01)
+            << opClassName(oc);
+    }
+}
+
+TEST(Characterize, InferenceIsDeterministicAcrossThreadCounts)
+{
+    CharacterizeConfig cfg;
+    auto run = [&cfg](unsigned threads) {
+        ThreadPool pool(threads);
+        return characterize(cfg, pool);
+    };
+    const CharacterizeResult one = run(1);
+    const CharacterizeResult two = run(2);
+    const CharacterizeResult eight = run(8);
+    EXPECT_EQ(one.description, two.description);
+    EXPECT_EQ(one.description, eight.description);
+    ASSERT_EQ(one.measurements.size(), eight.measurements.size());
+    for (std::size_t i = 0; i < one.measurements.size(); ++i) {
+        EXPECT_EQ(one.measurements[i].kernel,
+                  eight.measurements[i].kernel);
+        EXPECT_EQ(one.measurements[i].cycles,
+                  eight.measurements[i].cycles);
+    }
+}
+
+TEST(Characterize, RejectsUnknownBackend)
+{
+    CharacterizeConfig cfg;
+    cfg.backend = "model";
+    ThreadPool pool(1);
+    EXPECT_DEATH(characterize(cfg, pool), "backend");
+}
+
+TEST(CharacterizeKernels, AllKernelsValidate)
+{
+    std::string error;
+    for (OpClass oc : kAllOpClasses) {
+        const Trace stream = streamKernel(oc, 257);
+        EXPECT_TRUE(validateTrace(stream, &error))
+            << opClassName(oc) << ": " << error;
+        EXPECT_EQ(stream.size(), 257u);
+    }
+    for (OpClass oc : kAllOpClasses) {
+        if (oc != OpClass::IntAlu && oc != OpClass::Load &&
+            !isLongLatencyClass(oc)) {
+            continue;
+        }
+        EXPECT_TRUE(validateTrace(chainKernel(oc, 100), &error))
+            << opClassName(oc) << ": " << error;
+    }
+    for (LoadPattern pattern :
+         {LoadPattern::L1Hit, LoadPattern::L2Hit, LoadPattern::Memory,
+          LoadPattern::FreshPage}) {
+        EXPECT_TRUE(
+            validateTrace(loadStreamKernel(pattern, 100), &error))
+            << error;
+        EXPECT_TRUE(
+            validateTrace(loadChainKernel(pattern, 100), &error))
+            << error;
+    }
+    EXPECT_TRUE(validateTrace(
+        mixKernel({OpClass::IntAlu, OpClass::Load, OpClass::Branch},
+                  100),
+        &error))
+        << error;
+}
+
+TEST(CharacterizeKernels, ChainKernelsCarryTrueDependencies)
+{
+    const Trace chain = chainKernel(OpClass::IntMult, 8);
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+        EXPECT_EQ(chain[i].dst, 0);
+        EXPECT_EQ(chain[i].src1, 0);
+    }
+    // Streams never chain: destinations rotate faster than reuse.
+    const Trace stream = streamKernel(OpClass::IntMult, 8);
+    for (std::size_t i = 1; i < stream.size(); ++i)
+        EXPECT_NE(stream[i].src1, stream[i - 1].dst);
+}
+
+} // namespace
+} // namespace mech

@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Tests for the `.mdesc` machine-description codec
+ * (characterize/mdesc.hh): canonical-writer round trips (text and
+ * on-disk) reproduce the input byte for byte, the strict parser
+ * rejects every corruption class (format/version, unknown and missing
+ * keys at every level, wrong types, out-of-range values, truncation,
+ * trailing bytes), and the derived LatencySpec / DesignPoint recover
+ * the described MachineParams exactly through machineFor().
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "characterize/mdesc.hh"
+#include "dse/design_space.hh"
+
+namespace mech {
+namespace {
+
+/** A description with every field off its default. */
+MachineDescription
+sampleDescription()
+{
+    MachineDescription desc;
+    desc.machine.width = 2;
+    desc.machine.frontendDepth = 4;
+    desc.machine.latIntMult = 3;
+    desc.machine.latIntDiv = 19;
+    desc.machine.latFpAlu = 5;
+    desc.machine.latFpMult = 7;
+    desc.machine.latFpDiv = 23;
+    desc.machine.dl1HitCycles = 2;
+    desc.machine.l2HitCycles = 8;
+    desc.machine.memCycles = 48;
+    desc.machine.tlbMissCycles = 24;
+    desc.machine.freqGHz = 0.8;
+    desc.sourceBackend = "sim";
+    desc.sourcePoint = defaultDesignPoint().toKey();
+    desc.hasThroughput = true;
+    for (std::size_t i = 0; i < kNumOpClasses; ++i)
+        desc.throughput[i] = 0.125 * static_cast<double>(i + 1);
+    return desc;
+}
+
+/** @p text with the first occurrence of @p from swapped for @p to. */
+std::string
+replaced(std::string text, const std::string &from,
+         const std::string &to)
+{
+    const std::size_t at = text.find(from);
+    EXPECT_NE(at, std::string::npos) << "no '" << from << "' to edit";
+    if (at != std::string::npos)
+        text.replace(at, from.size(), to);
+    return text;
+}
+
+void
+expectRejected(const std::string &text, const char *needle)
+{
+    try {
+        parseMdesc(text);
+        FAIL() << "parsed despite corruption (wanted '" << needle
+               << "')";
+    } catch (const MdescError &e) {
+        EXPECT_NE(std::string(e.what()).find(needle),
+                  std::string::npos)
+            << "error was: " << e.what();
+    }
+}
+
+TEST(Mdesc, TextRoundTripIsBitIdentical)
+{
+    const MachineDescription desc = sampleDescription();
+    const std::string text = writeMdesc(desc);
+    const MachineDescription loaded = parseMdesc(text);
+    EXPECT_EQ(loaded, desc);
+    // The writer is canonical: load -> save reproduces every byte.
+    EXPECT_EQ(writeMdesc(loaded), text);
+}
+
+TEST(Mdesc, RoundTripsWithoutThroughput)
+{
+    MachineDescription desc = sampleDescription();
+    desc.hasThroughput = false;
+    desc.throughput = {};
+    desc.sourceBackend.clear();
+    desc.sourcePoint.clear();
+    const std::string text = writeMdesc(desc);
+    EXPECT_EQ(text.find("throughput"), std::string::npos);
+    EXPECT_EQ(parseMdesc(text), desc);
+}
+
+TEST(Mdesc, FileRoundTripIsBitIdentical)
+{
+    const std::string path =
+        ::testing::TempDir() + "mdesc_test_roundtrip.mdesc";
+    const MachineDescription desc = sampleDescription();
+    saveMdesc(desc, path);
+    const MachineDescription loaded = loadMdesc(path);
+    EXPECT_EQ(loaded, desc);
+
+    // Re-saving the loaded description writes the identical file.
+    const std::string again =
+        ::testing::TempDir() + "mdesc_test_roundtrip2.mdesc";
+    saveMdesc(loaded, again);
+    EXPECT_EQ(writeMdesc(loadMdesc(again)), writeMdesc(desc));
+    std::remove(path.c_str());
+    std::remove(again.c_str());
+}
+
+TEST(Mdesc, LoadRejectsMissingFile)
+{
+    EXPECT_THROW(loadMdesc(::testing::TempDir() + "mdesc_test_nope/x"),
+                 MdescError);
+}
+
+TEST(Mdesc, RejectsNonJson)
+{
+    expectRejected("not json at all", "JSON");
+    expectRejected("[1, 2, 3]\n", "object");
+}
+
+TEST(Mdesc, RejectsWrongFormatTag)
+{
+    const std::string text = writeMdesc(sampleDescription());
+    expectRejected(replaced(text, "\"mdesc\"", "\"mprof\""),
+                   "'format'");
+}
+
+TEST(Mdesc, RejectsBadVersions)
+{
+    const std::string text = writeMdesc(sampleDescription());
+    expectRejected(replaced(text, "\"version\": 1", "\"version\": 0"),
+                   "version");
+    expectRejected(replaced(text, "\"version\": 1", "\"version\": 2"),
+                   "future format version");
+    expectRejected(
+        replaced(text, "\"version\": 1", "\"version\": -1"),
+        "version");
+}
+
+TEST(Mdesc, RejectsUnknownKeysAtEveryLevel)
+{
+    const std::string text = writeMdesc(sampleDescription());
+    expectRejected(
+        replaced(text, "\"format\"", "\"fmt\": 1,\n  \"format\""),
+        "unknown key 'fmt'");
+    expectRejected(
+        replaced(text, "\"backend\"", "\"host\": \"x\",\n    \"backend\""),
+        "unknown key 'host'");
+    expectRejected(
+        replaced(text, "\"width\"", "\"girth\": 1,\n    \"width\""),
+        "unknown key 'girth'");
+    expectRejected(
+        replaced(text, "\"IntAlu\"", "\"VecAlu\": 1,\n    \"IntAlu\""),
+        "unknown key 'VecAlu'");
+}
+
+TEST(Mdesc, RejectsMissingMachineField)
+{
+    // Drop mem_cycles entirely (key, value, and the line break).
+    const std::string text = writeMdesc(sampleDescription());
+    expectRejected(replaced(text, "    \"mem_cycles\": 48,\n", ""),
+                   "missing key 'mem_cycles'");
+}
+
+TEST(Mdesc, RejectsWrongFieldTypes)
+{
+    const std::string text = writeMdesc(sampleDescription());
+    expectRejected(replaced(text, "\"width\": 2", "\"width\": \"2\""),
+                   "'width'");
+    expectRejected(
+        replaced(text, "\"backend\": \"sim\"", "\"backend\": 3"),
+        "'backend'");
+    expectRejected(
+        replaced(text, "\"freq_ghz\": 0.8", "\"freq_ghz\": true"),
+        "'freq_ghz'");
+}
+
+TEST(Mdesc, RejectsNonIntegerCycleCounts)
+{
+    const std::string text = writeMdesc(sampleDescription());
+    expectRejected(
+        replaced(text, "\"l2_hit_cycles\": 8", "\"l2_hit_cycles\": 8.5"),
+        "'l2_hit_cycles'");
+    expectRejected(
+        replaced(text, "\"lat_int_div\": 19", "\"lat_int_div\": -19"),
+        "'lat_int_div'");
+}
+
+TEST(Mdesc, RejectsOutOfRangeValues)
+{
+    const std::string text = writeMdesc(sampleDescription());
+    expectRejected(replaced(text, "\"width\": 2", "\"width\": 0"),
+                   "width");
+    expectRejected(replaced(text, "\"width\": 2", "\"width\": 17"),
+                   "width");
+    expectRejected(
+        replaced(text, "\"frontend_depth\": 4", "\"frontend_depth\": 1"),
+        "frontend_depth");
+    expectRejected(
+        replaced(text, "\"lat_fp_div\": 23", "\"lat_fp_div\": 0"),
+        "latencies");
+    expectRejected(
+        replaced(text, "\"freq_ghz\": 0.8", "\"freq_ghz\": 0"),
+        "freq_ghz");
+    // Overflowing literals die in the shared JSON parser already.
+    EXPECT_THROW(parseMdesc(replaced(text, "\"freq_ghz\": 0.8",
+                                     "\"freq_ghz\": 1e400")),
+                 MdescError);
+    expectRejected(replaced(text, "\"Load\": 0.875", "\"Load\": -1"),
+                   "Load");
+}
+
+TEST(Mdesc, RejectsBadSource)
+{
+    const std::string text = writeMdesc(sampleDescription());
+    expectRejected(
+        replaced(text, "\"backend\": \"sim\"", "\"backend\": \"gem5\""),
+        "unknown backend");
+    MachineDescription desc = sampleDescription();
+    desc.sourcePoint = "not-a-point-key";
+    expectRejected(writeMdesc(desc), "unparseable point key");
+}
+
+TEST(Mdesc, RejectsEveryTruncation)
+{
+    // Every proper prefix must be rejected without crashing — the
+    // atomic writer makes half-written files impossible, a damaged
+    // copy is not.
+    // (The final newline is cosmetic: the document is complete one
+    // byte early, so the loop stops before it.)
+    const std::string text = writeMdesc(sampleDescription());
+    for (std::size_t len = 0; len + 1 < text.size(); ++len) {
+        EXPECT_THROW(parseMdesc(text.substr(0, len)), MdescError)
+            << "prefix of " << len << " bytes parsed";
+    }
+}
+
+TEST(Mdesc, RejectsTrailingBytes)
+{
+    const std::string text = writeMdesc(sampleDescription());
+    EXPECT_THROW(parseMdesc(text + "x"), MdescError);
+    EXPECT_THROW(parseMdesc(text + "{}"), MdescError);
+}
+
+TEST(Mdesc, LatencySpecRecoversParamsExactly)
+{
+    // machineFor(designPointFor(d), latencySpecFor(d)) must equal
+    // d.machine bit for bit at every Table 2 frequency: the ns values
+    // are cycles / freq, and the nsToCycles() guard band absorbs the
+    // one-ulp product error.
+    for (double freq : {0.6, 0.8, 1.0, 1.2, 1.4}) {
+        MachineDescription desc = sampleDescription();
+        desc.machine.freqGHz = freq;
+        const MachineParams back =
+            machineFor(designPointFor(desc), latencySpecFor(desc));
+        EXPECT_EQ(compareMachineParams(desc.machine, back).size(), 0u)
+            << "at " << freq << " GHz";
+        EXPECT_EQ(back.freqGHz, freq);
+    }
+}
+
+TEST(Mdesc, DesignPointForKeepsNonCoreAxes)
+{
+    MachineDescription desc = sampleDescription();
+    DesignPoint point = defaultDesignPoint();
+    point.l2KB = 128;
+    point.l2Assoc = 16;
+    point.predictor = PredictorKind::Hybrid3K5;
+    desc.sourcePoint = point.toKey();
+    const DesignPoint derived = designPointFor(desc);
+    EXPECT_EQ(derived.l2KB, 128u);
+    EXPECT_EQ(derived.l2Assoc, 16u);
+    EXPECT_EQ(derived.predictor, PredictorKind::Hybrid3K5);
+    // Core axes come from the machine parameters, not the key.
+    EXPECT_EQ(derived.width, desc.machine.width);
+    EXPECT_EQ(derived.depth, desc.machine.frontendDepth + 3);
+    EXPECT_EQ(derived.freqGHz, desc.machine.freqGHz);
+}
+
+TEST(Mdesc, CompareReportsDivergenceInSchemaOrder)
+{
+    MachineParams a;
+    MachineParams b = a;
+    b.memCycles += 5;
+    b.width += 1;
+    const auto diffs = compareMachineParams(a, b);
+    ASSERT_EQ(diffs.size(), 2u);
+    EXPECT_EQ(diffs[0].field, "width");
+    EXPECT_EQ(diffs[1].field, "mem_cycles");
+    EXPECT_EQ(diffs[1].configured, static_cast<double>(a.memCycles));
+    EXPECT_EQ(diffs[1].inferred, static_cast<double>(b.memCycles));
+    // Tolerance gates each field independently.
+    EXPECT_EQ(compareMachineParams(a, b, 1.0).size(), 1u);
+    EXPECT_EQ(compareMachineParams(a, b, 5.0).size(), 0u);
+}
+
+} // namespace
+} // namespace mech

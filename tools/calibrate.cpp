@@ -28,6 +28,7 @@ main(int argc, char **argv)
     unsigned width = 0;
     unsigned nthreads = 0;
     std::string profile_dir;
+    std::string mdesc_path;
 
     cli::ArgParser parser(
         "calibrate",
@@ -42,11 +43,17 @@ main(int argc, char **argv)
                "load .mprof artifacts from this directory instead of "
                "re-profiling",
                &profile_dir);
+    parser.add("mdesc", "file",
+               "calibrate a characterized .mdesc machine description "
+               "instead of the built-in Table 1 parameters",
+               &mdesc_path);
     parser.parse(argc, argv);
     nthreads = ThreadPool::sanitizeWorkerCount(
         static_cast<long long>(nthreads));
 
     DesignPoint point = defaultDesignPoint();
+    if (!mdesc_path.empty())
+        point = designPointFor(applyMachineDescription(mdesc_path));
     if (width)
         point.width = width;
 

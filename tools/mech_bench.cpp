@@ -9,6 +9,7 @@
  *   stack_distance     StackDistanceSimulator::access   accesses/s
  *   inorder_sim        detailed in-order simulation     cycles/s
  *   oosim_cycles       out-of-order simulation          cycles/s
+ *   characterize_infer full machine characterizations   inferences/s
  *   model_eval         analytical model evaluations     evals/s
  *   profile_roundtrip  .mprof save + load round trip    roundtrips/s
  *   dse_scaling        parallel DSE sweep, 1..N thr     evals/s
@@ -223,6 +224,28 @@ runOoOSim(Fixture &fx, const bench::MeasureOptions &opts,
         opts);
     report.add(kSuite, "oosim_cycles", "throughput",
                m.rate(static_cast<double>(once.cycles)), "cycles/s");
+}
+
+void
+runCharacterizeInfer(Fixture &fx, const bench::MeasureOptions &opts,
+                     bench::BenchReport &report)
+{
+    // A full characterization — the 51-kernel battery through the
+    // in-order simulator plus the inference pass — per iteration.
+    // The short supported lengths keep one inference comparable to
+    // the other entries; rates scale linearly with kernel length.
+    CharacterizeConfig cfg;
+    cfg.lenA = 2048;
+    cfg.lenB = 4096;
+    ThreadPool pool(fx.threads());
+    auto m = bench::measure(
+        [&] {
+            CharacterizeResult res = characterize(cfg, pool);
+            bench::doNotOptimize(res.description.machine.width);
+        },
+        opts);
+    report.add(kSuite, "characterize_infer", "throughput", m.rate(1.0),
+               "inferences/s");
 }
 
 void
@@ -503,6 +526,9 @@ allBenchmarks()
         {"oosim_cycles",
          "cycle-accurate out-of-order simulation throughput (cycles/s)",
          runOoOSim},
+        {"characterize_infer",
+         "full machine characterizations per second (sim backend)",
+         runCharacterizeInfer},
         {"model_eval", "analytical-model evaluations per second",
          runModelEval},
         {"profile_roundtrip",

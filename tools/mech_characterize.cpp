@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Machine characterization driver: infer a `.mdesc` description by
+ * measuring microbenchmark kernels on a cycle-accurate backend.
+ *
+ * The reverse of every other tool: instead of configuring a backend
+ * from MachineParams, it runs the kernel battery (src/characterize)
+ * through the chosen backend and solves the observed cycle counts
+ * back into the parameters.  Against the built-in backends the
+ * inference must land exactly on the configured Table 1 values;
+ * `--check` verifies that field by field and exits non-zero on any
+ * divergence beyond `--tolerance`, which is what the CI
+ * characterization gate runs.
+ *
+ * `--out` writes the inferred description as a canonical `.mdesc`
+ * file that every other tool loads back via `--mdesc` (and the space
+ * grammar's "mdesc:<path>" preset).
+ */
+
+#include <cmath>
+#include <iostream>
+#include <string>
+
+#include "mech/mech.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mech;
+
+    std::string backend = "sim";
+    std::string point_key;
+    std::string out_path;
+    std::string mdesc_path;
+    bool check = false;
+    bool verbose = false;
+    double tolerance = 0.0;
+    unsigned nthreads = 0;
+
+    cli::ArgParser parser(
+        "mech_characterize",
+        "infer a machine description from microbenchmark kernels "
+        "measured on a cycle-accurate backend");
+    parser.add("backend", "name",
+               "backend to characterize: sim (in-order) or oosim "
+               "(out-of-order)",
+               &backend);
+    parser.add("point", "key",
+               "DesignPoint key to measure at (default: the Table 1 "
+               "default point)",
+               &point_key);
+    parser.add("out", "file",
+               "write the inferred description as a canonical .mdesc",
+               &out_path);
+    parser.add("mdesc", "file",
+               "characterize a backend configured from this .mdesc "
+               "instead of the built-in parameters (with --check, the "
+               "inference must recover the file's values)",
+               &mdesc_path);
+    parser.addFlag("check",
+                   "compare the inference against the configured "
+                   "parameters and exit non-zero on divergence beyond "
+                   "--tolerance",
+                   &check);
+    parser.add("tolerance", "cycles",
+               "largest |inferred - configured| --check accepts "
+               "(default 0: exact)",
+               &tolerance);
+    parser.add("threads", "N",
+               "worker threads (0 = all hardware threads); the "
+               "inferred description is identical for any value",
+               &nthreads);
+    parser.addFlag("verbose",
+                   "also print every kernel measurement",
+                   &verbose);
+    parser.parse(argc, argv);
+    nthreads = ThreadPool::sanitizeWorkerCount(
+        static_cast<long long>(nthreads));
+
+    CharacterizeConfig cfg;
+    cfg.backend = backend;
+    if (!mdesc_path.empty()) {
+        cfg.point =
+            designPointFor(applyMachineDescription(mdesc_path));
+    }
+    if (!point_key.empty()) {
+        auto parsed = DesignPoint::fromKey(point_key);
+        if (!parsed)
+            fatal("unparseable --point key '", point_key, "'");
+        cfg.point = *parsed;
+    }
+
+    ThreadPool pool(nthreads <= 1 ? 0 : nthreads);
+    const CharacterizeResult result = characterize(cfg, pool);
+    const MachineDescription &desc = result.description;
+
+    if (verbose) {
+        TextTable table({"kernel", "instructions", "cycles"});
+        for (const KernelMeasurement &m : result.measurements) {
+            table.addRow({m.kernel, std::to_string(m.instructions),
+                          TextTable::num(m.cycles, 0)});
+        }
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+
+    // The inferred description, field by field, next to what the
+    // backend was actually configured with at this point.
+    const MachineParams configured = machineFor(cfg.point);
+    {
+        TextTable table({"field", "configured", "inferred"});
+        const auto all =
+            compareMachineParams(configured, desc.machine, -1.0);
+        for (const FieldDivergence &f : all) {
+            table.addRow({f.field, TextTable::num(f.configured, 3),
+                          TextTable::num(f.inferred, 3)});
+        }
+        table.print(std::cout);
+    }
+    {
+        TextTable table({"class", "stream IPC"});
+        for (OpClass oc : kAllOpClasses) {
+            table.addRow(
+                {std::string(opClassName(oc)),
+                 TextTable::num(
+                     desc.throughput[static_cast<std::size_t>(oc)],
+                     3)});
+        }
+        std::cout << "\n";
+        table.print(std::cout);
+    }
+
+    if (!out_path.empty()) {
+        try {
+            saveMdesc(desc, out_path);
+        } catch (const MdescError &e) {
+            fatal(e.what());
+        }
+        std::cout << "\nwrote " << out_path << "\n";
+    }
+
+    if (!check)
+        return 0;
+
+    // --check: every machine field must round-trip through the
+    // measurement within tolerance...
+    int failures = 0;
+    for (const FieldDivergence &f :
+         compareMachineParams(configured, desc.machine, tolerance)) {
+        std::cerr << "DIVERGED " << f.field << ": configured "
+                  << f.configured << ", inferred " << f.inferred
+                  << "\n";
+        ++failures;
+    }
+    // ...and on the out-of-order backend the measured per-class
+    // stream throughputs must match the FU/port-pressure prediction
+    // (ceil effects at non-divisible kernel lengths stay well under
+    // the 0.01 IPC bound).
+    if (backend == kOoOSimBackend) {
+        for (OpClass oc : kAllOpClasses) {
+            const double expect =
+                expectedOooStreamIpc(oc, configured, cfg.point.ooo);
+            const double got =
+                desc.throughput[static_cast<std::size_t>(oc)];
+            if (std::abs(got - expect) > 0.01) {
+                std::cerr << "DIVERGED throughput/" << opClassName(oc)
+                          << ": expected " << expect << ", measured "
+                          << got << "\n";
+                ++failures;
+            }
+        }
+    }
+    if (failures) {
+        std::cerr << failures << " field(s) diverged beyond tolerance "
+                  << tolerance << "\n";
+        return 1;
+    }
+    std::cout << "\ncheck passed: inference matches the configured "
+                 "parameters (tolerance "
+              << tolerance << ")\n";
+    return 0;
+}

@@ -46,6 +46,7 @@ main(int argc, char **argv)
     unsigned port = 0;
     int metrics_port = -1;
     std::string cache_dir;
+    std::string mdesc_path;
     std::string trace_out;
     std::string log_level;
     bool deterministic = false;
@@ -109,6 +110,10 @@ main(int argc, char **argv)
                "this directory on first use and write them back on "
                "drain",
                &cache_dir);
+    parser.add("mdesc", "file",
+               "serve a characterized .mdesc machine description "
+               "instead of the built-in Table 1 parameters",
+               &mdesc_path);
     parser.add("metrics-port", "N",
                "with --port: also serve a Prometheus text exposition "
                "at http://127.0.0.1:N/metrics (0 = ephemeral port)",
@@ -161,6 +166,7 @@ main(int argc, char **argv)
         static_cast<long long>(threads));
     cfg.maxSpacePoints = max_space;
     cfg.cacheDir = cache_dir;
+    cfg.mdescPath = mdesc_path;
     // Resolve the default sets now: a typoed --bench/--backend/
     // --objective must fail at startup like every other tool, not
     // surface request by request once the daemon is already up.
